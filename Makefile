@@ -1,0 +1,26 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples all clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f"; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures: it prints the
+figure's data series (through captured output, so it lands in the
+terminal even without ``-s``) and times a representative piece of the
+flow with pytest-benchmark.
+"""
+
+import contextlib
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print-through helper: emits text past pytest's capture."""
+
+    @contextlib.contextmanager
+    def _report(title):
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(title)
+            print("=" * 72)
+            yield print
+
+    return _report
+
+
+def scatter_table(printer, x_label, x, y_label, y, max_rows=30):
+    """Print a two-column series the way the paper's scatter plots read."""
+    printer(f"{x_label:>22s}  {y_label:>22s}")
+    for xi, yi in list(zip(x, y))[:max_rows]:
+        printer(f"{xi:22.4f}  {yi:22.4f}")
+    if len(x) > max_rows:
+        printer(f"... ({len(x) - max_rows} more rows)")

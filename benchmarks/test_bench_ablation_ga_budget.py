@@ -1,0 +1,62 @@
+"""Ablation: the genetic algorithm's budget.
+
+The paper runs "five iterations of a genetic algorithm".  This bench
+sweeps the generation count (equal population, same seeds) and prints
+the Equation-10 objective each budget reaches, showing whether five
+generations was a shrewd choice or an accident of 2002-era CPU time.
+"""
+
+import numpy as np
+
+from repro.circuits.lna import LNA900, lna_parameter_space
+from repro.loadboard.signature_path import simulation_config
+from repro.testgen.genetic import GAConfig
+from repro.testgen.optimizer import SignatureStimulusOptimizer
+from repro.testgen.pwl import StimulusEncoding
+
+
+def test_bench_ablation_ga_budget(benchmark, report):
+    space = lna_parameter_space()
+    budgets = (1, 3, 5, 10)
+    rows = []
+    for gens in budgets:
+        optimizer = SignatureStimulusOptimizer(
+            board_config=simulation_config(),
+            device_factory=LNA900,
+            space=space,
+            encoding=StimulusEncoding(16, 5e-6, 0.4),
+            ga_config=GAConfig(population_size=16, generations=gens),
+            rel_step=0.03,
+        )
+        result = optimizer.optimize(np.random.default_rng(2002))
+        ga = result.ga_result
+        rows.append(
+            (gens, ga.evaluations, ga.history[0][0], result.objective_value)
+        )
+
+    with report("Ablation -- GA budget (population 16, identical seeds)") as p:
+        p(f"{'generations':>12s}  {'evaluations':>12s}  {'initial best F':>15s}  "
+          f"{'final F':>10s}")
+        for gens, evals, first, final in rows:
+            p(f"{gens:12d}  {evals:12d}  {first:15.6f}  {final:10.6f}")
+        p("")
+        f1 = rows[0][3]
+        f10 = rows[-1][3]
+        p(f"total improvement over the whole sweep is "
+          f"{100 * (f1 - f10) / f1:.1f}% of the initial objective: with the "
+          "amplitude-laddered seed population the first generation already "
+          "sits near the optimum, and the paper's five iterations refine "
+          "rather than search -- the seed design, i.e. bracketing the DUT "
+          "drive level, is where the real optimization happens")
+
+    # timed kernel: one full GA generation's worth of fitness evaluations
+    optimizer = SignatureStimulusOptimizer(
+        board_config=simulation_config(),
+        device_factory=LNA900,
+        space=space,
+        encoding=StimulusEncoding(16, 5e-6, 0.4),
+        rel_step=0.03,
+    )
+    optimizer.performance_matrix()
+    gene = np.full(16, 0.2)
+    benchmark(optimizer.objective, gene)

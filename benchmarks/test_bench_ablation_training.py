@@ -1,0 +1,34 @@
+"""Ablation: calibration-set size.
+
+Section 4.2: "The results are likely to be significantly better with a
+larger set of calibrating devices."  Sweeps the training-set size with
+everything else held fixed (the GA stimulus of the main experiment) and
+prints the validation errors.
+"""
+
+from repro.experiments.lna_simulation import run_simulation_experiment
+
+
+def test_bench_ablation_training_set_size(benchmark, report):
+    reference = run_simulation_experiment()
+    sizes = (15, 30, 60, 100, 200)
+    results = {
+        n: run_simulation_experiment(n_train=n, stimulus=reference.stimulus)
+        for n in sizes
+    }
+
+    with report("Ablation -- training-set size (validation std(err) per spec)") as p:
+        p(f"{'n_train':>8s}  {'gain (dB)':>10s}  {'NF (dB)':>10s}  {'IIP3 (dBm)':>11s}")
+        for n in sizes:
+            e = results[n].std_errors
+            p(f"{n:8d}  {e['gain_db']:10.4f}  {e['nf_db']:10.4f}  {e['iip3_dbm']:11.4f}")
+        p("")
+        small = results[sizes[0]].std_errors
+        large = results[sizes[-1]].std_errors
+        p(f"gain error {small['gain_db'] / large['gain_db']:.2f}x larger with "
+          f"{sizes[0]} devices than with {sizes[-1]} -- the paper's Section 4.2 remark")
+
+    smallest = results[sizes[0]]
+    benchmark(
+        smallest.calibration.predict_matrix, smallest.val_signatures
+    )

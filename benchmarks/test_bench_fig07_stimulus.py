@@ -1,0 +1,46 @@
+"""Figure 7: the GA-optimized piecewise-linear test stimulus.
+
+Regenerates the optimized stimulus for the 900 MHz LNA (five GA
+generations, as in the paper) and prints its breakpoint series plus the
+per-generation objective trace.  The timed kernel is one GA fitness
+evaluation (the finite-difference A_s + Equation-10 objective), the unit
+of work the optimization loop repeats.
+"""
+
+import numpy as np
+
+from repro.circuits.lna import LNA900, lna_parameter_space
+from repro.experiments.lna_simulation import run_simulation_experiment
+from repro.loadboard.signature_path import simulation_config
+from repro.testgen.optimizer import SignatureStimulusOptimizer
+from repro.testgen.pwl import StimulusEncoding
+
+
+def test_bench_fig07_optimized_stimulus(benchmark, report):
+    result = run_simulation_experiment()
+    stim = result.stimulus
+    opt = result.optimization
+
+    with report("Figure 7 -- optimized PWL test stimulus (5 us, 16 breakpoints)") as p:
+        p(f"{'time (us)':>12s}  {'level (V)':>12s}")
+        for t, v in zip(stim.breakpoint_times() * 1e6, stim.levels):
+            p(f"{t:12.3f}  {v:12.4f}")
+        p("")
+        p("GA objective trace (best per generation):")
+        for gen, (best, mean) in enumerate(opt.ga_result.history):
+            p(f"  generation {gen}: best F = {best:.6f}  (population mean {mean:.6f})")
+        p(f"final objective F = {opt.objective_value:.6f} "
+          f"({opt.ga_result.evaluations} fitness evaluations)")
+        p(opt.summary())
+
+    # timed kernel: one fitness evaluation of the winning gene
+    optimizer = SignatureStimulusOptimizer(
+        board_config=simulation_config(),
+        device_factory=LNA900,
+        space=lna_parameter_space(),
+        encoding=StimulusEncoding(16, 5e-6, 0.4),
+        rel_step=0.03,
+    )
+    optimizer.performance_matrix()  # cache A_p outside the timed region
+    gene = stim.to_gene()
+    benchmark(optimizer.objective, gene)

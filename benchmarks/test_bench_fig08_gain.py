@@ -1,0 +1,26 @@
+"""Figure 8: LNA gain predicted from the signature vs direct simulation.
+
+Paper: 100 training + 25 validation instances, 1 mV signature noise,
+std(err) = 0.06 dB.  Prints the scatter series and the error statistics;
+times the production-side prediction (signature -> all specs).
+"""
+
+from conftest import scatter_table
+
+from repro.experiments.lna_simulation import PAPER_STD_ERR, run_simulation_experiment
+
+
+def test_bench_fig08_gain_prediction(benchmark, report):
+    result = run_simulation_experiment()
+    x, y = result.scatter("gain_db")
+
+    with report("Figure 8 -- LNA gain: signature prediction vs direct simulation") as p:
+        scatter_table(p, "direct simulation (dB)", x, "predicted (dB)", y)
+        p("")
+        p(f"std(err) = {result.std_errors['gain_db']:.4f} dB  "
+          f"(paper: {PAPER_STD_ERR['gain_db']:.3f} dB)")
+        p(f"RMS err  = {result.rms_errors['gain_db']:.4f} dB,  "
+          f"R^2 = {result.r2['gain_db']:.4f}")
+        p(f"model chosen by CV: {result.calibration.chosen['gain_db']}")
+
+    benchmark(result.calibration.predict_matrix, result.val_signatures)

@@ -1,0 +1,30 @@
+"""Figure 9: LNA IIP3 predicted from the signature vs direct simulation.
+
+Paper: std(err) = 0.034 dBm on the same 100/25 Monte-Carlo split.
+Prints the scatter series; times one full signature capture (the
+acquisition the production tester repeats per device).
+"""
+
+from conftest import scatter_table
+
+from repro.circuits.lna import LNA900
+from repro.experiments.lna_simulation import PAPER_STD_ERR, run_simulation_experiment
+from repro.loadboard.signature_path import SignatureTestBoard, simulation_config
+
+
+def test_bench_fig09_iip3_prediction(benchmark, report):
+    result = run_simulation_experiment()
+    x, y = result.scatter("iip3_dbm")
+
+    with report("Figure 9 -- LNA IIP3: signature prediction vs direct simulation") as p:
+        scatter_table(p, "direct simulation (dBm)", x, "predicted (dBm)", y)
+        p("")
+        p(f"std(err) = {result.std_errors['iip3_dbm']:.4f} dBm  "
+          f"(paper: {PAPER_STD_ERR['iip3_dbm']:.3f} dBm)")
+        p(f"RMS err  = {result.rms_errors['iip3_dbm']:.4f} dBm,  "
+          f"R^2 = {result.r2['iip3_dbm']:.4f}")
+        p(f"model chosen by CV: {result.calibration.chosen['iip3_dbm']}")
+
+    board = SignatureTestBoard(simulation_config())
+    device = LNA900()
+    benchmark(board.signature, device, result.stimulus)

@@ -1,0 +1,38 @@
+"""Figure 10: LNA noise figure predicted from the signature.
+
+Paper: std(err) = 0.34 dB -- several times worse than gain/IIP3, because
+NF is dominated by the base resistance, which barely moves the signature.
+The reproduction must show the same ordering.  Times the calibration fit
+(the one-time training cost).
+"""
+
+from conftest import scatter_table
+
+from repro.experiments.lna_simulation import PAPER_STD_ERR, run_simulation_experiment
+from repro.runtime.calibration import CalibrationSession
+
+import numpy as np
+
+
+def test_bench_fig10_nf_prediction(benchmark, report):
+    result = run_simulation_experiment()
+    x, y = result.scatter("nf_db")
+
+    with report("Figure 10 -- LNA noise figure: signature prediction vs direct simulation") as p:
+        scatter_table(p, "direct simulation (dB)", x, "predicted (dB)", y)
+        p("")
+        p(f"std(err) = {result.std_errors['nf_db']:.4f} dB  "
+          f"(paper: {PAPER_STD_ERR['nf_db']:.3f} dB)")
+        p(f"RMS err  = {result.rms_errors['nf_db']:.4f} dB,  "
+          f"R^2 = {result.r2['nf_db']:.4f}")
+        p("")
+        ratio = result.std_errors["nf_db"] / result.std_errors["gain_db"]
+        paper_ratio = PAPER_STD_ERR["nf_db"] / PAPER_STD_ERR["gain_db"]
+        p(f"NF-to-gain error ratio: {ratio:.1f}x (paper: {paper_ratio:.1f}x) -- "
+          "the shape result: NF is the hard spec in both")
+
+    session = CalibrationSession()
+    rng = np.random.default_rng(0)
+    benchmark(
+        session.fit, result.train_signatures, result.train_true_specs, rng
+    )

@@ -1,0 +1,43 @@
+"""Figure 13: RF2401 hardware experiment -- IIP3.
+
+Paper: RMS error 0.13 dB over the 27 validation devices.  Also checks
+the qualitative claim that hardware errors exceed the clean-simulation
+errors (socket repeatability, measured training targets, 28-device
+calibration).  Times the two-tone IIP3 measurement that the conventional
+flow would need instead.
+"""
+
+from conftest import scatter_table
+
+from repro.experiments.hardware import (
+    PAPER_RMS_ERR,
+    rf2401_device,
+    run_hardware_experiment,
+)
+from repro.experiments.lna_simulation import run_simulation_experiment
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+
+def test_bench_fig13_hardware_iip3(benchmark, report):
+    result = run_hardware_experiment()
+    sim = run_simulation_experiment()
+    x, y = result.scatter("iip3_dbm")
+
+    with report("Figure 13 -- RF2401 IIP3: signature prediction vs direct measurement") as p:
+        scatter_table(p, "direct measurement (dBm)", x, "predicted (dBm)", y)
+        p("")
+        p(f"RMS err = {result.rms_errors['iip3_dbm']:.4f} dBm  "
+          f"(paper: {PAPER_RMS_ERR['iip3_dbm']:.2f} dBm)")
+        p(f"std(err) = {result.std_errors['iip3_dbm']:.4f} dBm,  "
+          f"R^2 = {result.r2['iip3_dbm']:.4f}")
+        p("")
+        p("hardware vs clean simulation (the paper's pattern -- bench errors larger):")
+        p(f"  gain: hw {result.rms_errors['gain_db']:.3f} dB  "
+          f"vs sim {sim.rms_errors['gain_db']:.3f} dB")
+        p(f"  iip3: hw {result.rms_errors['iip3_dbm']:.3f} dBm "
+          f"vs sim {sim.rms_errors['iip3_dbm']:.3f} dBm")
+
+    # the conventional alternative: a two-tone spectrum-analyzer run
+    sa = SpectrumAnalyzer(tone_power_dbm=-28.0, repeatability_db=0.0)
+    device = rf2401_device({"gain_db": 15.0, "nf_db": 4.0, "iip3_dbm": -8.0})
+    benchmark(sa.measure_iip3_dbm, device)

@@ -1,0 +1,41 @@
+"""Section 4.2 test-time claim and the Section 1 economics argument.
+
+"The signature test in this case required only 5 milliseconds of data
+capture ... significant improvement in test throughput is possible."
+Compares the conventional sequential-spec insertion against the
+single-capture signature insertion, in time, throughput and cost per
+device.  Times the full conventional insertion for reference.
+"""
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.instruments.ate import ConventionalRFATE
+from repro.loadboard.signature_path import hardware_config
+from repro.runtime.economics import compare_flows
+
+
+def test_bench_test_time_and_economics(benchmark, report):
+    ate = ConventionalRFATE()
+    conventional_seconds = ate.insertion_time()
+    signature_seconds = hardware_config().total_test_time()
+    comparison = compare_flows(conventional_seconds, signature_seconds)
+
+    with report("Section 4.2 -- test time and economics: conventional vs signature") as p:
+        p("per-test breakdown of the conventional insertion:")
+        p(f"  gain test:          {ate.gain_analyzer.total_time() * 1e3:8.1f} ms")
+        p(f"  noise figure test:  {ate.noise_meter.total_time() * 1e3:8.1f} ms")
+        p(f"  IIP3 test:          {ate.spectrum_analyzer.total_time() * 1e3:8.1f} ms")
+        p(f"  total:              {conventional_seconds * 1e3:8.1f} ms")
+        p("")
+        p("signature insertion (single setup + 5 ms capture):")
+        p(f"  total:              {signature_seconds * 1e3:8.1f} ms")
+        p("")
+        p(comparison.summary())
+        p("")
+        p(f"time speedup {comparison.time_speedup:.0f}x -- the paper's "
+          "'fraction of the test time required with conventional techniques'")
+
+    device = BehavioralAmplifier(900e6, 16.0, 2.5, 3.0)
+    rng = np.random.default_rng(0)
+    benchmark(ate.test_device, device, rng)

@@ -1,0 +1,112 @@
+"""Production screening of a high-volume LNA lot.
+
+The scenario the paper's introduction motivates: a low pin-count,
+high-volume RFIC in the mature phase of its product cycle, where test
+cost dominates.  This script runs the complete industrial flow:
+
+1. *Test generation* (engineering time): optimize the PWL stimulus for
+   the LNA design with the genetic algorithm.
+2. *Calibration* (one-time, on the expensive RF ATE): measure specs of a
+   training lot conventionally, capture their signatures on the cheap
+   tester, fit the mapping.
+3. *Production* (per device, cheap tester only): signature capture ->
+   predicted specs -> pass/fail binning against datasheet limits.
+4. *Economics*: time and cost per device for both flows.
+
+Run:  python examples/lna_production_flow.py
+"""
+
+import numpy as np
+
+from repro import (
+    LNA900,
+    CalibrationSession,
+    ConventionalRFATE,
+    GAConfig,
+    ProductionTestFlow,
+    SignatureStimulusOptimizer,
+    SignatureTestBoard,
+    SpecificationLimits,
+    StimulusEncoding,
+    compare_flows,
+    lna_parameter_space,
+    simulation_config,
+)
+from repro.runtime.specs import lna_limits
+
+
+def main():
+    rng = np.random.default_rng(2026)
+    space = lna_parameter_space()
+    config = simulation_config()
+    board = SignatureTestBoard(config)
+
+    # ------------------------------------------------------------------
+    # 1. test generation
+    # ------------------------------------------------------------------
+    print("[1/4] Optimizing the test stimulus (genetic algorithm, 5 generations)...")
+    optimizer = SignatureStimulusOptimizer(
+        board_config=config,
+        device_factory=LNA900,
+        space=space,
+        encoding=StimulusEncoding(n_breakpoints=16, duration=5e-6, v_limit=0.4),
+        ga_config=GAConfig(population_size=16, generations=5),
+        rel_step=0.03,
+    )
+    optimization = optimizer.optimize(rng)
+    print(optimization.summary())
+    stimulus = optimization.stimulus
+
+    # ------------------------------------------------------------------
+    # 2. calibration: training lot measured on the RF ATE + cheap tester
+    # ------------------------------------------------------------------
+    n_train = 80
+    print(f"\n[2/4] Calibrating on {n_train} training devices "
+          "(specs from the conventional ATE, signatures from the cheap tester)...")
+    ate = ConventionalRFATE()
+    train_devices = [
+        LNA900(space.to_dict(p)) for p in space.sample(rng, n_train)
+    ]
+    train_specs = np.vstack(
+        [ate.test_device(d, rng).specs.as_vector() for d in train_devices]
+    )
+    train_sigs = np.vstack(
+        [board.signature(d, stimulus, rng=rng) for d in train_devices]
+    )
+    calibration = CalibrationSession().fit(train_sigs, train_specs, rng=rng)
+    print(calibration.summary())
+
+    # ------------------------------------------------------------------
+    # 3. production: a lot of 200 devices on the cheap tester only
+    # ------------------------------------------------------------------
+    n_lot = 200
+    print(f"\n[3/4] Production-testing a lot of {n_lot} devices (signature only)...")
+    limits = lna_limits(gain_min_db=14.0, nf_max_db=3.3, iip3_min_dbm=-1.0)
+    flow = ProductionTestFlow(board, stimulus, calibration, limits=limits)
+    lot = [LNA900(space.to_dict(p)) for p in space.sample(rng, n_lot)]
+    run = flow.run(lot, rng)
+    print(f"  yield: {run.yield_fraction:.1%}  "
+          f"({int(run.yield_fraction * n_lot)} of {n_lot} pass)")
+    print(f"  test time per device: {run.mean_test_time * 1e3:.1f} ms  "
+          f"-> {run.throughput_per_hour():.0f} devices/hour")
+
+    # binning quality: how often does the signature verdict match truth?
+    agreements = sum(
+        rec.passed == limits.check(dev.specs())
+        for rec, dev in zip(run.records, lot)
+    )
+    print(f"  binning agreement with true specs: {agreements}/{n_lot}")
+
+    # ------------------------------------------------------------------
+    # 4. economics
+    # ------------------------------------------------------------------
+    print("\n[4/4] Test economics, conventional vs signature:")
+    comparison = compare_flows(
+        conventional_seconds=ate.insertion_time(),
+        signature_seconds=config.total_test_time(),
+    )
+    print(comparison.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Signature testing a Gilbert-cell downconversion mixer.
+
+The fourth device class on the paper's target list, at circuit level:
+the Gilbert cell's conversion gain, SSB noise figure and IIP3 all derive
+from its tail bias, loads and degeneration, so process variation couples
+them exactly like the LNA's.  The same GA + calibration machinery
+predicts the mixer's specs from one capture.
+
+Because the DUT itself frequency-translates (RF at 900 MHz in, IF at
+100 MHz out), the envelope engine's "carrier" tracks the conversion
+polynomial the same way -- only the board's second LO conceptually moves
+to the IF.  Nothing else changes.
+
+Run:  python examples/mixer_alternate_test.py
+"""
+
+import numpy as np
+
+from repro import (
+    CalibrationSession,
+    GAConfig,
+    SignaturePathConfig,
+    SignatureStimulusOptimizer,
+    SignatureTestBoard,
+    StimulusEncoding,
+)
+from repro.circuits.gilbert import GilbertCellMixer, gilbert_parameter_space
+from repro.regression.metrics import r2_score, rmse
+
+
+def mixer_factory(params):
+    return GilbertCellMixer(params)
+
+
+def main():
+    rng = np.random.default_rng(808)
+    space = gilbert_parameter_space()
+
+    nominal = GilbertCellMixer()
+    print(f"nominal DUT: {nominal}")
+
+    config = SignaturePathConfig(
+        carrier_freq=900e6,
+        carrier_power_dbm=10.0,
+        lpf_cutoff_hz=10e6,
+        digitizer_rate=20e6,
+        digitizer_noise_vrms=1e-3,
+        capture_seconds=5e-6,
+        dut_coupling="tuned",
+    )
+    board = SignatureTestBoard(config)
+
+    print("\n[1/3] Optimizing the stimulus for the mixer family...")
+    optimizer = SignatureStimulusOptimizer(
+        board_config=config,
+        device_factory=mixer_factory,
+        space=space,
+        encoding=StimulusEncoding(n_breakpoints=16, duration=5e-6, v_limit=0.4),
+        ga_config=GAConfig(population_size=14, generations=4),
+        rel_step=0.03,
+    )
+    optimization = optimizer.optimize(rng)
+    print(optimization.summary())
+    stimulus = optimization.stimulus
+
+    print("\n[2/3] Calibrating on 80 mixers, validating on 25...")
+    train = [mixer_factory(space.to_dict(p)) for p in space.sample(rng, 80)]
+    val = [mixer_factory(space.to_dict(p)) for p in space.sample(rng, 25)]
+    train_specs = np.vstack([d.specs().as_vector() for d in train])
+    val_specs = np.vstack([d.specs().as_vector() for d in val])
+    train_sigs = np.vstack([board.signature(d, stimulus, rng=rng) for d in train])
+    val_sigs = np.vstack([board.signature(d, stimulus, rng=rng) for d in val])
+    calibration = CalibrationSession().fit(train_sigs, train_specs, rng=rng)
+    print(calibration.summary())
+
+    print("\n[3/3] Validation (predicted vs direct):")
+    predicted = calibration.predict_matrix(val_sigs)
+    for j, name in enumerate(("conv. gain (dB)", "SSB NF (dB)", "IIP3 (dBm)")):
+        err = rmse(val_specs[:, j], predicted[:, j])
+        r2 = r2_score(val_specs[:, j], predicted[:, j])
+        spread = float(np.std(val_specs[:, j]))
+        print(f"  {name:>16s}: RMS err {err:.3f} (spread {spread:.3f}, R^2 {r2:.3f})")
+    print(
+        "\nThe mixer shows the LNA's pattern: conversion gain and IIP3 "
+        "track tightly, while the NF -- dominated by the signature-silent "
+        "base resistance -- is only partially predictable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""From a failing signature to the component that drifted.
+
+The paper's reference [9] (Cherubal & Chatterjee, DATE 1999) is about
+*diagnosis*: once a device fails, which process parameter moved?  The
+same signature + regression machinery answers that -- within its
+identifiability limit.  A tuned-path signature carries roughly two
+degrees of freedom, so the model first reports which parameters it can
+see at all (the rest form ambiguity groups), then ranks the observable
+ones for each failing device.
+
+Run:  python examples/parametric_diagnosis.py
+"""
+
+import numpy as np
+
+from repro import (
+    LNA900,
+    SignatureTestBoard,
+    lna_parameter_space,
+    run_simulation_experiment,
+    simulation_config,
+)
+from repro.runtime.diagnosis import ParameterDiagnosisModel
+
+
+def main():
+    rng = np.random.default_rng(4242)
+    experiment = run_simulation_experiment()
+    stimulus = experiment.stimulus
+    space = lna_parameter_space()
+    board = SignatureTestBoard(simulation_config())
+
+    print("[1/2] Training the diagnosis model on 90 devices with known "
+          "process points...")
+    points = space.sample(rng, 90)
+    sigs = np.vstack(
+        [board.signature(LNA900(space.to_dict(p)), stimulus, rng=rng) for p in points]
+    )
+    model = ParameterDiagnosisModel(space).fit(sigs, points, rng=rng)
+    print(model.summary())
+    print(f"\n  observable parameters: {model.observable_parameters()}")
+    print("  (everything else is blind: the tuned-path signature has only "
+          "~2 degrees of freedom, so e.g. the bias resistors form an "
+          "ambiguity group acting through gm)")
+
+    print("\n[2/2] Diagnosing devices with an injected component drift...")
+    for name, step in (("r_load", -0.18), ("r_load", 0.18)):
+        vec = space.nominal_vector()
+        vec[space.index_of(name)] *= 1.0 + step
+        device = LNA900(space.to_dict(vec))
+        sig = board.signature(device, stimulus, rng=rng)
+        diag = model.diagnose(sig)
+        est = diag.estimated_deviations[name]
+        print(f"  injected {name} {step:+.0%}: prime suspect = "
+              f"{diag.prime_suspect}, estimated deviation {est:+.1%} "
+              f"({diag.sigma_scores[diag.prime_suspect]:+.1f} sigma)")
+
+    # a nominal device for contrast
+    sig = board.signature(LNA900(), stimulus, rng=rng)
+    diag = model.diagnose(sig)
+    worst = max(abs(s) for s in diag.sigma_scores.values())
+    print(f"  nominal device: worst observable score {worst:.2f} sigma "
+          "(no false alarm)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Why the load board needs offset LOs and FFT-magnitude signatures.
+
+Reproduces the Section 2.1 analysis: with both mixers on the same
+carrier (Figure 2), a path-length mismatch of a quarter wavelength --
+0.75 cm at 10 GHz! -- cancels the signature completely (Equation 4).
+Offsetting the second LO and taking FFT magnitudes (Figure 3 /
+Equation 5) makes the signature immune.
+
+Run:  python examples/phase_mismatch_study.py
+"""
+
+import numpy as np
+
+from repro import run_phase_study
+
+
+def main():
+    print("Sweeping the signal-path phase mismatch through a full turn...")
+    study = run_phase_study(n_phases=17)
+
+    print()
+    print(f"{'phase':>8s}  {'same-LO rms':>12s}  {'Eq.4 cos-law':>12s}  "
+          f"{'same-LO drift':>14s}  {'FFT-mag drift':>14s}")
+    for i, phi in enumerate(study.phases):
+        bar = "#" * int(30 * study.same_lo_rms[i] / study.same_lo_rms.max())
+        print(
+            f"{phi:8.3f}  {study.same_lo_rms[i]:12.6f}  "
+            f"{study.eq4_prediction[i]:12.6f}  "
+            f"{study.same_lo_distance[i]:13.1%}  "
+            f"{study.offset_fftmag_distance[i]:13.1%}   {bar}"
+        )
+
+    print()
+    print(study.summary())
+    print()
+    k_null = int(np.argmin(study.same_lo_rms))
+    print(
+        f"At phi = {study.phases[k_null]:.3f} rad the same-LO signature is "
+        f"{study.same_lo_rms[k_null]:.2e} V rms -- a calibration model would "
+        "see pure noise.  The offset-LO FFT-magnitude signature never drifts "
+        f"more than {study.worst_case()['offset_lo_fft_magnitude']:.2%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: predict an LNA's specs from a single signature capture.
+
+Runs the paper's full simulation experiment (stimulus optimization,
+100-device calibration, 25-device validation) through the one-call
+driver, then demonstrates the production-side API on a fresh device:
+one 5 us capture -> all three specifications.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    LNA900,
+    SignatureTestBoard,
+    lna_parameter_space,
+    run_simulation_experiment,
+    simulation_config,
+)
+
+
+def main():
+    print("Running the paper's simulation experiment (Figures 7-10)...")
+    result = run_simulation_experiment()
+    print(result.summary())
+    print()
+
+    # production side: one fresh manufactured device
+    space = lna_parameter_space()
+    rng = np.random.default_rng(321)
+    process_point = space.to_dict(space.sample(rng, 1)[0])
+    device = LNA900(process_point)
+
+    board = SignatureTestBoard(simulation_config())
+    signature = board.signature(device, result.stimulus, rng=rng)
+    predicted = result.calibration.predict(signature)
+    actual = device.specs()
+
+    print("One production insertion (a single 5 us signature capture):")
+    print(f"  {'spec':>10s}  {'actual':>9s}  {'predicted':>9s}  {'error':>8s}")
+    for name in ("gain_db", "nf_db", "iip3_dbm"):
+        a = actual.as_dict()[name]
+        p = predicted.as_dict()[name]
+        print(f"  {name:>10s}  {a:9.3f}  {p:9.3f}  {p - a:+8.3f}")
+    print()
+    print(
+        "All three specs from one capture -- no gain test, no noise-figure "
+        "meter, no two-tone IP3 sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

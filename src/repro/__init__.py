@@ -1,0 +1,125 @@
+"""repro -- a signature test framework for rapid production testing of RF circuits.
+
+A faithful, self-contained Python reproduction of
+
+    R. Voorakaranam, S. Cherubal, A. Chatterjee,
+    "A Signature Test Framework for Rapid Production Testing of RF
+    Circuits", Design, Automation and Test in Europe (DATE), 2002.
+
+The library replaces every piece of the paper's testbed with a simulated
+substrate and implements the paper's contribution on top of it:
+
+* :mod:`repro.dsp` -- waveforms, mixers, filters, FFT signatures.
+* :mod:`repro.circuits` -- process-varying DUT models (analytic 900 MHz
+  BJT LNA, behavioral amplifiers, PA, attenuator, mixer DUT).
+* :mod:`repro.instruments` -- conventional RF ATE instruments and the
+  low-cost tester's AWG / RF source / digitizer.
+* :mod:`repro.loadboard` -- the modulation/demodulation signature path
+  of Figures 2-3, in an exact harmonic-envelope simulation.
+* :mod:`repro.testgen` -- sensitivity analysis, SVD mapping, the
+  Equation-10 objective and the genetic PWL stimulus optimizer.
+* :mod:`repro.regression` -- from-scratch regression stack (ridge, PCA,
+  polynomial, k-NN, MARS, cross-validation).
+* :mod:`repro.runtime` -- the FASTest-style calibration + production
+  flow and test-economics models.
+* :mod:`repro.experiments` -- drivers reproducing every figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import run_simulation_experiment
+    result = run_simulation_experiment()
+    print(result.summary())          # Figures 8-10 in three lines
+"""
+
+__version__ = "1.0.0"
+
+from repro.circuits import (
+    LNA900,
+    Attenuator,
+    BehavioralAmplifier,
+    DownconversionMixerDUT,
+    ParameterSpace,
+    PowerAmplifier,
+    ProcessParameter,
+    RFDevice,
+    SpecSet,
+    lna_parameter_space,
+)
+from repro.dsp import PiecewiseLinearStimulus, Waveform
+from repro.experiments import (
+    run_hardware_experiment,
+    run_phase_study,
+    run_simulation_experiment,
+)
+from repro.instruments import ConventionalRFATE
+from repro.loadboard import (
+    SignaturePathConfig,
+    SignatureTestBoard,
+    hardware_config,
+    simulation_config,
+)
+from repro.runtime import (
+    CalibrationModel,
+    CalibrationSession,
+    GoldenDeviceNormalizer,
+    GoldenSignatureMonitor,
+    ProductionTestFlow,
+    SignatureOutlierScreen,
+    SpecificationLimits,
+    TestProgram,
+    compare_flows,
+    load_test_program,
+    save_test_program,
+)
+from repro.testgen import (
+    GAConfig,
+    LinearSignatureMap,
+    SignatureStimulusOptimizer,
+    StimulusEncoding,
+)
+
+__all__ = [
+    "__version__",
+    # devices
+    "RFDevice",
+    "SpecSet",
+    "LNA900",
+    "lna_parameter_space",
+    "BehavioralAmplifier",
+    "PowerAmplifier",
+    "Attenuator",
+    "DownconversionMixerDUT",
+    "ProcessParameter",
+    "ParameterSpace",
+    # signals
+    "Waveform",
+    "PiecewiseLinearStimulus",
+    # signature path
+    "SignaturePathConfig",
+    "SignatureTestBoard",
+    "simulation_config",
+    "hardware_config",
+    # test generation
+    "SignatureStimulusOptimizer",
+    "StimulusEncoding",
+    "GAConfig",
+    "LinearSignatureMap",
+    # runtime
+    "CalibrationSession",
+    "CalibrationModel",
+    "ProductionTestFlow",
+    "SpecificationLimits",
+    "compare_flows",
+    "ConventionalRFATE",
+    "SignatureOutlierScreen",
+    "GoldenDeviceNormalizer",
+    "GoldenSignatureMonitor",
+    "TestProgram",
+    "save_test_program",
+    "load_test_program",
+    # experiments
+    "run_simulation_experiment",
+    "run_hardware_experiment",
+    "run_phase_study",
+]

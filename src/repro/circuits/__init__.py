@@ -1,0 +1,92 @@
+"""Device-under-test (DUT) substrate.
+
+The paper evaluates its signature-test methodology on a 900 MHz low-noise
+amplifier simulated in SpectreRF, plus real RF2401 front-end devices.  This
+package provides the equivalent Python substrate:
+
+* :mod:`repro.circuits.parameters` -- statistical process parameters and
+  Monte-Carlo sampling (the +/-20 % uniform variations of Section 4.1).
+* :mod:`repro.circuits.bjt` -- Gummel-Poon-style BJT bias and small-signal
+  model with the paper's parameters (Is, beta_f, V_af, r_b, i_kf).
+* :mod:`repro.circuits.lna` -- analytic 900 MHz LNA producing gain, noise
+  figure and IIP3 from component and transistor parameters.
+* :mod:`repro.circuits.nonlinear` -- memoryless polynomial nonlinearity
+  math (gain compression, IP3, P1dB relationships).
+* :mod:`repro.circuits.noisefig` -- noise-figure conversions, Friis
+  cascade, Y-factor math.
+* :mod:`repro.circuits.behavioral` -- behavioral RF amplifier used as the
+  DUT inside signature-path simulations.
+* :mod:`repro.circuits.pa`, :mod:`repro.circuits.attenuator`,
+  :mod:`repro.circuits.mixer_dut` -- the other front-end device classes the
+  paper's introduction targets.
+"""
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.parameters import (
+    ProcessParameter,
+    ParameterSpace,
+    uniform_percent,
+)
+from repro.circuits.noisefig import (
+    nf_db_to_factor,
+    factor_to_nf_db,
+    friis_cascade_nf_db,
+    y_factor_nf_db,
+    output_noise_vrms,
+)
+from repro.circuits.nonlinear import (
+    PolynomialNonlinearity,
+    poly_from_specs,
+    iip3_dbm_from_poly,
+    p1db_dbm_from_iip3,
+)
+from repro.circuits.bjt import BJTParameters, BJTOperatingPoint, solve_bias
+from repro.circuits.lna import LNA900, LNADesign, lna_parameter_space
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.pa import PowerAmplifier
+from repro.circuits.attenuator import Attenuator
+from repro.circuits.mixer_dut import DownconversionMixerDUT
+from repro.circuits.gilbert import GilbertCellMixer, gilbert_parameter_space
+from repro.circuits.faults import (
+    FAULT_LIBRARY,
+    FaultyDevice,
+    bias_shift_fault,
+    dead_stage_fault,
+    open_input_fault,
+    shorted_output_fault,
+)
+
+__all__ = [
+    "RFDevice",
+    "SpecSet",
+    "ProcessParameter",
+    "ParameterSpace",
+    "uniform_percent",
+    "nf_db_to_factor",
+    "factor_to_nf_db",
+    "friis_cascade_nf_db",
+    "y_factor_nf_db",
+    "output_noise_vrms",
+    "PolynomialNonlinearity",
+    "poly_from_specs",
+    "iip3_dbm_from_poly",
+    "p1db_dbm_from_iip3",
+    "BJTParameters",
+    "BJTOperatingPoint",
+    "solve_bias",
+    "LNA900",
+    "LNADesign",
+    "lna_parameter_space",
+    "BehavioralAmplifier",
+    "PowerAmplifier",
+    "Attenuator",
+    "DownconversionMixerDUT",
+    "GilbertCellMixer",
+    "gilbert_parameter_space",
+    "FaultyDevice",
+    "FAULT_LIBRARY",
+    "open_input_fault",
+    "shorted_output_fault",
+    "dead_stage_fault",
+    "bias_shift_fault",
+]

@@ -1,0 +1,82 @@
+"""Behavioral attenuator DUT.
+
+A passive matched attenuator has gain ``-L`` dB and, being passive and
+matched, a noise figure equal to its loss.  Its nonlinearity is very weak
+(high IIP3).  Attenuators are in the paper's list of target front-end
+devices; they make a good smoke-test DUT because every spec is linked to a
+single parameter (the loss).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.nonlinear import PolynomialNonlinearity, poly_from_specs
+from repro.dsp.waveform import Waveform
+
+__all__ = ["Attenuator"]
+
+
+class Attenuator(RFDevice):
+    """A matched resistive attenuator.
+
+    Parameters
+    ----------
+    center_frequency:
+        Nominal operating frequency (the model is frequency flat).
+    loss_db:
+        Insertion loss in dB (positive number).
+    iip3_dbm:
+        Effective input IP3; passive parts are very linear (default
+        +50 dBm).
+    """
+
+    def __init__(
+        self,
+        center_frequency: float,
+        loss_db: float,
+        iip3_dbm: float = 50.0,
+    ):
+        if loss_db < 0:
+            raise ValueError("loss_db must be non-negative")
+        self.center_frequency = float(center_frequency)
+        self._loss_db = float(loss_db)
+        self._iip3_dbm = float(iip3_dbm)
+        a1, a2, a3 = poly_from_specs(-loss_db, iip3_dbm)
+        self._poly = PolynomialNonlinearity(a1=a1, a2=a2, a3=a3)
+
+    @property
+    def loss_db(self) -> float:
+        return self._loss_db
+
+    def specs(self) -> SpecSet:
+        # passive matched attenuator: NF equals the loss
+        return SpecSet(
+            gain_db=-self._loss_db, nf_db=self._loss_db, iip3_dbm=self._iip3_dbm
+        )
+
+    def envelope_poly(self) -> Tuple[float, float, float]:
+        return self._poly.coefficients()
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        out = self._poly.apply(wf)
+        if rng is not None:
+            from repro.circuits.noisefig import added_output_noise_vrms
+
+            sigma = added_output_noise_vrms(
+                -self._loss_db, self._loss_db, wf.sample_rate / 2.0
+            )
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Attenuator(loss={self._loss_db:.1f} dB)"

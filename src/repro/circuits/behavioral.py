@@ -1,0 +1,145 @@
+"""Behavioral RF amplifier model.
+
+This is the DUT representation used inside signature-path simulations and
+conventional instrument models.  It is parameterized directly by the
+datasheet quantities (gain, NF, IIP3, optional IIP2 and envelope
+bandwidth) and converts them to a memoryless polynomial via
+:mod:`repro.circuits.nonlinear`.  The hardware experiment of Section 4.2
+uses exactly this kind of behavioral model, because the RF2401's netlist
+was not available: *"the baseband test stimulus in this case was obtained
+by applying the optimization process on a behavioral model of the LNA"*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.noisefig import added_output_noise_vrms
+from repro.circuits.nonlinear import PolynomialNonlinearity, poly_from_specs
+from repro.dsp.waveform import Waveform
+
+__all__ = ["BehavioralAmplifier"]
+
+
+class BehavioralAmplifier(RFDevice):
+    """Memoryless polynomial amplifier with thermal noise.
+
+    Parameters
+    ----------
+    center_frequency:
+        Design frequency in Hz (used for bookkeeping; the memoryless model
+        itself is frequency-flat over the signature baseband).
+    gain_db, nf_db, iip3_dbm:
+        Datasheet specifications.
+    iip2_dbm:
+        Optional input IP2; ``None`` suppresses even-order products.
+    envelope_bandwidth:
+        Optional single-pole *modulation* bandwidth in Hz: the device
+        passes the carrier but low-passes its envelope (bias-network
+        memory, narrow matching).  ``None`` (default) models a device
+        whose bandwidth is far beyond the signature baseband, like the
+        tuned LNA.
+    noise_bandwidth:
+        Bandwidth over which device noise is integrated when adding noise
+        to time-domain responses.  Defaults to half the record's sample
+        rate at processing time.
+    """
+
+    def __init__(
+        self,
+        center_frequency: float,
+        gain_db: float,
+        nf_db: float,
+        iip3_dbm: float,
+        iip2_dbm: Optional[float] = None,
+        envelope_bandwidth: Optional[float] = None,
+        noise_bandwidth: Optional[float] = None,
+    ):
+        if nf_db < 0:
+            raise ValueError("noise figure cannot be below 0 dB")
+        self.center_frequency = float(center_frequency)
+        self._gain_db = float(gain_db)
+        self._nf_db = float(nf_db)
+        self._iip3_dbm = float(iip3_dbm)
+        self._iip2_dbm = None if iip2_dbm is None else float(iip2_dbm)
+        self.envelope_bandwidth = envelope_bandwidth
+        self.noise_bandwidth = noise_bandwidth
+        a1, a2, a3 = poly_from_specs(gain_db, iip3_dbm, iip2_dbm)
+        self._poly = PolynomialNonlinearity(a1=a1, a2=a2, a3=a3)
+
+    # ------------------------------------------------------------------
+    # RFDevice interface
+    # ------------------------------------------------------------------
+    def specs(self) -> SpecSet:
+        return SpecSet(
+            gain_db=self._gain_db, nf_db=self._nf_db, iip3_dbm=self._iip3_dbm
+        )
+
+    @property
+    def polynomial(self) -> PolynomialNonlinearity:
+        """The underlying memoryless transfer."""
+        return self._poly
+
+    def envelope_poly(self) -> Tuple[float, float, float]:
+        return self._poly.coefficients()
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """Pass a passband record through the device.
+
+        Applies the memoryless polynomial, then (optionally) the
+        modulation-bandwidth one-pole on the carrier-band envelope, then
+        adds the device's *added* output noise (``(F-1) G k T B``) if
+        ``rng`` is given -- the source's own kTB noise belongs to the
+        input record.
+        """
+        out = self._poly.apply(wf)
+        if self.envelope_bandwidth is not None:
+            from repro.dsp.passband import envelope_one_pole
+
+            fc = self.center_frequency
+            nyquist = wf.sample_rate / 2.0
+            if not (0.0 < fc < nyquist):
+                raise ValueError(
+                    "record cannot represent the carrier for envelope filtering"
+                )
+            half_width = 0.95 * min(fc, nyquist - fc)
+            out = envelope_one_pole(out, fc, self.envelope_bandwidth, half_width)
+        if rng is not None:
+            bw = self.noise_bandwidth
+            if bw is None:
+                bw = wf.sample_rate / 2.0
+            sigma = added_output_noise_vrms(self._gain_db, self._nf_db, bw)
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def with_specs(
+        self,
+        gain_db: Optional[float] = None,
+        nf_db: Optional[float] = None,
+        iip3_dbm: Optional[float] = None,
+    ) -> "BehavioralAmplifier":
+        """A copy with some specifications replaced (device-to-device spread)."""
+        return BehavioralAmplifier(
+            center_frequency=self.center_frequency,
+            gain_db=self._gain_db if gain_db is None else gain_db,
+            nf_db=self._nf_db if nf_db is None else nf_db,
+            iip3_dbm=self._iip3_dbm if iip3_dbm is None else iip3_dbm,
+            iip2_dbm=self._iip2_dbm,
+            envelope_bandwidth=self.envelope_bandwidth,
+            noise_bandwidth=self.noise_bandwidth,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BehavioralAmplifier(gain={self._gain_db:.2f} dB, "
+            f"NF={self._nf_db:.2f} dB, IIP3={self._iip3_dbm:.2f} dBm)"
+        )

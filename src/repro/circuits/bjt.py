@@ -1,0 +1,220 @@
+"""Simplified Gummel-Poon BJT model: bias, small-signal and noise.
+
+The paper's process variables for the 900 MHz LNA are the BJT saturation
+current ``Is``, forward current gain ``beta_f``, forward Early voltage
+``V_af``, base resistance ``r_b`` and the beta high-injection corner
+``i_kf`` (Section 4.1).  This module implements the pieces of the
+Gummel-Poon model those parameters live in:
+
+* collector current with high-injection roll-off:
+  ``Ic = Is exp(Vbe/Vt) / qb`` with
+  ``qb = (1 + sqrt(1 + 4 Is exp(Vbe/Vt) / i_kf)) / 2``;
+* ideal base current ``Ib = Is exp(Vbe/Vt) / beta_f`` (so the effective
+  DC beta ``Ic/Ib = beta_f / qb`` degrades at high injection);
+* bias solution of a resistive divider + emitter-resistor network;
+* small-signal ``gm`` (including the qb correction), ``r_pi``, ``r_o``
+  (Early effect);
+* the classic bipolar noise-figure expression in terms of ``r_b``, ``gm``
+  and beta.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "THERMAL_VOLTAGE",
+    "BJTParameters",
+    "BiasNetwork",
+    "BJTOperatingPoint",
+    "solve_bias",
+    "bjt_noise_factor",
+]
+
+#: kT/q at 300 K, volts.
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclass(frozen=True)
+class BJTParameters:
+    """Gummel-Poon parameters used by the paper (SPICE names in comments)."""
+
+    is_sat: float  # IS  - transport saturation current (A)
+    beta_f: float  # BF  - ideal forward current gain
+    vaf: float  # VAF - forward Early voltage (V)
+    rb: float  # RB  - base resistance (ohm)
+    ikf: float  # IKF - forward-beta high-injection corner (A)
+
+    def __post_init__(self):
+        if not (self.is_sat > 0):
+            raise ValueError("is_sat must be positive")
+        if not (self.beta_f > 1):
+            raise ValueError("beta_f must exceed 1")
+        if not (self.vaf > 0):
+            raise ValueError("vaf must be positive")
+        if self.rb < 0:
+            raise ValueError("rb must be non-negative")
+        if not (self.ikf > 0):
+            raise ValueError("ikf must be positive")
+
+
+@dataclass(frozen=True)
+class BiasNetwork:
+    """Resistive-divider bias network of a common-emitter stage.
+
+    ``r1`` from supply to base, ``r2`` from base to ground, ``re`` from
+    emitter to ground (DC stabilisation; assumed RF-bypassed), and an
+    optional DC collector resistance ``rc_dc`` (zero for an inductive
+    load, as in a tuned LNA).
+    """
+
+    vcc: float
+    r1: float
+    r2: float
+    re: float
+    rc_dc: float = 0.0
+
+    def __post_init__(self):
+        if not (self.vcc > 0):
+            raise ValueError("vcc must be positive")
+        for name in ("r1", "r2", "re"):
+            if not (getattr(self, name) > 0):
+                raise ValueError(f"{name} must be positive")
+        if self.rc_dc < 0:
+            raise ValueError("rc_dc must be non-negative")
+
+    @property
+    def v_thevenin(self) -> float:
+        """Thevenin voltage of the base divider."""
+        return self.vcc * self.r2 / (self.r1 + self.r2)
+
+    @property
+    def r_thevenin(self) -> float:
+        """Thevenin resistance of the base divider."""
+        return self.r1 * self.r2 / (self.r1 + self.r2)
+
+
+@dataclass(frozen=True)
+class BJTOperatingPoint:
+    """Solved DC operating point and small-signal quantities."""
+
+    vbe: float  # base-emitter voltage (V)
+    vce: float  # collector-emitter voltage (V)
+    ic: float  # collector current (A)
+    ib: float  # base current (A)
+    qb: float  # normalized base charge (high-injection factor)
+    gm: float  # transconductance dIc/dVbe (S)
+    r_pi: float  # small-signal input resistance (ohm)
+    r_o: float  # output resistance from Early effect (ohm)
+    beta_dc: float  # Ic / Ib
+
+    @property
+    def beta_ac(self) -> float:
+        """Small-signal current gain ``gm * r_pi``."""
+        return self.gm * self.r_pi
+
+
+def _currents(params: BJTParameters, vbe: float, vt: float):
+    """Collector/base currents and qb at a given Vbe."""
+    x = params.is_sat * math.exp(vbe / vt)
+    qb = 0.5 * (1.0 + math.sqrt(1.0 + 4.0 * x / params.ikf))
+    ic = x / qb
+    ib = x / params.beta_f
+    return ic, ib, qb, x
+
+
+def solve_bias(
+    params: BJTParameters,
+    network: BiasNetwork,
+    vt: float = THERMAL_VOLTAGE,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> BJTOperatingPoint:
+    """Solve the DC bias point of the divider-biased CE stage.
+
+    Solves the base-loop KVL
+    ``V_th = Ib R_th + Vbe + (Ic + Ib) Re`` for ``Vbe`` by bisection
+    (the residual is strictly monotonic in ``Vbe``), then evaluates the
+    small-signal model at the solution.
+
+    Raises
+    ------
+    ValueError
+        If the network cannot forward-bias the junction.
+    """
+    vth = network.v_thevenin
+    rth = network.r_thevenin
+
+    def residual(vbe: float) -> float:
+        ic, ib, _qb, _x = _currents(params, vbe, vt)
+        return vth - ib * rth - vbe - (ic + ib) * network.re
+
+    lo, hi = 0.1, 1.1
+    if residual(lo) <= 0.0:
+        raise ValueError(
+            "bias network cannot forward-bias the transistor "
+            f"(V_thevenin = {vth:.3f} V)"
+        )
+    if residual(hi) >= 0.0:
+        raise ValueError("bias solution above Vbe = 1.1 V; network is unphysical")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        r = residual(mid)
+        if abs(r) < tol or (hi - lo) < 1e-15:
+            break
+        if r > 0.0:
+            lo = mid
+        else:
+            hi = mid
+    vbe = 0.5 * (lo + hi)
+
+    ic, ib, qb, x = _currents(params, vbe, vt)
+    # gm = dIc/dVbe with the qb(x) correction:
+    # Ic = x / qb(x); dIc/dx = (qb - x qb') / qb^2; dx/dVbe = x / Vt
+    dqb_dx = 1.0 / (params.ikf * math.sqrt(1.0 + 4.0 * x / params.ikf))
+    gm = (x / vt) * (qb - x * dqb_dx) / (qb * qb)
+    r_pi = (params.beta_f / qb) / gm if gm > 0 else math.inf
+    vce = network.vcc - ic * network.rc_dc - (ic + ib) * network.re
+    if vce <= 0.2:
+        raise ValueError(f"transistor saturated (Vce = {vce:.3f} V)")
+    r_o = (params.vaf + vce) / ic
+    return BJTOperatingPoint(
+        vbe=vbe,
+        vce=vce,
+        ic=ic,
+        ib=ib,
+        qb=qb,
+        gm=gm,
+        r_pi=r_pi,
+        r_o=r_o,
+        beta_dc=ic / ib,
+    )
+
+
+def bjt_noise_factor(
+    gm: float,
+    beta: float,
+    rb: float,
+    source_resistance: float = 50.0,
+) -> float:
+    """Noise factor of a common-emitter BJT stage.
+
+    The classic expression (thermal noise of ``r_b``, collector and base
+    shot noise, flicker noise ignored at RF):
+
+    ``F = 1 + rb/Rs + 1/(2 gm Rs) + gm (Rs + rb)^2 / (2 beta Rs)``
+    """
+    if not (gm > 0):
+        raise ValueError("gm must be positive")
+    if not (beta > 0):
+        raise ValueError("beta must be positive")
+    if rb < 0 or source_resistance <= 0:
+        raise ValueError("rb must be >= 0 and source resistance positive")
+    rs = source_resistance
+    return (
+        1.0
+        + rb / rs
+        + 1.0 / (2.0 * gm * rs)
+        + gm * (rs + rb) ** 2 / (2.0 * beta * rs)
+    )

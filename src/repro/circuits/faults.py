@@ -1,0 +1,148 @@
+"""Catastrophic and gross-defect fault models.
+
+Signature test is calibrated on *parametrically varying* good devices;
+production also sees catastrophically defective parts (opens, shorts,
+dead stages).  Such devices fall far off the calibration manifold, so
+they are caught not by the regression but by outlier screening
+(:mod:`repro.runtime.outlier`).  This module supplies the defect models
+used to exercise that screen.
+
+Each fault wraps a healthy :class:`~repro.circuits.device.RFDevice` and
+distorts its behaviour the way the physical defect would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.dsp.waveform import Waveform
+
+__all__ = [
+    "FaultyDevice",
+    "open_input_fault",
+    "shorted_output_fault",
+    "dead_stage_fault",
+    "bias_shift_fault",
+    "FAULT_LIBRARY",
+]
+
+
+class FaultyDevice(RFDevice):
+    """A device whose behaviour is a distorted version of a healthy one.
+
+    Parameters
+    ----------
+    healthy:
+        The underlying good device.
+    name:
+        Defect label (for reports).
+    gain_delta_db:
+        Gain change of the defect (large negative for opens/dead stages).
+    extra_nf_db:
+        Noise-figure degradation.
+    iip3_delta_dbm:
+        Linearity change (a damaged output stage compresses early).
+    """
+
+    def __init__(
+        self,
+        healthy: RFDevice,
+        name: str,
+        gain_delta_db: float = 0.0,
+        extra_nf_db: float = 0.0,
+        iip3_delta_dbm: float = 0.0,
+    ):
+        self.healthy = healthy
+        self.name = name
+        self.gain_delta_db = float(gain_delta_db)
+        self.extra_nf_db = float(extra_nf_db)
+        self.iip3_delta_dbm = float(iip3_delta_dbm)
+        self.center_frequency = healthy.center_frequency
+
+    def specs(self) -> SpecSet:
+        base = self.healthy.specs()
+        return SpecSet(
+            gain_db=base.gain_db + self.gain_delta_db,
+            nf_db=max(0.0, base.nf_db + self.extra_nf_db),
+            iip3_dbm=base.iip3_dbm + self.iip3_delta_dbm,
+        )
+
+    def envelope_poly(self) -> Tuple[float, float, float]:
+        from repro.circuits.nonlinear import poly_from_specs
+
+        s = self.specs()
+        return poly_from_specs(s.gain_db, s.iip3_dbm)
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        from repro.circuits.nonlinear import PolynomialNonlinearity
+        from repro.circuits.noisefig import added_output_noise_vrms
+
+        s = self.specs()
+        out = PolynomialNonlinearity(*self.envelope_poly()).apply(wf)
+        if rng is not None:
+            sigma = added_output_noise_vrms(s.gain_db, s.nf_db, wf.sample_rate / 2.0)
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultyDevice({self.name!r}, on {self.healthy!r})"
+
+
+def open_input_fault(healthy: RFDevice) -> FaultyDevice:
+    """Open bond/trace at the input: almost nothing gets through."""
+    return FaultyDevice(
+        healthy, "open_input", gain_delta_db=-40.0, extra_nf_db=30.0
+    )
+
+
+def shorted_output_fault(healthy: RFDevice) -> FaultyDevice:
+    """Output shorted to ground through a low impedance: heavy loss."""
+    return FaultyDevice(
+        healthy, "shorted_output", gain_delta_db=-25.0, extra_nf_db=10.0
+    )
+
+
+def dead_stage_fault(healthy: RFDevice) -> FaultyDevice:
+    """An unbiased gain stage: the device is a lossy passive path."""
+    base_gain = healthy.specs().gain_db
+    return FaultyDevice(
+        healthy,
+        "dead_stage",
+        gain_delta_db=-(base_gain + 10.0),  # net -10 dB through parasitics
+        extra_nf_db=15.0,
+        iip3_delta_dbm=20.0,  # passive paths are linear
+    )
+
+
+def bias_shift_fault(healthy: RFDevice) -> FaultyDevice:
+    """A resistor defect pushing the bias far off: soft but gross.
+
+    The subtlest library member -- only a few dB of gain and early
+    compression -- sits near the edge of what outlier screening can
+    separate from extreme process corners.
+    """
+    return FaultyDevice(
+        healthy,
+        "bias_shift",
+        gain_delta_db=-5.0,
+        extra_nf_db=2.0,
+        iip3_delta_dbm=-8.0,
+    )
+
+
+#: name -> constructor, for sweeping the whole defect library
+FAULT_LIBRARY = {
+    "open_input": open_input_fault,
+    "shorted_output": shorted_output_fault,
+    "dead_stage": dead_stage_fault,
+    "bias_shift": bias_shift_fault,
+}

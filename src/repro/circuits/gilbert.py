@@ -1,0 +1,214 @@
+"""Analytic Gilbert-cell downconversion mixer.
+
+The paper's target device list includes mixers; this module gives that
+class the same circuit-level treatment the LNA gets: specifications
+derived from bias and component values through the standard Gilbert-cell
+approximations, so process parameters move gain/NF/IIP3 the way silicon
+does.
+
+Topology assumed: bipolar Gilbert cell -- an emitter-degenerated RF
+differential pair under a fully switched LO quad, resistive loads.
+
+* **Bias**: the tail current comes from a mirror reference,
+  ``I_EE = (Vcc - Vbe_ref) / R_bias``; each RF-pair device carries
+  ``I_EE / 2`` (with the Gummel-Poon ``qb`` high-injection correction
+  applied to its transconductance).
+* **Conversion gain**: a fully switched quad multiplies the RF pair's
+  output by a square wave, whose fundamental contributes the classic
+  ``2/pi``:  ``Av = (2/pi) * Gm * R_L`` with the degenerated pair's
+  ``Gm = gm / (1 + gm R_E / 2)``.
+* **SSB noise figure**: switching folds noise from both sidebands and the
+  quad adds its own -- captured by the standard ``pi^2/4`` factor over
+  the pair's input-referred noise resistance:
+  ``F = 1 + (pi^2 / 4) * (2 r_b + R_E + 1/gm) / R_s``.
+* **IIP3**: the degenerated differential pair's odd nonlinearity,
+  feedback-linearized like the LNA's:
+  ``V_IIP3 = 4 sqrt(2) V_t (1 + T)^(3/2)`` with ``T = gm R_E / 2``
+  (the extra factor 2 over the single-ended stage reflects the pair's
+  2 V_t linear aperture).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.bjt import THERMAL_VOLTAGE, BJTParameters
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.noisefig import factor_to_nf_db
+from repro.circuits.nonlinear import PolynomialNonlinearity, poly_from_specs
+from repro.circuits.parameters import ParameterSpace, uniform_percent
+from repro.dsp.sources import vpeak_to_dbm
+from repro.dsp.waveform import Waveform
+
+__all__ = ["GilbertCellMixer", "GilbertDesign", "gilbert_parameter_space"]
+
+
+@dataclass(frozen=True)
+class GilbertDesign:
+    """Fixed design constants of the mixer."""
+
+    rf_frequency: float = 900e6
+    lo_frequency: float = 800e6  # IF = 100 MHz
+    vcc: float = 3.0
+    source_resistance: float = 50.0
+    v_ref: float = 0.78  # mirror reference Vbe (V)
+
+
+#: Nominal process-varying values.
+NOMINAL_PROCESS: Dict[str, float] = {
+    "r_bias": 1.1e3,  # tail-mirror resistor (ohm) -> I_EE ~ 2 mA
+    "r_load": 250.0,  # load resistors (ohm)
+    "r_degen": 30.0,  # RF-pair degeneration, per side (ohm)
+    "is_sat": 2e-16,
+    "beta_f": 100.0,
+    "rb": 40.0,
+    "ikf": 0.02,
+}
+
+
+def gilbert_parameter_space(percent: float = 20.0) -> ParameterSpace:
+    """+/- ``percent`` % uniform process space for the Gilbert cell."""
+    return ParameterSpace(
+        [uniform_percent(name, nom, percent) for name, nom in NOMINAL_PROCESS.items()]
+    )
+
+
+class GilbertCellMixer(RFDevice):
+    """One manufactured Gilbert-cell mixer instance.
+
+    Parameters
+    ----------
+    process:
+        Name -> value overrides of :data:`NOMINAL_PROCESS`.
+    design:
+        Fixed constants.
+    """
+
+    def __init__(
+        self,
+        process: Optional[Dict[str, float]] = None,
+        design: GilbertDesign = GilbertDesign(),
+    ):
+        self.design = design
+        values = dict(NOMINAL_PROCESS)
+        if process:
+            unknown = set(process) - set(values)
+            if unknown:
+                raise KeyError(f"unknown process parameters: {sorted(unknown)}")
+            values.update(process)
+        self.process = values
+        self.center_frequency = design.rf_frequency
+        self.lo_frequency = design.lo_frequency
+
+        # bias: mirror reference sets the tail current
+        i_ee = (design.vcc - design.v_ref) / values["r_bias"]
+        if i_ee <= 0:
+            raise ValueError("bias network produces no tail current")
+        self._i_ee = i_ee
+        ic = i_ee / 2.0
+        # high-injection correction on the RF pair's transconductance
+        x = ic / values["ikf"]
+        qb = 0.5 * (1.0 + math.sqrt(1.0 + 4.0 * x))
+        self._gm = (ic / THERMAL_VOLTAGE) / qb
+        self._qb = qb
+        self._behavioral_poly: Optional[PolynomialNonlinearity] = None
+
+    # ------------------------------------------------------------------
+    # bias / small-signal accessors
+    # ------------------------------------------------------------------
+    @property
+    def tail_current(self) -> float:
+        """Total tail current I_EE (A)."""
+        return self._i_ee
+
+    @property
+    def gm(self) -> float:
+        """Per-side RF transconductance (S), qb-corrected."""
+        return self._gm
+
+    @property
+    def if_frequency(self) -> float:
+        return abs(self.design.rf_frequency - self.design.lo_frequency)
+
+    @property
+    def loop_gain(self) -> float:
+        """Degeneration feedback factor ``T = gm R_E / 2``."""
+        return self._gm * self.process["r_degen"] / 2.0
+
+    # ------------------------------------------------------------------
+    # specifications
+    # ------------------------------------------------------------------
+    def conversion_gain_db(self) -> float:
+        """SSB voltage conversion gain, dB."""
+        g_m = self._gm / (1.0 + self.loop_gain)
+        av = (2.0 / math.pi) * g_m * self.process["r_load"]
+        return 20.0 * math.log10(av)
+
+    def nf_db(self) -> float:
+        """SSB noise figure, dB."""
+        rs = self.design.source_resistance
+        r_noise = 2.0 * self.process["rb"] + self.process["r_degen"] + 1.0 / self._gm
+        factor = 1.0 + (math.pi**2 / 4.0) * r_noise / rs
+        return factor_to_nf_db(factor)
+
+    def iip3_dbm(self) -> float:
+        """Input-referred IP3, dBm."""
+        v_iip3 = (
+            4.0 * math.sqrt(2.0) * THERMAL_VOLTAGE * (1.0 + self.loop_gain) ** 1.5
+        )
+        return vpeak_to_dbm(v_iip3)
+
+    def specs(self) -> SpecSet:
+        return SpecSet(
+            gain_db=self.conversion_gain_db(),
+            nf_db=self.nf_db(),
+            iip3_dbm=self.iip3_dbm(),
+        )
+
+    # ------------------------------------------------------------------
+    # behavioral view
+    # ------------------------------------------------------------------
+    def _poly(self) -> PolynomialNonlinearity:
+        if self._behavioral_poly is None:
+            s = self.specs()
+            self._behavioral_poly = PolynomialNonlinearity(
+                *poly_from_specs(s.gain_db, s.iip3_dbm)
+            )
+        return self._behavioral_poly
+
+    def envelope_poly(self):
+        return self._poly().coefficients()
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """RF-port record -> IF-port record (nonlinearity + translation)."""
+        from repro.circuits.noisefig import added_output_noise_vrms
+        from repro.dsp.mixer import Mixer, MixerHarmonics
+        from repro.dsp.sources import tone
+
+        nonlinear = self._poly().apply(wf)
+        lo = tone(self.lo_frequency, wf.duration, wf.sample_rate, amplitude=1.0)
+        lo = Waveform(lo.samples[: len(nonlinear)], wf.sample_rate, wf.t0)
+        core = Mixer(conversion_gain=2.0, harmonics=MixerHarmonics.ideal())
+        out = core.mix(nonlinear, lo)
+        if rng is not None:
+            s = self.specs()
+            sigma = added_output_noise_vrms(s.gain_db, s.nf_db, wf.sample_rate / 2.0)
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.specs()
+        return (
+            f"GilbertCellMixer(gain={s.gain_db:.2f} dB, NF={s.nf_db:.2f} dB, "
+            f"IIP3={s.iip3_dbm:.2f} dBm, I_EE={self._i_ee * 1e3:.2f} mA)"
+        )

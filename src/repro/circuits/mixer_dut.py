@@ -1,0 +1,113 @@
+"""Behavioral downconversion-mixer DUT.
+
+Mixers are the fourth device class in the paper's target list.  As a DUT
+(rather than a load-board component) a mixer is characterized by its
+conversion gain, noise figure and input IP3, like an amplifier -- but its
+"gain" is measured between different frequencies (RF in, IF out).  For
+signature testing the framework treats the mixer's RF->IF conversion as
+the device polynomial and folds the frequency translation into the
+signature path's second conversion stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.nonlinear import PolynomialNonlinearity, poly_from_specs
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.sources import tone
+from repro.dsp.waveform import Waveform
+
+__all__ = ["DownconversionMixerDUT"]
+
+
+class DownconversionMixerDUT(RFDevice):
+    """A downconversion mixer treated as a device under test.
+
+    Parameters
+    ----------
+    rf_frequency:
+        RF port design frequency, Hz.
+    lo_frequency:
+        LO frequency, Hz; the IF is ``|rf - lo|``.
+    conversion_gain_db:
+        SSB conversion gain (negative for a passive mixer).
+    nf_db:
+        SSB noise figure.
+    iip3_dbm:
+        Input-referred IP3.
+    lo_drive_dbm:
+        LO power the conversion gain is specified at (bookkeeping).
+    """
+
+    def __init__(
+        self,
+        rf_frequency: float,
+        lo_frequency: float,
+        conversion_gain_db: float = -6.5,
+        nf_db: float = 7.0,
+        iip3_dbm: float = 12.0,
+        lo_drive_dbm: float = 7.0,
+    ):
+        if rf_frequency <= 0 or lo_frequency <= 0:
+            raise ValueError("frequencies must be positive")
+        if rf_frequency == lo_frequency:
+            raise ValueError("RF and LO must differ for a nonzero IF")
+        self.center_frequency = float(rf_frequency)
+        self.lo_frequency = float(lo_frequency)
+        self.lo_drive_dbm = float(lo_drive_dbm)
+        self._gain_db = float(conversion_gain_db)
+        self._nf_db = float(nf_db)
+        self._iip3_dbm = float(iip3_dbm)
+        a1, a2, a3 = poly_from_specs(conversion_gain_db, iip3_dbm)
+        self._poly = PolynomialNonlinearity(a1=a1, a2=a2, a3=a3)
+
+    @property
+    def if_frequency(self) -> float:
+        """Intermediate frequency ``|rf - lo|``."""
+        return abs(self.center_frequency - self.lo_frequency)
+
+    def specs(self) -> SpecSet:
+        return SpecSet(
+            gain_db=self._gain_db, nf_db=self._nf_db, iip3_dbm=self._iip3_dbm
+        )
+
+    def envelope_poly(self) -> Tuple[float, float, float]:
+        return self._poly.coefficients()
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        """RF-port record -> IF-port record.
+
+        Applies the nonlinearity at the RF port, then the frequency
+        translation by an internal near-ideal switching core (the
+        polynomial already owns the conversion gain, so the core's
+        fundamental product is normalized to unity conversion).
+        """
+        nonlinear = self._poly.apply(wf)
+        lo = tone(self.lo_frequency, wf.duration, wf.sample_rate, amplitude=1.0)
+        lo = Waveform(lo.samples[: len(nonlinear)], wf.sample_rate, wf.t0)
+        # ideal multiplier with gain 2 so a unit RF tone yields a unit IF tone
+        core = Mixer(conversion_gain=2.0, harmonics=MixerHarmonics.ideal())
+        out = core.mix(nonlinear, lo)
+        if rng is not None:
+            from repro.circuits.noisefig import added_output_noise_vrms
+
+            sigma = added_output_noise_vrms(self._gain_db, self._nf_db, wf.sample_rate / 2.0)
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DownconversionMixerDUT(RF={self.center_frequency / 1e6:.0f} MHz, "
+            f"LO={self.lo_frequency / 1e6:.0f} MHz, "
+            f"gain={self._gain_db:.1f} dB)"
+        )

@@ -1,0 +1,212 @@
+"""Memoryless polynomial nonlinearity math.
+
+RF amplifier nonlinearity near the carrier is modeled the classic way:
+
+    y = a1 x + a2 x^2 + a3 x^3
+
+with ``a1`` the linear voltage gain and ``a3 < 0`` for compressive
+behaviour.  This module collects the standard identities relating the
+polynomial coefficients to the datasheet numbers the paper predicts
+(IIP3, and by extension the 1 dB compression point):
+
+* two-tone IM3: each third-order product has amplitude ``(3/4) |a3| A^3``
+  for per-tone input amplitude ``A``;
+* input IP3 voltage: ``V_IIP3 = sqrt((4/3) |a1 / a3|)`` (peak volts);
+* P1dB: ``P1dB = IIP3 - 9.64 dB`` for a pure third-order compressive
+  characteristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.sources import dbm_to_vpeak, vpeak_to_dbm
+from repro.dsp.waveform import Waveform
+
+__all__ = [
+    "PolynomialNonlinearity",
+    "poly_from_specs",
+    "iip3_dbm_from_poly",
+    "iip2_dbm_from_poly",
+    "p1db_dbm_from_iip3",
+    "gain_compression_db",
+]
+
+#: Gap between IIP3 and the input 1 dB compression point for a pure
+#: third-order memoryless characteristic (the classic 9.64 dB figure).
+IIP3_TO_P1DB_DB = 9.6357
+
+
+def poly_from_specs(
+    gain_db: float,
+    iip3_dbm: float,
+    iip2_dbm: Optional[float] = None,
+) -> Tuple[float, float, float]:
+    """Polynomial coefficients consistent with gain / IIP3 (and IIP2).
+
+    Parameters
+    ----------
+    gain_db:
+        Small-signal power gain; in the matched 50-ohm convention the
+        voltage gain is ``10**(gain_db / 20)``.
+    iip3_dbm:
+        Input-referred third-order intercept, dBm.
+    iip2_dbm:
+        Optional input-referred second-order intercept; ``None`` yields
+        ``a2 = 0`` (a fully differential device).
+
+    Returns
+    -------
+    ``(a1, a2, a3)`` with ``a3 <= 0`` (compressive).
+    """
+    a1 = 10.0 ** (gain_db / 20.0)
+    v_ip3 = dbm_to_vpeak(iip3_dbm)
+    a3 = -(4.0 / 3.0) * a1 / (v_ip3**2)
+    if iip2_dbm is None:
+        a2 = 0.0
+    else:
+        # IM2 product amplitude is (a2/1) A^2 at per-tone amplitude A;
+        # intercept with the linear term a1 A gives V_IIP2 = a1 / a2.
+        v_ip2 = dbm_to_vpeak(iip2_dbm)
+        a2 = a1 / v_ip2
+    return a1, a2, a3
+
+
+def iip3_dbm_from_poly(a1: float, a3: float) -> float:
+    """Input IP3 in dBm from polynomial coefficients."""
+    if a3 == 0.0:
+        return math.inf
+    v_ip3 = math.sqrt((4.0 / 3.0) * abs(a1 / a3))
+    return vpeak_to_dbm(v_ip3)
+
+
+def iip2_dbm_from_poly(a1: float, a2: float) -> float:
+    """Input IP2 in dBm from polynomial coefficients."""
+    if a2 == 0.0:
+        return math.inf
+    return vpeak_to_dbm(abs(a1 / a2))
+
+
+def p1db_dbm_from_iip3(iip3_dbm: float) -> float:
+    """Input 1 dB compression point implied by IIP3 (third-order model)."""
+    return iip3_dbm - IIP3_TO_P1DB_DB
+
+
+def gain_compression_db(a1: float, a3: float, amplitude: float) -> float:
+    """Large-signal gain change (dB) of a tone of peak ``amplitude``.
+
+    The describing-function gain of ``a1 x + a3 x^3`` for a sine input is
+    ``a1 + (3/4) a3 A^2``; this returns its ratio to ``a1`` in dB
+    (negative for compression).
+    """
+    if a1 == 0.0:
+        raise ValueError("a1 must be non-zero")
+    effective = a1 + 0.75 * a3 * amplitude**2
+    if effective <= 0.0:
+        return -math.inf
+    return 20.0 * math.log10(effective / a1)
+
+
+@dataclass(frozen=True)
+class PolynomialNonlinearity:
+    """A memoryless third-order polynomial transfer ``a1 x + a2 x^2 + a3 x^3``.
+
+    The polynomial is only physical up to the amplitude where its slope
+    reverses; beyond ``saturation_amplitude`` the output is held at the
+    polynomial's extremum, modeling hard saturation instead of the
+    unphysical fold-back of a raw cubic.
+    """
+
+    a1: float
+    a2: float = 0.0
+    a3: float = 0.0
+
+    @property
+    def saturation_amplitude(self) -> float:
+        """Input amplitude where ``d y / d x = 0`` (inf if non-compressive)."""
+        if self.a3 >= 0.0:
+            return math.inf
+        # y' = a1 + 2 a2 x + 3 a3 x^2 = 0; take the positive root
+        disc = self.a2**2 - 3.0 * self.a1 * self.a3
+        if disc < 0:
+            return math.inf
+        return (self.a2 + math.sqrt(disc)) / (-3.0 * self.a3)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the transfer on an array of sample values."""
+        x = np.asarray(x, dtype=float)
+        sat = self.saturation_amplitude
+        if math.isfinite(sat):
+            x = np.clip(x, -sat, sat)
+        return self.a1 * x + self.a2 * x**2 + self.a3 * x**3
+
+    def apply(self, wf: Waveform) -> Waveform:
+        """Apply the transfer to a waveform."""
+        return Waveform(self(wf.samples), wf.sample_rate, wf.t0)
+
+    def gain_db(self) -> float:
+        """Small-signal power gain in dB (matched convention)."""
+        if self.a1 <= 0.0:
+            raise ValueError("a1 must be positive for a gain in dB")
+        return 20.0 * math.log10(self.a1)
+
+    def iip3_dbm(self) -> float:
+        """Input IP3 implied by the coefficients."""
+        return iip3_dbm_from_poly(self.a1, self.a3)
+
+    def coefficients(self) -> Tuple[float, float, float]:
+        return (self.a1, self.a2, self.a3)
+
+    # ------------------------------------------------------------------
+    # narrowband (describing-function) view
+    # ------------------------------------------------------------------
+    def describing_function(self, amplitudes: np.ndarray) -> np.ndarray:
+        """First-harmonic complex gain ``G(A)`` for a carrier of peak ``A``.
+
+        For a narrowband signal ``u = Re[U e^{jwt}]`` through a memoryless
+        nonlinearity, the carrier-band output is ``G(|U|) U`` with
+
+            G(A) = (1 / (pi A)) * integral_0^2pi f(A cos t) cos t dt.
+
+        Within the polynomial's validity range this is exactly
+        ``a1 + (3/4) a3 A^2``; beyond the fold-back point the saturating
+        transfer (output held at the polynomial extremum) is integrated
+        numerically, giving the smooth gain compression a real amplifier
+        exhibits instead of the raw cubic's unphysical fold-back.
+        """
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        scalar = amplitudes.ndim == 0
+        amplitudes = np.atleast_1d(amplitudes)
+        if np.any(amplitudes < 0):
+            raise ValueError("amplitudes must be non-negative")
+        out = self.a1 + 0.75 * self.a3 * amplitudes**2
+        sat = self.saturation_amplitude
+        if math.isfinite(sat):
+            over = amplitudes > sat
+            if np.any(over):
+                theta = np.linspace(0.0, 2.0 * np.pi, 129)[:-1]
+                cos_t = np.cos(theta)
+                a_over = amplitudes[over]
+                # f(A cos t) on an (n_over, n_theta) grid; __call__ clips
+                u = a_over[:, None] * cos_t[None, :]
+                first = np.mean(self(u) * cos_t[None, :], axis=1) * 2.0
+                out[over] = first / a_over
+        return out[0] if scalar else out
+
+    def describing_gain_table(
+        self, max_amplitude: float, n_points: int = 256
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled ``(A, G(A))`` table for fast interpolation.
+
+        The signature-path engine evaluates the describing function on
+        long envelope records; interpolating a precomputed table is much
+        cheaper than per-sample quadrature.
+        """
+        if max_amplitude <= 0:
+            raise ValueError("max_amplitude must be positive")
+        grid = np.linspace(0.0, max_amplitude, n_points)
+        return grid, self.describing_function(grid)

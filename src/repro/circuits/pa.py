@@ -1,0 +1,125 @@
+"""Behavioral power-amplifier DUT.
+
+The paper's target device classes include power amplifiers ("LNAs, power
+amplifiers, attenuators and mixers", Section 1).  A PA differs from an LNA
+in being driven much closer to saturation: its compression behaviour is
+the spec of interest, its NF is high and mostly irrelevant, and its
+envelope bandwidth can matter (bias-network memory).  This model captures
+those traits on top of the same polynomial machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.circuits.nonlinear import (
+    PolynomialNonlinearity,
+    p1db_dbm_from_iip3,
+    poly_from_specs,
+)
+from repro.dsp.sources import dbm_to_vpeak
+from repro.dsp.waveform import Waveform
+
+__all__ = ["PowerAmplifier"]
+
+
+class PowerAmplifier(RFDevice):
+    """A saturating power amplifier.
+
+    Parameters
+    ----------
+    center_frequency:
+        Design frequency, Hz.
+    gain_db:
+        Small-signal gain.
+    p1db_out_dbm:
+        Output-referred 1 dB compression point, dBm.  Internally converted
+        to the equivalent IIP3 via the classic 9.64 dB relation.
+    nf_db:
+        Noise figure (PAs are noisy; default 6 dB).
+    envelope_bandwidth:
+        Optional single-pole envelope bandwidth, Hz.
+    """
+
+    def __init__(
+        self,
+        center_frequency: float,
+        gain_db: float,
+        p1db_out_dbm: float,
+        nf_db: float = 6.0,
+        envelope_bandwidth: Optional[float] = None,
+    ):
+        self.center_frequency = float(center_frequency)
+        self._gain_db = float(gain_db)
+        self._p1db_out_dbm = float(p1db_out_dbm)
+        self._nf_db = float(nf_db)
+        self.envelope_bandwidth = envelope_bandwidth
+        # output P1dB -> input P1dB -> IIP3
+        p1db_in = p1db_out_dbm - gain_db + 1.0
+        self._iip3_dbm = p1db_in + 9.6357
+        a1, a2, a3 = poly_from_specs(gain_db, self._iip3_dbm)
+        self._poly = PolynomialNonlinearity(a1=a1, a2=a2, a3=a3)
+
+    @property
+    def p1db_in_dbm(self) -> float:
+        """Input-referred 1 dB compression point."""
+        return p1db_dbm_from_iip3(self._iip3_dbm)
+
+    @property
+    def p1db_out_dbm(self) -> float:
+        """Output-referred 1 dB compression point."""
+        return self._p1db_out_dbm
+
+    @property
+    def psat_out_dbm(self) -> float:
+        """Saturated output power (polynomial extremum), dBm."""
+        sat_in = self._poly.saturation_amplitude
+        sat_out = float(self._poly(np.array([sat_in]))[0])
+        if sat_out <= 0:
+            return -math.inf
+        watts = sat_out**2 / (2.0 * 50.0)
+        return 10.0 * math.log10(watts) + 30.0
+
+    def specs(self) -> SpecSet:
+        return SpecSet(
+            gain_db=self._gain_db, nf_db=self._nf_db, iip3_dbm=self._iip3_dbm
+        )
+
+    def envelope_poly(self) -> Tuple[float, float, float]:
+        return self._poly.coefficients()
+
+    def process_rf(
+        self, wf: Waveform, rng: Optional[np.random.Generator] = None
+    ) -> Waveform:
+        out = self._poly.apply(wf)
+        if self.envelope_bandwidth is not None:
+            from repro.dsp.passband import envelope_one_pole
+
+            fc = self.center_frequency
+            nyquist = wf.sample_rate / 2.0
+            half_width = 0.95 * min(fc, nyquist - fc)
+            out = envelope_one_pole(out, fc, self.envelope_bandwidth, half_width)
+        if rng is not None:
+            from repro.circuits.noisefig import added_output_noise_vrms
+
+            sigma = added_output_noise_vrms(self._gain_db, self._nf_db, wf.sample_rate / 2.0)
+            out = Waveform(
+                out.samples + rng.normal(0.0, sigma, size=len(out)),
+                out.sample_rate,
+                out.t0,
+            )
+        return out
+
+    def drive_level_for_backoff(self, backoff_db: float) -> float:
+        """Input power (dBm) that operates the PA ``backoff_db`` below P1dB."""
+        return self.p1db_in_dbm - backoff_db
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PowerAmplifier(gain={self._gain_db:.1f} dB, "
+            f"P1dB_out={self._p1db_out_dbm:.1f} dBm)"
+        )

@@ -1,0 +1,217 @@
+"""Statistical process parameters and Monte-Carlo sampling.
+
+Section 4.1 of the paper varies resistor/capacitor values and the BJT model
+parameters (Is, beta_f, V_af, r_b, i_kf) uniformly within +/- 20 % of their
+nominals.  :class:`ParameterSpace` captures such a set of parameters with an
+ordering, so parameter vectors, sensitivity matrices and Monte-Carlo draws
+all agree on which column is which.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ProcessParameter", "ParameterSpace", "uniform_percent"]
+
+
+@dataclass(frozen=True)
+class ProcessParameter:
+    """One statistically varying circuit parameter.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (e.g. ``"beta_f"`` or ``"R_load"``).
+    nominal:
+        Nominal value.
+    rel_variation:
+        Half-width of the variation band as a fraction of nominal
+        (0.2 means +/- 20 %).
+    distribution:
+        ``"uniform"`` (paper default) or ``"gaussian"``; gaussian draws use
+        ``rel_variation * nominal / 3`` as sigma so the 3-sigma point
+        coincides with the uniform band edge, and are truncated to the band.
+    """
+
+    name: str
+    nominal: float
+    rel_variation: float = 0.2
+    distribution: str = "uniform"
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if self.nominal == 0.0:
+            raise ValueError(f"{self.name}: nominal must be non-zero")
+        if not (0.0 <= self.rel_variation < 1.0):
+            raise ValueError(
+                f"{self.name}: rel_variation must be in [0, 1), got {self.rel_variation}"
+            )
+        if self.distribution not in ("uniform", "gaussian"):
+            raise ValueError(
+                f"{self.name}: unknown distribution {self.distribution!r}"
+            )
+
+    @property
+    def fractional_std(self) -> float:
+        """Standard deviation of the *fractional* deviation from nominal.
+
+        ``rel_variation / sqrt(3)`` for the uniform distribution,
+        ``rel_variation / 3`` for the (3-sigma-truncated) gaussian.
+        Sensitivity analysis uses this to express perturbations in
+        process-sigma units, so predicted spec errors come out directly
+        in spec units.
+        """
+        if self.distribution == "uniform":
+            return self.rel_variation / math.sqrt(3.0)
+        return self.rel_variation / 3.0
+
+    @property
+    def lower(self) -> float:
+        """Lower band edge."""
+        return self.nominal - abs(self.nominal) * self.rel_variation
+
+    @property
+    def upper(self) -> float:
+        """Upper band edge."""
+        return self.nominal + abs(self.nominal) * self.rel_variation
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one value (or ``size`` values) from the distribution."""
+        if self.distribution == "uniform":
+            return rng.uniform(self.lower, self.upper, size=size)
+        sigma = abs(self.nominal) * self.rel_variation / 3.0
+        draw = rng.normal(self.nominal, sigma, size=size)
+        return np.clip(draw, self.lower, self.upper)
+
+    def clip(self, value: float) -> float:
+        """Clamp a value into the variation band."""
+        return float(min(max(value, self.lower), self.upper))
+
+
+def uniform_percent(name: str, nominal: float, percent: float = 20.0) -> ProcessParameter:
+    """Convenience constructor: uniform +/- ``percent`` % around nominal."""
+    return ProcessParameter(name=name, nominal=nominal, rel_variation=percent / 100.0)
+
+
+class ParameterSpace:
+    """An ordered set of process parameters.
+
+    The ordering fixes the meaning of parameter vectors everywhere in the
+    framework: sensitivity-matrix columns, Monte-Carlo sample rows and
+    perturbation vectors all follow :meth:`names`.
+    """
+
+    def __init__(self, parameters: Iterable[ProcessParameter]):
+        params = list(parameters)
+        if not params:
+            raise ValueError("parameter space must contain at least one parameter")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in {names}")
+        self._params: List[ProcessParameter] = params
+        self._index: Dict[str, int] = {p.name: i for i, p in enumerate(params)}
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __iter__(self) -> Iterator[ProcessParameter]:
+        return iter(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> ProcessParameter:
+        return self._params[self._index[name]]
+
+    def names(self) -> List[str]:
+        """Parameter names in canonical (column) order."""
+        return [p.name for p in self._params]
+
+    def index_of(self, name: str) -> int:
+        """Column index of ``name``."""
+        return self._index[name]
+
+    # ------------------------------------------------------------------
+    # vectors and dicts
+    # ------------------------------------------------------------------
+    def nominal_vector(self) -> np.ndarray:
+        """Vector of nominal values in canonical order."""
+        return np.array([p.nominal for p in self._params])
+
+    def fractional_std_vector(self) -> np.ndarray:
+        """Per-parameter fractional-deviation standard deviations."""
+        return np.array([p.fractional_std for p in self._params])
+
+    def to_dict(self, vector: Sequence[float]) -> Dict[str, float]:
+        """Convert a canonical-order vector into a name -> value mapping."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(self),):
+            raise ValueError(
+                f"vector length {vector.shape} does not match space size {len(self)}"
+            )
+        return dict(zip(self.names(), vector.tolist()))
+
+    def to_vector(self, values: Dict[str, float]) -> np.ndarray:
+        """Convert a name -> value mapping into a canonical-order vector.
+
+        Missing names take their nominal value; unknown names are an error.
+        """
+        unknown = set(values) - set(self._index)
+        if unknown:
+            raise KeyError(f"unknown parameter names: {sorted(unknown)}")
+        vec = self.nominal_vector()
+        for name, value in values.items():
+            vec[self._index[name]] = value
+        return vec
+
+    # ------------------------------------------------------------------
+    # sampling and perturbation
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` independent process points; shape ``(n, k)``."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        cols = [p.sample(rng, size=n) for p in self._params]
+        return np.column_stack(cols)
+
+    def perturbed_vector(self, name: str, rel_step: float) -> np.ndarray:
+        """Nominal vector with one parameter moved by ``rel_step`` fraction.
+
+        Used for finite-difference sensitivity estimation.
+        """
+        vec = self.nominal_vector()
+        i = self._index[name]
+        vec[i] = vec[i] * (1.0 + rel_step)
+        return vec
+
+    def normalize(self, vectors: np.ndarray) -> np.ndarray:
+        """Express process points as fractional deviations from nominal.
+
+        Accepts shape ``(k,)`` or ``(n, k)``; returns the same shape.
+        Sensitivity analysis operates on these normalized deviations so
+        parameters with different physical units are comparable.
+        """
+        vectors = np.asarray(vectors, dtype=float)
+        nom = self.nominal_vector()
+        return (vectors - nom) / nom
+
+    def denormalize(self, deviations: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize`."""
+        deviations = np.asarray(deviations, dtype=float)
+        nom = self.nominal_vector()
+        return nom + deviations * nom
+
+    def subset(self, names: Sequence[str]) -> "ParameterSpace":
+        """A new space containing only the named parameters (in given order)."""
+        return ParameterSpace([self[name] for name in names])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParameterSpace({self.names()})"

@@ -1,0 +1,264 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro sim                 # Figures 7-10
+    python -m repro hardware            # Figures 12-13
+    python -m repro phase               # Equations 4-5 sweep
+    python -m repro economics           # test-time / cost comparison
+    python -m repro program out.rtp     # build and save a test program
+
+Every subcommand accepts ``--seed`` for reproducibility; see
+``python -m repro <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Signature test framework for rapid production testing of RF "
+            "circuits (DATE 2002 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("sim", help="run the simulation experiment (Figs. 7-10)")
+    p_sim.add_argument("--seed", type=int, default=2002)
+    p_sim.add_argument("--train", type=int, default=100, help="training devices")
+    p_sim.add_argument("--val", type=int, default=25, help="validation devices")
+    p_sim.add_argument(
+        "--stimulus",
+        choices=("ga", "ramp", "flat", "random"),
+        default="ga",
+        help="'ga' optimizes with the genetic algorithm; others are baselines",
+    )
+
+    p_hw = sub.add_parser(
+        "hardware", help="run the simulated RF2401 bench experiment (Figs. 12-13)"
+    )
+    p_hw.add_argument("--seed", type=int, default=1955)
+    p_hw.add_argument("--cal", type=int, default=28, help="calibration devices")
+    p_hw.add_argument("--val", type=int, default=27, help="validation devices")
+    p_hw.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced GA budget (quick look instead of the full run)",
+    )
+
+    p_phase = sub.add_parser(
+        "phase", help="run the Equation 4/5 phase-robustness sweep"
+    )
+    p_phase.add_argument("--seed", type=int, default=7)
+    p_phase.add_argument("--points", type=int, default=17)
+
+    p_econ = sub.add_parser(
+        "economics", help="compare conventional vs signature test economics"
+    )
+    p_econ.add_argument(
+        "--sites", type=int, default=1, help="parallel sites on the cheap tester"
+    )
+
+    p_prog = sub.add_parser(
+        "program",
+        help="build a production test program (stimulus + calibration) and save it",
+    )
+    p_prog.add_argument("output", help="artifact path (e.g. lna900.rtp)")
+    p_prog.add_argument("--seed", type=int, default=2002)
+
+    p_report = sub.add_parser(
+        "report",
+        help="write a markdown reproduction report (all experiments) to a file",
+    )
+    p_report.add_argument("output", help="markdown path (e.g. report.md)")
+    p_report.add_argument("--seed", type=int, default=2002)
+    p_report.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the (slow) hardware experiment",
+    )
+
+    return parser
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.experiments.lna_simulation import run_simulation_experiment
+
+    stimulus = None if args.stimulus == "ga" else args.stimulus
+    result = run_simulation_experiment(
+        seed=args.seed, n_train=args.train, n_val=args.val, stimulus=stimulus
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_hardware(args: argparse.Namespace) -> int:
+    from repro.experiments.hardware import run_hardware_experiment
+    from repro.testgen.genetic import GAConfig
+
+    ga = GAConfig(population_size=6, generations=1) if args.fast else None
+    result = run_hardware_experiment(
+        seed=args.seed,
+        n_calibration=args.cal,
+        n_validation=args.val,
+        ga_config=ga,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_phase(args: argparse.Namespace) -> int:
+    from repro.experiments.phase_study import run_phase_study
+
+    result = run_phase_study(seed=args.seed, n_phases=args.points)
+    print(result.summary())
+    return 0
+
+
+def _cmd_economics(args: argparse.Namespace) -> int:
+    from repro.instruments.ate import ConventionalRFATE
+    from repro.loadboard.signature_path import hardware_config
+    from repro.runtime.economics import FlowEconomics, TesterCostModel, compare_flows
+
+    conventional = ConventionalRFATE().insertion_time()
+    signature = hardware_config().total_test_time()
+    comparison = compare_flows(conventional, signature)
+    print(comparison.summary())
+    if args.sites > 1:
+        multi = FlowEconomics(
+            TesterCostModel.low_cost_tester(), signature, sites=args.sites
+        )
+        print(
+            f"with {args.sites} sites: {multi.throughput_per_hour:.0f} devices/h, "
+            f"{multi.cost_per_device * 100:.4f} cents/device"
+        )
+    return 0
+
+
+def _cmd_program(args: argparse.Namespace) -> int:
+    from repro.experiments.lna_simulation import run_simulation_experiment
+    from repro.runtime.artifacts import TestProgram, save_test_program
+    from repro.runtime.specs import lna_limits
+
+    result = run_simulation_experiment(seed=args.seed)
+    program = TestProgram(
+        stimulus=result.stimulus,
+        calibration=result.calibration,
+        limits=lna_limits(),
+        metadata={
+            "dut": "LNA900",
+            "seed": str(args.seed),
+            "std_err": ", ".join(
+                f"{k}={v:.4f}" for k, v in result.std_errors.items()
+            ),
+        },
+    )
+    path = save_test_program(program, args.output)
+    print(f"test program written to {path}")
+    print(program.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.lna_simulation import (
+        PAPER_STD_ERR,
+        run_simulation_experiment,
+    )
+    from repro.experiments.phase_study import run_phase_study
+    from repro.instruments.ate import ConventionalRFATE
+    from repro.loadboard.signature_path import hardware_config
+    from repro.runtime.economics import compare_flows
+
+    lines = [
+        "# Reproduction report",
+        "",
+        "Voorakaranam, Cherubal, Chatterjee -- *A Signature Test Framework "
+        "for Rapid Production Testing of RF Circuits*, DATE 2002.",
+        "",
+        "## Simulation experiment (Figures 7-10)",
+        "",
+    ]
+    sim = run_simulation_experiment(seed=args.seed)
+    lines.append("| spec | paper std(err) | measured | R^2 |")
+    lines.append("|---|---|---|---|")
+    for name in ("gain_db", "nf_db", "iip3_dbm"):
+        lines.append(
+            f"| {name} | {PAPER_STD_ERR[name]:.3f} | "
+            f"{sim.std_errors[name]:.4f} | {sim.r2[name]:.4f} |"
+        )
+    lines += [
+        "",
+        "Optimized stimulus breakpoints (V): "
+        + ", ".join(f"{v:.3f}" for v in sim.stimulus.levels),
+        "",
+    ]
+
+    if not args.fast:
+        from repro.experiments.hardware import PAPER_RMS_ERR, run_hardware_experiment
+
+        hw = run_hardware_experiment(seed=1955)
+        lines += ["## Hardware experiment (Figures 12-13)", ""]
+        lines.append("| spec | paper RMS | measured | R^2 |")
+        lines.append("|---|---|---|---|")
+        for name in ("gain_db", "iip3_dbm"):
+            lines.append(
+                f"| {name} | {PAPER_RMS_ERR[name]:.2f} | "
+                f"{hw.rms_errors[name]:.4f} | {hw.r2[name]:.4f} |"
+            )
+        lines.append("")
+
+    phase = run_phase_study()
+    wc = phase.worst_case()
+    lines += [
+        "## Phase robustness (Equations 4-5)",
+        "",
+        f"- same-LO time-domain signature drift: {wc['same_lo_time_domain']:.1%}",
+        f"- offset-LO FFT-magnitude drift: {wc['offset_lo_fft_magnitude']:.3%}",
+        f"- same-LO null depth at quarter wave: "
+        f"{float(min(phase.same_lo_rms)):.2e} V rms",
+        "",
+        "## Economics (Section 4.2)",
+        "",
+    ]
+    comparison = compare_flows(
+        ConventionalRFATE().insertion_time(), hardware_config().total_test_time()
+    )
+    lines.append("```")
+    lines.append(comparison.summary())
+    lines.append("```")
+    lines.append("")
+
+    path = Path(args.output)
+    path.write_text("\n".join(lines))
+    print(f"report written to {path.resolve()}")
+    return 0
+
+
+_COMMANDS = {
+    "sim": _cmd_sim,
+    "hardware": _cmd_hardware,
+    "phase": _cmd_phase,
+    "economics": _cmd_economics,
+    "program": _cmd_program,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

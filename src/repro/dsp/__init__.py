@@ -1,0 +1,70 @@
+"""Signal-processing substrate for the signature-test framework.
+
+This package provides the low-level signal machinery that the load board,
+instruments and experiments are built from:
+
+* :mod:`repro.dsp.waveform` -- sampled-waveform container and PWL stimuli.
+* :mod:`repro.dsp.sources` -- tones, two-tone sets, chirps, noise records.
+* :mod:`repro.dsp.filters` -- from-scratch Butterworth/FIR design and
+  application.
+* :mod:`repro.dsp.mixer` -- behavioral RF mixer with harmonic cross products.
+* :mod:`repro.dsp.spectral` -- windows, spectra and FFT-magnitude signatures.
+* :mod:`repro.dsp.noise` -- additive noise, quantization and jitter models.
+* :mod:`repro.dsp.passband` -- brute-force passband simulator used to
+  cross-validate the fast envelope engine in
+  :mod:`repro.loadboard.signature_path`.
+"""
+
+from repro.dsp.waveform import Waveform, PiecewiseLinearStimulus
+from repro.dsp.sources import (
+    tone,
+    two_tone,
+    chirp,
+    white_noise,
+    silence,
+    dc,
+)
+from repro.dsp.filters import (
+    ButterworthLowpass,
+    FIRLowpass,
+    butterworth_poles,
+    butterworth_sos,
+)
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.spectral import (
+    Spectrum,
+    amplitude_spectrum,
+    fft_magnitude_signature,
+    tone_amplitude,
+    window,
+)
+from repro.dsp.noise import (
+    add_awgn,
+    quantize,
+    sample_jitter,
+)
+
+__all__ = [
+    "Waveform",
+    "PiecewiseLinearStimulus",
+    "tone",
+    "two_tone",
+    "chirp",
+    "white_noise",
+    "silence",
+    "dc",
+    "ButterworthLowpass",
+    "FIRLowpass",
+    "butterworth_poles",
+    "butterworth_sos",
+    "Mixer",
+    "MixerHarmonics",
+    "Spectrum",
+    "amplitude_spectrum",
+    "fft_magnitude_signature",
+    "tone_amplitude",
+    "window",
+    "add_awgn",
+    "quantize",
+    "sample_jitter",
+]

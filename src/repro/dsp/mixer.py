@@ -1,0 +1,121 @@
+"""Behavioral RF mixer with harmonic cross products.
+
+Section 4.1 of the paper: *"The mixer was modeled to generate cross
+products of the RF and LO signals and their second and third harmonics."*
+
+:class:`Mixer` implements exactly that model: the output is a weighted sum
+of ``rf^m * lo^n`` cross products for ``m, n`` in 1..3, with the fundamental
+``rf * lo`` product carrying the conversion gain.  Raising the RF/LO records
+to integer powers in the time domain generates the corresponding harmonic
+content automatically (``sin^2`` contains the 2nd harmonic, ``sin^3`` the
+3rd), so the single table of coefficients covers both harmonics and
+intermodulation between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.dsp.waveform import Waveform
+
+__all__ = ["MixerHarmonics", "Mixer"]
+
+
+@dataclass(frozen=True)
+class MixerHarmonics:
+    """Cross-product coefficient table for a behavioral mixer.
+
+    ``coeffs[(m, n)]`` scales the ``rf^m * lo^n`` product.  The paper's
+    model uses the fundamental plus second and third harmonics of both
+    ports, i.e. ``m, n`` in ``{1, 2, 3}``.  Coefficients are relative to
+    the fundamental ``(1, 1)`` product, which is fixed at 1.0 before the
+    overall conversion gain is applied.
+    """
+
+    coeffs: Dict[Tuple[int, int], float] = field(
+        default_factory=lambda: {
+            (1, 1): 1.0,
+            (2, 1): 0.05,
+            (1, 2): 0.05,
+            (2, 2): 0.01,
+            (3, 1): 0.02,
+            (1, 3): 0.02,
+            (3, 3): 0.002,
+        }
+    )
+
+    def __post_init__(self):
+        for (m, n), c in self.coeffs.items():
+            if not (1 <= m <= 3 and 1 <= n <= 3):
+                raise ValueError(f"harmonic orders must be in 1..3, got ({m}, {n})")
+            if not np.isfinite(c):
+                raise ValueError(f"coefficient for ({m}, {n}) is not finite")
+        if (1, 1) not in self.coeffs:
+            raise ValueError("fundamental (1, 1) product must be present")
+
+    @classmethod
+    def ideal(cls) -> "MixerHarmonics":
+        """A perfect multiplier: only the (1, 1) product."""
+        return cls({(1, 1): 1.0})
+
+    @classmethod
+    def paper_model(cls) -> "MixerHarmonics":
+        """The default table matching the paper's description."""
+        return cls()
+
+
+class Mixer:
+    """Behavioral double-port mixer.
+
+    Parameters
+    ----------
+    conversion_gain:
+        Linear voltage scale applied to the whole output (a passive diode
+        mixer has conversion *loss*, i.e. a value below 1).
+    harmonics:
+        Cross-product table; defaults to the paper's fundamental + 2nd/3rd
+        harmonic model.
+    """
+
+    def __init__(
+        self,
+        conversion_gain: float = 0.5,
+        harmonics: MixerHarmonics | None = None,
+    ):
+        if not (conversion_gain > 0):
+            raise ValueError("conversion_gain must be positive")
+        self.conversion_gain = float(conversion_gain)
+        self.harmonics = harmonics if harmonics is not None else MixerHarmonics()
+
+    def mix(self, rf: Waveform, lo: Waveform) -> Waveform:
+        """Multiply the RF and LO records through the cross-product table."""
+        if rf.sample_rate != lo.sample_rate:
+            raise ValueError(
+                f"RF rate {rf.sample_rate} != LO rate {lo.sample_rate}"
+            )
+        if len(rf) != len(lo):
+            raise ValueError(f"RF length {len(rf)} != LO length {len(lo)}")
+        x = rf.samples
+        l = lo.samples
+        # precompute the needed powers once
+        max_m = max(m for m, _ in self.harmonics.coeffs)
+        max_n = max(n for _, n in self.harmonics.coeffs)
+        x_pows = {1: x}
+        l_pows = {1: l}
+        for p in range(2, max_m + 1):
+            x_pows[p] = x_pows[p - 1] * x
+        for p in range(2, max_n + 1):
+            l_pows[p] = l_pows[p - 1] * l
+        out = np.zeros_like(x)
+        for (m, n), c in self.harmonics.coeffs.items():
+            out += c * x_pows[m] * l_pows[n]
+        return Waveform(self.conversion_gain * out, rf.sample_rate, rf.t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Mixer(gain={self.conversion_gain:.3g}, "
+            f"products={sorted(self.harmonics.coeffs)})"
+        )

@@ -1,0 +1,138 @@
+"""Elementary signal sources.
+
+These generators produce :class:`~repro.dsp.waveform.Waveform` records used
+throughout the framework: single tones for gain tests, two-tone sets for
+IIP3 tests, chirps as an unoptimized baseline stimulus, and noise records.
+Amplitudes may be specified either directly in volts (peak) or as a power
+level in dBm into the 50-ohm reference impedance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.waveform import REFERENCE_IMPEDANCE, Waveform
+
+__all__ = [
+    "dbm_to_vpeak",
+    "vpeak_to_dbm",
+    "tone",
+    "two_tone",
+    "chirp",
+    "white_noise",
+    "silence",
+    "dc",
+]
+
+
+def dbm_to_vpeak(power_dbm: float, impedance: float = REFERENCE_IMPEDANCE) -> float:
+    """Peak voltage of a sine with the given available power in dBm.
+
+    For a sine of peak amplitude ``A`` into ``R`` ohms the mean power is
+    ``A^2 / (2 R)``; this inverts that relation.
+    """
+    watts = 10.0 ** ((power_dbm - 30.0) / 10.0)
+    return math.sqrt(2.0 * watts * impedance)
+
+
+def vpeak_to_dbm(v_peak: float, impedance: float = REFERENCE_IMPEDANCE) -> float:
+    """Power in dBm of a sine with peak amplitude ``v_peak`` volts."""
+    if v_peak <= 0:
+        return -math.inf
+    watts = v_peak**2 / (2.0 * impedance)
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def _n_samples(duration: float, sample_rate: float) -> int:
+    if not (duration > 0):
+        raise ValueError("duration must be positive")
+    if not (sample_rate > 0):
+        raise ValueError("sample_rate must be positive")
+    return max(1, int(round(duration * sample_rate)))
+
+
+def tone(
+    frequency: float,
+    duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+    phase: float = 0.0,
+    power_dbm: Optional[float] = None,
+) -> Waveform:
+    """A single sine tone.
+
+    If ``power_dbm`` is given it overrides ``amplitude`` (peak volts).
+    """
+    if power_dbm is not None:
+        amplitude = dbm_to_vpeak(power_dbm)
+    n = _n_samples(duration, sample_rate)
+    t = np.arange(n) / sample_rate
+    return Waveform(amplitude * np.sin(2.0 * np.pi * frequency * t + phase), sample_rate)
+
+
+def two_tone(
+    f1: float,
+    f2: float,
+    duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+    power_dbm_each: Optional[float] = None,
+) -> Waveform:
+    """Equal-amplitude two-tone stimulus for intermodulation testing.
+
+    ``amplitude`` (or ``power_dbm_each``) applies to *each* tone, matching
+    how IIP3 test conditions are normally quoted.
+    """
+    if f1 == f2:
+        raise ValueError("two-tone test requires distinct frequencies")
+    if power_dbm_each is not None:
+        amplitude = dbm_to_vpeak(power_dbm_each)
+    n = _n_samples(duration, sample_rate)
+    t = np.arange(n) / sample_rate
+    samples = amplitude * (
+        np.sin(2.0 * np.pi * f1 * t) + np.sin(2.0 * np.pi * f2 * t)
+    )
+    return Waveform(samples, sample_rate)
+
+
+def chirp(
+    f_start: float,
+    f_stop: float,
+    duration: float,
+    sample_rate: float,
+    amplitude: float = 1.0,
+) -> Waveform:
+    """Linear-frequency chirp, used as an unoptimized baseline stimulus."""
+    n = _n_samples(duration, sample_rate)
+    t = np.arange(n) / sample_rate
+    # instantaneous phase of a linear chirp: 2*pi*(f0 t + (k/2) t^2)
+    k = (f_stop - f_start) / duration
+    phase = 2.0 * np.pi * (f_start * t + 0.5 * k * t**2)
+    return Waveform(amplitude * np.sin(phase), sample_rate)
+
+
+def white_noise(
+    duration: float,
+    sample_rate: float,
+    rms: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Waveform:
+    """Gaussian white noise with the requested RMS value."""
+    if rms < 0:
+        raise ValueError("rms must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = _n_samples(duration, sample_rate)
+    return Waveform(rng.normal(0.0, rms, size=n), sample_rate)
+
+
+def silence(duration: float, sample_rate: float) -> Waveform:
+    """All-zero record."""
+    return Waveform(np.zeros(_n_samples(duration, sample_rate)), sample_rate)
+
+
+def dc(level: float, duration: float, sample_rate: float) -> Waveform:
+    """Constant record at ``level`` volts."""
+    return Waveform(np.full(_n_samples(duration, sample_rate), float(level)), sample_rate)

@@ -1,0 +1,282 @@
+"""Sampled waveforms and piecewise-linear (PWL) test stimuli.
+
+The :class:`Waveform` class is the common currency of the whole framework:
+arbitrary waveform generators emit one, mixers and DUT models transform one
+into another, and digitizers capture one.  A waveform is simply a uniformly
+sampled real-valued record with an associated sample rate.
+
+:class:`PiecewiseLinearStimulus` implements the stimulus representation the
+paper optimizes (Section 3.1): a list of breakpoint voltages on a fixed time
+grid, encoded as a flat "genetic string" for the genetic optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Waveform", "PiecewiseLinearStimulus"]
+
+#: Reference impedance (ohms) used for all power <-> voltage conversions.
+REFERENCE_IMPEDANCE = 50.0
+
+
+class Waveform:
+    """A uniformly sampled real-valued signal.
+
+    Parameters
+    ----------
+    samples:
+        Sequence of sample values (volts by convention).
+    sample_rate:
+        Samples per second; must be positive.
+    t0:
+        Time of the first sample in seconds (default 0).
+    """
+
+    __slots__ = ("samples", "sample_rate", "t0")
+
+    def __init__(self, samples: Iterable[float], sample_rate: float, t0: float = 0.0):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+        if not (sample_rate > 0):
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        self.samples = samples
+        self.sample_rate = float(sample_rate)
+        self.t0 = float(t0)
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    @property
+    def dt(self) -> float:
+        """Sample spacing in seconds."""
+        return 1.0 / self.sample_rate
+
+    @property
+    def duration(self) -> float:
+        """Record length in seconds (n / fs)."""
+        return len(self.samples) / self.sample_rate
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps in seconds."""
+        return self.t0 + np.arange(len(self.samples)) / self.sample_rate
+
+    def copy(self) -> "Waveform":
+        return Waveform(self.samples.copy(), self.sample_rate, self.t0)
+
+    # ------------------------------------------------------------------
+    # arithmetic: waveforms combine sample-wise; scalars broadcast
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, Waveform):
+            if other.sample_rate != self.sample_rate:
+                raise ValueError(
+                    "sample-rate mismatch: "
+                    f"{self.sample_rate} vs {other.sample_rate}"
+                )
+            if len(other) != len(self):
+                raise ValueError(
+                    f"length mismatch: {len(self)} vs {len(other)}"
+                )
+            return other.samples
+        return np.asarray(other, dtype=float)
+
+    def __add__(self, other) -> "Waveform":
+        return Waveform(self.samples + self._coerce(other), self.sample_rate, self.t0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Waveform":
+        return Waveform(self.samples - self._coerce(other), self.sample_rate, self.t0)
+
+    def __rsub__(self, other) -> "Waveform":
+        return Waveform(self._coerce(other) - self.samples, self.sample_rate, self.t0)
+
+    def __mul__(self, other) -> "Waveform":
+        return Waveform(self.samples * self._coerce(other), self.sample_rate, self.t0)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Waveform":
+        return Waveform(self.samples / self._coerce(other), self.sample_rate, self.t0)
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(-self.samples, self.sample_rate, self.t0)
+
+    def map(self, func) -> "Waveform":
+        """Apply a memoryless function to every sample."""
+        return Waveform(func(self.samples), self.sample_rate, self.t0)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def rms(self) -> float:
+        """Root-mean-square value of the record."""
+        return float(np.sqrt(np.mean(self.samples**2)))
+
+    def peak(self) -> float:
+        """Maximum absolute sample value."""
+        return float(np.max(np.abs(self.samples))) if len(self) else 0.0
+
+    def mean_power_watts(self, impedance: float = REFERENCE_IMPEDANCE) -> float:
+        """Mean dissipated power into ``impedance`` ohms."""
+        return self.rms() ** 2 / impedance
+
+    def mean_power_dbm(self, impedance: float = REFERENCE_IMPEDANCE) -> float:
+        """Mean power in dBm into ``impedance`` ohms."""
+        watts = self.mean_power_watts(impedance)
+        if watts <= 0.0:
+            return -math.inf
+        return 10.0 * math.log10(watts) + 30.0
+
+    def energy(self) -> float:
+        """Sum of squared samples times dt (volt^2 * seconds)."""
+        return float(np.sum(self.samples**2)) * self.dt
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def slice_time(self, t_start: float, t_stop: float) -> "Waveform":
+        """Extract the samples whose timestamps lie in ``[t_start, t_stop)``."""
+        t = self.times()
+        mask = (t >= t_start) & (t < t_stop)
+        idx = np.nonzero(mask)[0]
+        if len(idx) == 0:
+            raise ValueError(
+                f"time slice [{t_start}, {t_stop}) selects no samples"
+            )
+        return Waveform(self.samples[idx], self.sample_rate, t[idx[0]])
+
+    def repeat(self, times: int) -> "Waveform":
+        """Tile the record ``times`` times end to end."""
+        if times < 1:
+            raise ValueError("repeat count must be >= 1")
+        return Waveform(np.tile(self.samples, times), self.sample_rate, self.t0)
+
+    def resample(self, new_rate: float) -> "Waveform":
+        """Linear-interpolation resampling to ``new_rate``.
+
+        Adequate for the oversampled baseband signals used in this
+        framework; spectrally exact resampling is not required because
+        signature extraction windows the record anyway.
+        """
+        if not (new_rate > 0):
+            raise ValueError("new_rate must be positive")
+        if new_rate == self.sample_rate:
+            return self.copy()
+        old_t = self.times()
+        n_new = max(1, int(round(self.duration * new_rate)))
+        new_t = self.t0 + np.arange(n_new) / new_rate
+        new_samples = np.interp(new_t, old_t, self.samples)
+        return Waveform(new_samples, new_rate, self.t0)
+
+    def pad_to(self, n: int) -> "Waveform":
+        """Zero-pad the record to ``n`` samples (no-op if already longer)."""
+        if n <= len(self):
+            return self.copy()
+        padded = np.zeros(n)
+        padded[: len(self)] = self.samples
+        return Waveform(padded, self.sample_rate, self.t0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Waveform(n={len(self)}, fs={self.sample_rate:.6g} Hz, "
+            f"duration={self.duration:.6g} s, rms={self.rms():.6g} V)"
+        )
+
+
+class PiecewiseLinearStimulus:
+    """A baseband PWL test stimulus defined by breakpoint voltages.
+
+    The paper encodes the stimulus as the breakpoints of a piecewise-linear
+    waveform and lets a genetic algorithm move them (Section 3.1).  We fix
+    the breakpoints on a uniform time grid spanning ``duration`` seconds so
+    that the genetic string is simply the vector of breakpoint voltages.
+
+    Parameters
+    ----------
+    levels:
+        Breakpoint voltages.  ``len(levels) >= 2``.
+    duration:
+        Total stimulus duration in seconds.
+    v_limit:
+        Hard amplitude bound; levels are clipped into ``[-v_limit, v_limit]``
+        which models the AWG full-scale range.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        duration: float,
+        v_limit: float = 1.0,
+    ):
+        levels = np.asarray(levels, dtype=float)
+        if levels.ndim != 1 or len(levels) < 2:
+            raise ValueError("need at least two PWL breakpoint levels")
+        if not (duration > 0):
+            raise ValueError("duration must be positive")
+        if not (v_limit > 0):
+            raise ValueError("v_limit must be positive")
+        self.levels = np.clip(levels, -v_limit, v_limit)
+        self.duration = float(duration)
+        self.v_limit = float(v_limit)
+
+    @property
+    def n_breakpoints(self) -> int:
+        return len(self.levels)
+
+    def breakpoint_times(self) -> np.ndarray:
+        """Times of the PWL breakpoints (uniform grid, inclusive of ends)."""
+        return np.linspace(0.0, self.duration, len(self.levels))
+
+    def to_waveform(self, sample_rate: float) -> Waveform:
+        """Sample the PWL curve at ``sample_rate``."""
+        if not (sample_rate > 0):
+            raise ValueError("sample_rate must be positive")
+        n = max(2, int(round(self.duration * sample_rate)))
+        t = np.arange(n) / sample_rate
+        samples = np.interp(t, self.breakpoint_times(), self.levels)
+        return Waveform(samples, sample_rate)
+
+    # ------------------------------------------------------------------
+    # genetic-string encoding (Section 3.1: "Breakpoints of the PWL
+    # stimulus are encoded as a genetic string")
+    # ------------------------------------------------------------------
+    def to_gene(self) -> np.ndarray:
+        """Flatten to the genetic-string representation (levels only)."""
+        return self.levels.copy()
+
+    @classmethod
+    def from_gene(
+        cls,
+        gene: Sequence[float],
+        duration: float,
+        v_limit: float = 1.0,
+    ) -> "PiecewiseLinearStimulus":
+        """Rebuild a stimulus from a genetic string (inverse of to_gene)."""
+        return cls(np.asarray(gene, dtype=float), duration, v_limit)
+
+    def perturbed(self, rng: np.random.Generator, scale: float) -> "PiecewiseLinearStimulus":
+        """Return a copy with gaussian perturbation of the levels."""
+        noise = rng.normal(0.0, scale, size=len(self.levels))
+        return PiecewiseLinearStimulus(
+            self.levels + noise, self.duration, self.v_limit
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PiecewiseLinearStimulus(n={self.n_breakpoints}, "
+            f"duration={self.duration:.3g} s, v_limit={self.v_limit:.3g} V)"
+        )

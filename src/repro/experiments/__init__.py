@@ -1,0 +1,42 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 4).
+
+* :mod:`repro.experiments.lna_simulation` -- the simulation experiment:
+  optimized stimulus (Figure 7) and predicted-vs-direct scatter for gain,
+  IIP3 and NF (Figures 8-10).
+* :mod:`repro.experiments.hardware` -- the RF2401 hardware experiment
+  simulated end to end: 55 devices, 28 calibration / 27 validation,
+  100 kHz LO offset, 1 MHz digitizer (Figures 12-13).
+* :mod:`repro.experiments.phase_study` -- the Section 2.1 phase analysis
+  (Equations 4-5): same-LO cancellation vs offset-LO FFT-magnitude
+  robustness.
+
+Experiment functions cache their results per argument set, because
+several benchmarks report different slices of the same run.
+"""
+
+from repro.experiments.lna_simulation import (
+    SimulationExperimentResult,
+    run_simulation_experiment,
+)
+from repro.experiments.hardware import (
+    HardwareExperimentResult,
+    run_hardware_experiment,
+)
+from repro.experiments.phase_study import PhaseStudyResult, run_phase_study
+from repro.experiments.process_shift import (
+    ProcessShiftResult,
+    run_process_shift_experiment,
+    shifted_space,
+)
+
+__all__ = [
+    "SimulationExperimentResult",
+    "run_simulation_experiment",
+    "HardwareExperimentResult",
+    "run_hardware_experiment",
+    "PhaseStudyResult",
+    "run_phase_study",
+    "ProcessShiftResult",
+    "run_process_shift_experiment",
+    "shifted_space",
+]

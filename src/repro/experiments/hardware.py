@@ -1,0 +1,259 @@
+"""The paper's hardware experiment, simulated end to end (Section 4.2).
+
+The paper built a 900 MHz front-end board around an RF Microdevices
+RF2401 receiver IC and tested 55 devices: 28 to build the calibration
+relationships, 27 for validation.  Since no simulation netlist was
+available, the stimulus was optimized on a *behavioral model* of the LNA
+-- this module does exactly the same.
+
+What the "bench" adds over the clean simulation experiment, and why the
+paper's hardware errors (0.16 dB gain, 0.13 dB IIP3) are a few times its
+simulation errors:
+
+* device specs are *measured* on conventional instruments, so the
+  training targets themselves carry measurement error;
+* socket/contact repeatability: every insertion sees a slightly
+  different path gain, independently for the spec measurement and the
+  signature capture;
+* unknown path phase per insertion (the test-lead interconnect issue),
+  handled by the 100 kHz LO offset + FFT-magnitude signature;
+* only 28 calibration devices instead of 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.parameters import ParameterSpace, ProcessParameter
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.instruments.network_analyzer import GainAnalyzer
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.loadboard.signature_path import (
+    SignaturePathConfig,
+    SignatureTestBoard,
+    hardware_config,
+)
+from repro.regression.metrics import r2_score, rmse, std_err
+from repro.runtime.calibration import CalibrationModel, CalibrationSession
+from repro.testgen.genetic import GAConfig
+from repro.testgen.optimizer import SignatureStimulusOptimizer
+from repro.testgen.pwl import StimulusEncoding
+
+__all__ = [
+    "HardwareExperimentResult",
+    "run_hardware_experiment",
+    "rf2401_family_space",
+    "rf2401_device",
+]
+
+#: paper-reported RMS errors for Figures 12-13
+PAPER_RMS_ERR = {"gain_db": 0.16, "iip3_dbm": 0.13}
+
+#: specs the hardware experiment measures (the paper measured only these)
+HW_SPEC_NAMES = ("gain_db", "iip3_dbm")
+
+
+def rf2401_family_space() -> ParameterSpace:
+    """Behavioral 'process space' of the RF2401 front-end family.
+
+    Without a netlist the devices are characterized directly by their
+    datasheet-level behavioral parameters; lot-to-lot spread is the
+    variation band.
+    """
+    return ParameterSpace(
+        [
+            ProcessParameter("gain_db", nominal=15.0, rel_variation=0.08),
+            ProcessParameter("nf_db", nominal=4.0, rel_variation=0.10),
+            ProcessParameter("iip3_dbm", nominal=-8.0, rel_variation=0.10),
+        ]
+    )
+
+
+def rf2401_device(params: Dict[str, float]) -> BehavioralAmplifier:
+    """One front-end instance from behavioral parameters."""
+    return BehavioralAmplifier(
+        center_frequency=900e6,
+        gain_db=params["gain_db"],
+        nf_db=params["nf_db"],
+        iip3_dbm=params["iip3_dbm"],
+        iip2_dbm=params["iip3_dbm"] + 20.0,
+    )
+
+
+@dataclass
+class HardwareExperimentResult:
+    """Everything Figures 12-13 need."""
+
+    stimulus: PiecewiseLinearStimulus
+    calibration: CalibrationModel
+    #: measured (ATE) and predicted specs for the validation devices,
+    #: columns ordered as HW_SPEC_NAMES
+    measured_specs: np.ndarray
+    predicted_specs: np.ndarray
+    rms_errors: Dict[str, float] = field(default_factory=dict)
+    std_errors: Dict[str, float] = field(default_factory=dict)
+    r2: Dict[str, float] = field(default_factory=dict)
+    capture_seconds: float = 5e-3
+
+    def scatter(self, spec: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(direct measurement, signature prediction) series for one spec."""
+        j = HW_SPEC_NAMES.index(spec)
+        return self.measured_specs[:, j], self.predicted_specs[:, j]
+
+    def summary(self) -> str:
+        lines = []
+        for name in HW_SPEC_NAMES:
+            lines.append(
+                f"{name}: RMS err = {self.rms_errors[name]:.4f} "
+                f"(paper {PAPER_RMS_ERR[name]:.2f}), "
+                f"std(err) = {self.std_errors[name]:.4f}, "
+                f"R^2 = {self.r2[name]:.4f} "
+                f"[model: {self.calibration.chosen[name]}]"
+            )
+        return "\n".join(lines)
+
+
+_CACHE: Dict[tuple, HardwareExperimentResult] = {}
+
+
+def run_hardware_experiment(
+    seed: int = 1955,
+    n_calibration: int = 28,
+    n_validation: int = 27,
+    socket_sigma_db: float = 0.05,
+    ga_config: Optional[GAConfig] = None,
+    board_config: Optional[SignaturePathConfig] = None,
+    use_cache: bool = True,
+) -> HardwareExperimentResult:
+    """Run (or fetch from cache) the simulated hardware experiment.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.
+    n_calibration, n_validation:
+        Device split (paper: 28 / 27 out of 55).
+    socket_sigma_db:
+        1-sigma per-insertion contact-gain repeatability.
+    ga_config:
+        GA settings for the behavioral-model stimulus optimization;
+        default is a reduced run (the 5 ms capture makes each fitness
+        evaluation heavy).
+    board_config:
+        Signature-path override (default: the paper's hardware setup).
+    """
+    cache_key = (
+        seed,
+        n_calibration,
+        n_validation,
+        socket_sigma_db,
+        repr(ga_config),
+        repr(board_config),
+    )
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+
+    rng = np.random.default_rng(seed)
+    config = board_config if board_config is not None else hardware_config()
+    board = SignatureTestBoard(config)
+    space = rf2401_family_space()
+    encoding = StimulusEncoding(
+        n_breakpoints=16, duration=config.capture_seconds, v_limit=0.4
+    )
+
+    # stimulus optimized on the behavioral model (no netlist available)
+    optimizer = SignatureStimulusOptimizer(
+        board_config=_deterministic(config),
+        device_factory=rf2401_device,
+        space=space,
+        encoding=encoding,
+        ga_config=(
+            ga_config
+            if ga_config is not None
+            else GAConfig(population_size=10, generations=3)
+        ),
+        rel_step=0.03,
+    )
+    stimulus = optimizer.optimize(rng).stimulus
+
+    # ------------------------------------------------------------------
+    # the 55 devices and their bench measurements
+    # ------------------------------------------------------------------
+    n_total = n_calibration + n_validation
+    points = space.sample(rng, n_total)
+    devices = [rf2401_device(space.to_dict(p)) for p in points]
+
+    gain_meter = GainAnalyzer(test_power_dbm=-35.0, repeatability_db=0.02)
+    ip3_meter = SpectrumAnalyzer(tone_power_dbm=-28.0, repeatability_db=0.05)
+
+    measured = np.empty((n_total, len(HW_SPEC_NAMES)))
+    signatures = []
+    for i, device in enumerate(devices):
+        # conventional ATE insertion (its own socket contact)
+        ate_view = _socket_view(device, rng, socket_sigma_db)
+        measured[i, 0] = gain_meter.measure_gain_db(ate_view, rng=rng)
+        measured[i, 1] = ip3_meter.measure_iip3_dbm(ate_view, rng=rng)
+        # low-cost tester insertion (another socket contact, random phase)
+        sig_view = _socket_view(device, rng, socket_sigma_db)
+        signatures.append(board.signature(sig_view, stimulus, rng=rng))
+    signatures = np.vstack(signatures)
+
+    # ------------------------------------------------------------------
+    # 28 calibration / 27 validation
+    # ------------------------------------------------------------------
+    cal = slice(0, n_calibration)
+    val = slice(n_calibration, n_total)
+    session = CalibrationSession(spec_names=HW_SPEC_NAMES)
+    model = session.fit(signatures[cal], measured[cal], rng=rng)
+    predicted = model.predict_matrix(signatures[val])
+
+    rms_errors = {}
+    std_errors = {}
+    r2 = {}
+    for j, name in enumerate(HW_SPEC_NAMES):
+        rms_errors[name] = rmse(measured[val, j], predicted[:, j])
+        std_errors[name] = std_err(measured[val, j], predicted[:, j])
+        r2[name] = r2_score(measured[val, j], predicted[:, j])
+
+    result = HardwareExperimentResult(
+        stimulus=stimulus,
+        calibration=model,
+        measured_specs=measured[val],
+        predicted_specs=predicted,
+        rms_errors=rms_errors,
+        std_errors=std_errors,
+        r2=r2,
+        capture_seconds=config.capture_seconds,
+    )
+    if use_cache:
+        _CACHE[cache_key] = result
+    return result
+
+
+def _socket_view(
+    device: BehavioralAmplifier,
+    rng: np.random.Generator,
+    sigma_db: float,
+) -> BehavioralAmplifier:
+    """The device as one insertion sees it: contact gain error applied."""
+    if sigma_db <= 0.0:
+        return device
+    specs = device.specs()
+    return device.with_specs(gain_db=specs.gain_db + rng.normal(0.0, sigma_db))
+
+
+def _deterministic(config: SignaturePathConfig) -> SignaturePathConfig:
+    """A copy of the path config suitable for noise-free sensitivity runs.
+
+    The optimizer evaluates signatures without an rng, which already
+    suppresses noise; the random path phase however *requires* an rng, so
+    the optimization view pins the phase instead (magnitude signatures
+    make the pinned value irrelevant).
+    """
+    from dataclasses import replace
+
+    return replace(config, random_path_phase=False, path_phase_rad=0.0)

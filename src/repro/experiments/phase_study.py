@@ -1,0 +1,147 @@
+"""The Section 2.1 phase-robustness study (Equations 4-5, Figures 2-3).
+
+Sweeps the signal-path phase mismatch ``phi`` and quantifies what each
+signature style sees:
+
+* **Same-LO, time-domain signature** (Figure 2): Equation 4 predicts the
+  signature scales as ``cos(phi)`` and vanishes at odd multiples of
+  pi/2 -- a quarter wavelength is 0.75 cm at 10 GHz, so this happens in
+  real fixtures.
+* **Offset-LO, FFT-magnitude signature** (Figure 3): Equation 5 shows the
+  magnitude is independent of ``phi``.
+
+The study reports, per phase, the signature's RMS level and its distance
+from the ``phi = 0`` reference vector (what a calibration model trained
+at one phase would see at another).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+
+__all__ = ["PhaseStudyResult", "run_phase_study"]
+
+
+@dataclass
+class PhaseStudyResult:
+    """Per-phase signature behaviour of the two configurations."""
+
+    phases: np.ndarray
+    #: same-LO time-domain signature RMS at each phase
+    same_lo_rms: np.ndarray
+    #: Equation 4 prediction: |cos(phi)| * (RMS at phi = 0)
+    eq4_prediction: np.ndarray
+    #: relative L2 distance of the same-LO time-domain signature from phi=0
+    same_lo_distance: np.ndarray
+    #: relative L2 distance of the offset-LO FFT-magnitude signature
+    offset_fftmag_distance: np.ndarray
+
+    def worst_case(self) -> Dict[str, float]:
+        """Maximum signature drift of each style across the sweep."""
+        return {
+            "same_lo_time_domain": float(np.max(self.same_lo_distance)),
+            "offset_lo_fft_magnitude": float(np.max(self.offset_fftmag_distance)),
+        }
+
+    def summary(self) -> str:
+        wc = self.worst_case()
+        lines = [
+            "worst-case signature drift over path phase:",
+            f"  same-LO time-domain signature:      {wc['same_lo_time_domain'] * 100:.1f} %",
+            f"  offset-LO FFT-magnitude signature:  {wc['offset_lo_fft_magnitude'] * 100:.3f} %",
+        ]
+        null_rms = float(np.min(self.same_lo_rms))
+        peak_rms = float(np.max(self.same_lo_rms))
+        lines.append(
+            f"  same-LO signature null depth: {null_rms:.2e} V rms "
+            f"(peak {peak_rms:.3f} V rms) -- Equation 4 cancellation"
+        )
+        return "\n".join(lines)
+
+
+def run_phase_study(
+    seed: int = 7,
+    n_phases: int = 17,
+    lo_offset_hz: float = 100e3,
+    ideal_mixers: bool = True,
+) -> PhaseStudyResult:
+    """Sweep the path phase through a full turn and compare signatures.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the stimulus only; captures are noise-free so the phase
+        effect is isolated.
+    n_phases:
+        Sweep points over [0, 2 pi].
+    lo_offset_hz:
+        LO offset of the modified (Figure 3) configuration.
+    ideal_mixers:
+        With ideal multipliers Equation 4 holds exactly; with the default
+        harmonic-rich mixers small deviations appear (also physical).
+    """
+    rng = np.random.default_rng(seed)
+    device = BehavioralAmplifier(
+        center_frequency=900e6, gain_db=16.0, nf_db=2.0, iip3_dbm=3.0
+    )
+    mixer_kw = {}
+    if ideal_mixers:
+        mixer_kw = {
+            "mixer1": Mixer(0.5, MixerHarmonics.ideal()),
+            "mixer2": Mixer(0.5, MixerHarmonics.ideal()),
+        }
+    base = SignaturePathConfig(
+        lo_offset_hz=0.0,
+        lpf_cutoff_hz=450e3,
+        digitizer_rate=1e6,
+        digitizer_noise_vrms=0.0,
+        digitizer_bits=None,
+        capture_seconds=2e-3,
+        include_device_noise=False,
+        **mixer_kw,
+    )
+    stimulus = PiecewiseLinearStimulus(
+        rng.uniform(-0.3, 0.3, 16), duration=base.capture_seconds, v_limit=0.4
+    )
+
+    phases = np.linspace(0.0, 2.0 * np.pi, n_phases)
+    same_rms = np.empty(n_phases)
+    same_dist = np.empty(n_phases)
+    offset_dist = np.empty(n_phases)
+    same_ref: Optional[np.ndarray] = None
+    offset_ref: Optional[np.ndarray] = None
+
+    for i, phi in enumerate(phases):
+        same_cfg = replace(base, path_phase_rad=float(phi))
+        same_board = SignatureTestBoard(same_cfg)
+        td = same_board.time_signature(device, stimulus)
+        same_rms[i] = float(np.sqrt(np.mean(td**2)))
+        if same_ref is None:
+            same_ref = td
+        same_dist[i] = np.linalg.norm(td - same_ref) / np.linalg.norm(same_ref)
+
+        off_cfg = replace(
+            base, path_phase_rad=float(phi), lo_offset_hz=lo_offset_hz
+        )
+        off_board = SignatureTestBoard(off_cfg)
+        mag = off_board.signature(device, stimulus)
+        if offset_ref is None:
+            offset_ref = mag
+        offset_dist[i] = np.linalg.norm(mag - offset_ref) / np.linalg.norm(offset_ref)
+
+    eq4 = np.abs(np.cos(phases)) * same_rms[0]
+    return PhaseStudyResult(
+        phases=phases,
+        same_lo_rms=same_rms,
+        eq4_prediction=eq4,
+        same_lo_distance=same_dist,
+        offset_fftmag_distance=offset_dist,
+    )

@@ -1,0 +1,38 @@
+"""ATE instrumentation substrate.
+
+Two tester classes are modeled, mirroring the paper's cost argument:
+
+* the **conventional RF ATE** -- network analyzer, noise-figure meter and
+  spectrum analyzer running one parametric test per specification, each
+  with setup overhead (:mod:`repro.instruments.ate`);
+* the **low-cost tester** -- just an arbitrary waveform generator, an RF
+  signal generator for the carrier, and a baseband digitizer
+  (:mod:`repro.instruments.awg`, :mod:`repro.instruments.rf_source`,
+  :mod:`repro.instruments.digitizer`), which together with the load board
+  of :mod:`repro.loadboard` capture the signature in a single acquisition.
+"""
+
+from repro.instruments.awg import ArbitraryWaveformGenerator
+from repro.instruments.digitizer import BasebandDigitizer
+from repro.instruments.rf_source import RFSignalGenerator
+from repro.instruments.network_analyzer import GainAnalyzer
+from repro.instruments.noise_meter import NoiseFigureMeter
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer, TwoToneIP3Result
+from repro.instruments.ate import (
+    ConventionalRFATE,
+    ConventionalTestResult,
+    TestTimeBreakdown,
+)
+
+__all__ = [
+    "ArbitraryWaveformGenerator",
+    "BasebandDigitizer",
+    "RFSignalGenerator",
+    "GainAnalyzer",
+    "NoiseFigureMeter",
+    "SpectrumAnalyzer",
+    "TwoToneIP3Result",
+    "ConventionalRFATE",
+    "ConventionalTestResult",
+    "TestTimeBreakdown",
+]

@@ -1,0 +1,136 @@
+"""Conventional RF ATE: the baseline tester the paper replaces.
+
+Figure 1 (left): conventional testing runs one parametric test per
+specification -- gain test, noise-figure test, IIP3 test, 1 dB compression
+test -- each with its own instrument setup.  :class:`ConventionalRFATE`
+composes the instrument models and charges each test's setup and measure
+time, producing both the measured specifications and the test-time
+breakdown the economics model consumes.
+
+The same class plays the *calibration* role in the signature flow
+(Figure 5): the training devices' specifications are measured once on
+this expensive tester, after which production runs on the low-cost
+tester alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.instruments.network_analyzer import GainAnalyzer
+from repro.instruments.noise_meter import NoiseFigureMeter
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+__all__ = ["TestTimeBreakdown", "ConventionalTestResult", "ConventionalRFATE"]
+
+
+@dataclass
+class TestTimeBreakdown:
+    """Per-test time accounting for one device insertion."""
+
+    entries: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    def add(self, name: str, setup: float, measure: float) -> None:
+        if setup < 0 or measure < 0:
+            raise ValueError("times must be non-negative")
+        self.entries.append((name, setup, measure))
+
+    @property
+    def setup_total(self) -> float:
+        return sum(s for _, s, _ in self.entries)
+
+    @property
+    def measure_total(self) -> float:
+        return sum(m for _, _, m in self.entries)
+
+    @property
+    def total(self) -> float:
+        return self.setup_total + self.measure_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: setup + measure for name, setup, measure in self.entries}
+
+
+@dataclass(frozen=True)
+class ConventionalTestResult:
+    """Outcome of a full conventional test insertion."""
+
+    specs: SpecSet
+    time: TestTimeBreakdown
+    p1db_dbm: Optional[float] = None
+
+
+class ConventionalRFATE:
+    """The million-dollar tester: sequential parametric spec tests.
+
+    Parameters
+    ----------
+    gain_analyzer, noise_meter, spectrum_analyzer:
+        Instrument models; defaults are representative of RF production
+        test programs.
+    include_p1db:
+        Whether the insertion also runs the swept 1 dB compression test
+        (Figure 1 lists it; it is the slowest test by far).
+    """
+
+    def __init__(
+        self,
+        gain_analyzer: Optional[GainAnalyzer] = None,
+        noise_meter: Optional[NoiseFigureMeter] = None,
+        spectrum_analyzer: Optional[SpectrumAnalyzer] = None,
+        include_p1db: bool = False,
+    ):
+        self.gain_analyzer = gain_analyzer or GainAnalyzer()
+        self.noise_meter = noise_meter or NoiseFigureMeter()
+        self.spectrum_analyzer = spectrum_analyzer or SpectrumAnalyzer()
+        self.include_p1db = include_p1db
+        #: time charged for the compression sweep when enabled (a swept
+        #: test re-levels the source at every point)
+        self.p1db_setup_time = 0.120
+        self.p1db_measure_time = 0.500
+
+    def test_device(
+        self, device: RFDevice, rng: np.random.Generator
+    ) -> ConventionalTestResult:
+        """Run the full conventional spec-test suite on one device."""
+        time = TestTimeBreakdown()
+
+        gain_db = self.gain_analyzer.measure_gain_db(device, rng=rng)
+        time.add(
+            "gain", self.gain_analyzer.setup_time, self.gain_analyzer.measure_time
+        )
+
+        nf_db = self.noise_meter.measure_nf_db(device, rng)
+        time.add(
+            "noise_figure", self.noise_meter.setup_time, self.noise_meter.measure_time
+        )
+
+        iip3_dbm = self.spectrum_analyzer.measure_iip3_dbm(device, rng)
+        time.add(
+            "iip3",
+            self.spectrum_analyzer.setup_time,
+            self.spectrum_analyzer.measure_time,
+        )
+
+        p1db = None
+        if self.include_p1db:
+            p1db = self.spectrum_analyzer.measure_p1db_dbm(device, rng=rng)
+            time.add("p1db", self.p1db_setup_time, self.p1db_measure_time)
+
+        specs = SpecSet(gain_db=gain_db, nf_db=nf_db, iip3_dbm=iip3_dbm)
+        return ConventionalTestResult(specs=specs, time=time, p1db_dbm=p1db)
+
+    def insertion_time(self) -> float:
+        """Seconds per device without running anything (for planning)."""
+        total = (
+            self.gain_analyzer.total_time()
+            + self.noise_meter.total_time()
+            + self.spectrum_analyzer.total_time()
+        )
+        if self.include_p1db:
+            total += self.p1db_setup_time + self.p1db_measure_time
+        return total

@@ -1,0 +1,89 @@
+"""Arbitrary waveform generator model.
+
+The low-cost tester's stimulus source (Section 1: "a RF signal generator,
+a baseband digitizer and an arbitrary waveform generator").  The AWG takes
+the optimized PWL stimulus and produces the physical baseband record,
+including the DAC's quantization, full-scale clipping and output noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.noise import add_awgn, quantize
+from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
+
+__all__ = ["ArbitraryWaveformGenerator"]
+
+
+class ArbitraryWaveformGenerator:
+    """Baseband AWG with finite resolution and full-scale range.
+
+    Parameters
+    ----------
+    sample_rate:
+        DAC update rate, Hz.
+    bits:
+        DAC resolution (default 12, typical of low-cost instruments).
+    full_scale:
+        Output range is +/- ``full_scale`` volts.
+    output_noise_vrms:
+        Broadband additive output noise.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        bits: int = 12,
+        full_scale: float = 1.0,
+        output_noise_vrms: float = 0.0,
+    ):
+        if not (sample_rate > 0):
+            raise ValueError("sample_rate must be positive")
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if not (full_scale > 0):
+            raise ValueError("full_scale must be positive")
+        if output_noise_vrms < 0:
+            raise ValueError("output_noise_vrms must be non-negative")
+        self.sample_rate = float(sample_rate)
+        self.bits = int(bits)
+        self.full_scale = float(full_scale)
+        self.output_noise_vrms = float(output_noise_vrms)
+
+    def play(
+        self,
+        stimulus: PiecewiseLinearStimulus,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """Render a PWL stimulus into a physical output record."""
+        wf = stimulus.to_waveform(self.sample_rate)
+        wf = quantize(wf, self.bits, self.full_scale)
+        if self.output_noise_vrms > 0.0 and rng is not None:
+            wf = add_awgn(wf, self.output_noise_vrms, rng)
+        return wf
+
+    def play_samples(
+        self,
+        samples: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """Render raw sample data (already at the AWG rate)."""
+        wf = Waveform(np.asarray(samples, dtype=float), self.sample_rate)
+        wf = quantize(wf, self.bits, self.full_scale)
+        if self.output_noise_vrms > 0.0 and rng is not None:
+            wf = add_awgn(wf, self.output_noise_vrms, rng)
+        return wf
+
+    @property
+    def lsb(self) -> float:
+        """One DAC step in volts."""
+        return 2.0 * self.full_scale / 2**self.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ArbitraryWaveformGenerator(fs={self.sample_rate:.3g} Hz, "
+            f"{self.bits}-bit, +/-{self.full_scale:.3g} V)"
+        )

@@ -1,0 +1,82 @@
+"""Gain-test instrument (the conventional ATE's "Gain test" of Figure 1).
+
+Implements a scalar gain measurement the way a production test program
+does: apply a CW tone at the test frequency and power, capture the DUT
+output, and report the output/input power ratio in dB.  The measurement
+exercises the DUT's actual signal path (``process_rf``), so compression
+and noise affect it realistically; instrument repeatability is modeled as
+a gaussian error in dB.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.device import RFDevice
+from repro.dsp.sources import dbm_to_vpeak, tone
+from repro.dsp.spectral import tone_amplitude
+
+__all__ = ["GainAnalyzer"]
+
+
+class GainAnalyzer:
+    """Single-tone gain measurement.
+
+    Parameters
+    ----------
+    test_power_dbm:
+        Stimulus power; keep well below the DUT's P1dB for small-signal
+        gain (the default -30 dBm suits LNAs).
+    repeatability_db:
+        1-sigma instrument repeatability.
+    n_cycles:
+        Number of carrier cycles captured (sets the record length).
+    setup_time / measure_time:
+        Seconds charged by the test-time model for configuring and running
+        this test.
+    """
+
+    def __init__(
+        self,
+        test_power_dbm: float = -30.0,
+        repeatability_db: float = 0.02,
+        n_cycles: int = 200,
+        setup_time: float = 0.080,
+        measure_time: float = 0.100,
+    ):
+        if repeatability_db < 0:
+            raise ValueError("repeatability must be non-negative")
+        if n_cycles < 8:
+            raise ValueError("need at least 8 carrier cycles")
+        self.test_power_dbm = float(test_power_dbm)
+        self.repeatability_db = float(repeatability_db)
+        self.n_cycles = int(n_cycles)
+        self.setup_time = float(setup_time)
+        self.measure_time = float(measure_time)
+
+    def measure_gain_db(
+        self,
+        device: RFDevice,
+        frequency: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Measure power gain at ``frequency`` (device center by default)."""
+        f = device.center_frequency if frequency is None else frequency
+        sample_rate = 16.0 * f
+        duration = self.n_cycles / f
+        amplitude = dbm_to_vpeak(self.test_power_dbm)
+        stimulus = tone(f, duration, sample_rate, amplitude=amplitude)
+        response = device.process_rf(stimulus, rng)
+        # a mixer DUT translates the tone to its IF; amplifiers leave it at f
+        f_out = getattr(device, "if_frequency", f)
+        out_amplitude = tone_amplitude(response, f_out)
+        gain_db = 20.0 * np.log10(out_amplitude / amplitude)
+        if rng is not None and self.repeatability_db > 0.0:
+            gain_db += rng.normal(0.0, self.repeatability_db)
+        return float(gain_db)
+
+    def total_time(self) -> float:
+        """Seconds of tester time this test consumes."""
+        return self.setup_time + self.measure_time

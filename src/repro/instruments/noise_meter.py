@@ -1,0 +1,83 @@
+"""Noise-figure meter (the conventional ATE's "Noise figure test").
+
+Implements the Y-factor method used by real NF meters: drive the DUT with
+a calibrated noise source in its cold (kT0) and hot (kT0 * (1 + ENR))
+states, measure the output noise powers, and compute
+``F = ENR / (Y - 1)`` from the power ratio ``Y``.
+
+The measurement goes through the DUT's real signal path, so the finite
+record length produces genuine estimator variance -- the paper's training
+specifications carry exactly this kind of measurement error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.device import RFDevice
+from repro.circuits.noisefig import enr_db_to_ratio, y_factor_nf_db
+from repro.dsp.noise import thermal_noise_vrms
+from repro.dsp.sources import white_noise
+
+__all__ = ["NoiseFigureMeter"]
+
+
+class NoiseFigureMeter:
+    """Y-factor noise-figure measurement.
+
+    Parameters
+    ----------
+    enr_db:
+        Excess-noise ratio of the noise source (15 dB is typical).
+    bandwidth_hz:
+        Measurement noise bandwidth.
+    record_seconds:
+        Length of each hot/cold record.
+    n_averages:
+        Number of hot/cold record pairs averaged.
+    setup_time / measure_time:
+        Seconds charged by the test-time model.
+    """
+
+    def __init__(
+        self,
+        enr_db: float = 15.0,
+        bandwidth_hz: float = 10e6,
+        record_seconds: float = 100e-6,
+        n_averages: int = 8,
+        setup_time: float = 0.150,
+        measure_time: float = 0.250,
+    ):
+        if bandwidth_hz <= 0 or record_seconds <= 0:
+            raise ValueError("bandwidth and record length must be positive")
+        if n_averages < 1:
+            raise ValueError("n_averages must be >= 1")
+        self.enr_db = float(enr_db)
+        self.bandwidth_hz = float(bandwidth_hz)
+        self.record_seconds = float(record_seconds)
+        self.n_averages = int(n_averages)
+        self.setup_time = float(setup_time)
+        self.measure_time = float(measure_time)
+
+    def measure_nf_db(self, device: RFDevice, rng: np.random.Generator) -> float:
+        """Measure the DUT noise figure.
+
+        ``rng`` is required: a noise measurement without noise is
+        meaningless.
+        """
+        sample_rate = 2.0 * self.bandwidth_hz
+        cold_vrms = thermal_noise_vrms(self.bandwidth_hz)
+        hot_vrms = cold_vrms * np.sqrt(1.0 + enr_db_to_ratio(self.enr_db))
+        p_hot = 0.0
+        p_cold = 0.0
+        for _ in range(self.n_averages):
+            cold_in = white_noise(self.record_seconds, sample_rate, cold_vrms, rng)
+            hot_in = white_noise(self.record_seconds, sample_rate, hot_vrms, rng)
+            p_cold += device.process_rf(cold_in, rng).rms() ** 2
+            p_hot += device.process_rf(hot_in, rng).rms() ** 2
+        y = p_hot / p_cold
+        return y_factor_nf_db(y, self.enr_db)
+
+    def total_time(self) -> float:
+        """Seconds of tester time this test consumes."""
+        return self.setup_time + self.measure_time

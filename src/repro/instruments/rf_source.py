@@ -1,0 +1,100 @@
+"""RF signal generator model.
+
+Supplies the carrier for the load-board mixers (10 dBm at 900 MHz in the
+paper's simulation experiment).  Models amplitude error and a simple
+phase-noise process.  Besides generating physical passband records for
+the brute-force simulator, the source also exposes its amplitude/phase
+directly for the fast envelope engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.sources import dbm_to_vpeak
+from repro.dsp.waveform import Waveform
+
+__all__ = ["RFSignalGenerator"]
+
+
+class RFSignalGenerator:
+    """A CW RF source with level error and phase noise.
+
+    Parameters
+    ----------
+    frequency:
+        Carrier frequency, Hz.
+    power_dbm:
+        Nominal output power into 50 ohms.
+    level_error_db_rms:
+        Gaussian run-to-run output-level error in dB (tester variation).
+    phase_noise_rad_rms:
+        RMS of a slow random phase wander across the record.
+    """
+
+    def __init__(
+        self,
+        frequency: float,
+        power_dbm: float = 10.0,
+        level_error_db_rms: float = 0.0,
+        phase_noise_rad_rms: float = 0.0,
+    ):
+        if not (frequency > 0):
+            raise ValueError("frequency must be positive")
+        if level_error_db_rms < 0 or phase_noise_rad_rms < 0:
+            raise ValueError("error magnitudes must be non-negative")
+        self.frequency = float(frequency)
+        self.power_dbm = float(power_dbm)
+        self.level_error_db_rms = float(level_error_db_rms)
+        self.phase_noise_rad_rms = float(phase_noise_rad_rms)
+
+    def realized_amplitude_phase(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[float, float]:
+        """One run's carrier amplitude (V peak) and phase offset (rad).
+
+        Used by the envelope-domain signature engine, which represents the
+        carrier analytically rather than as samples.
+        """
+        level_db = self.power_dbm
+        phase = 0.0
+        if rng is not None:
+            if self.level_error_db_rms > 0.0:
+                level_db += rng.normal(0.0, self.level_error_db_rms)
+            if self.phase_noise_rad_rms > 0.0:
+                phase = rng.normal(0.0, self.phase_noise_rad_rms)
+        return dbm_to_vpeak(level_db), phase
+
+    def generate(
+        self,
+        duration: float,
+        sample_rate: float,
+        rng: Optional[np.random.Generator] = None,
+        phase: float = 0.0,
+    ) -> Waveform:
+        """Physical passband carrier record (for the brute-force simulator)."""
+        if sample_rate < 2.0 * self.frequency:
+            raise ValueError(
+                f"sample rate {sample_rate:.3g} Hz cannot represent a "
+                f"{self.frequency:.3g} Hz carrier"
+            )
+        amplitude, phi0 = self.realized_amplitude_phase(rng)
+        n = max(1, int(round(duration * sample_rate)))
+        t = np.arange(n) / sample_rate
+        total_phase = 2.0 * math.pi * self.frequency * t + phase + phi0
+        if self.phase_noise_rad_rms > 0.0 and rng is not None:
+            # slow random-walk phase wander, normalized to the target RMS
+            walk = np.cumsum(rng.normal(0.0, 1.0, size=n))
+            walk_rms = float(np.sqrt(np.mean(walk**2)))
+            if walk_rms > 0:
+                total_phase = total_phase + walk * (self.phase_noise_rad_rms / walk_rms)
+        return Waveform(amplitude * np.sin(total_phase), sample_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RFSignalGenerator({self.frequency / 1e6:.6g} MHz, "
+            f"{self.power_dbm:+.1f} dBm)"
+        )

@@ -1,0 +1,333 @@
+"""Harmonic-envelope signal algebra.
+
+Simulating the signature path at the 900 MHz carrier rate would need
+multi-GHz sampling inside the genetic optimizer's fitness loop.  Instead
+we represent every signal as a sum of complex envelopes on the carrier
+harmonics:
+
+    v(t) = E_0(t) + sum_{h>0} Re[ E_h(t) exp(j h w_c t) ]
+
+with ``E_0`` real.  Multiplication of two such signals -- the only
+nonlinear operation the mixers and the polynomial DUT need -- is an exact
+convolution over harmonic indices:
+
+    T_k = sum_{i+j=k} T^A_i T^B_j,
+
+where ``T_0 = E_0``, ``T_h = E_h / 2`` and ``T_{-h} = conj(E_h) / 2`` is
+the two-sided form.  Because the mixers generate at most 3rd harmonics and
+the DUT polynomial is cubic, harmonic indices stay below 10 and the
+algebra is exact (no truncation error for the default ``max_harmonic``).
+
+Envelope arrays are sampled at the baseband rate, so a full signature-path
+simulation costs a few hundred small array products instead of millions of
+carrier-rate samples -- the math in Section 2.1 of the paper (Equations
+1-5) falls out of this algebra as a special case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.dsp.waveform import Waveform
+
+__all__ = ["EnvelopeSignal"]
+
+
+class EnvelopeSignal:
+    """A real signal represented by complex envelopes at carrier harmonics.
+
+    Parameters
+    ----------
+    envelopes:
+        Mapping of harmonic index ``h >= 0`` to a complex envelope array.
+        All arrays must share one length.  ``E_0`` is coerced to real.
+    sample_rate:
+        Envelope sampling rate (baseband rate), Hz.
+    carrier_freq:
+        The carrier frequency the harmonic indices refer to, Hz.
+    """
+
+    __slots__ = ("envelopes", "sample_rate", "carrier_freq")
+
+    def __init__(
+        self,
+        envelopes: Dict[int, np.ndarray],
+        sample_rate: float,
+        carrier_freq: float,
+    ):
+        if not (sample_rate > 0) or not (carrier_freq > 0):
+            raise ValueError("sample_rate and carrier_freq must be positive")
+        clean: Dict[int, np.ndarray] = {}
+        n = None
+        for h, env in envelopes.items():
+            if h < 0:
+                raise ValueError("harmonic indices must be >= 0 (one-sided form)")
+            arr = np.asarray(env, dtype=complex)
+            if arr.ndim != 1:
+                raise ValueError(f"envelope {h} must be 1-D")
+            if n is None:
+                n = len(arr)
+            elif len(arr) != n:
+                raise ValueError("all envelopes must share one length")
+            if h == 0:
+                arr = arr.real.astype(complex)
+            clean[h] = arr
+        if n is None:
+            raise ValueError("need at least one envelope")
+        self.envelopes = clean
+        self.sample_rate = float(sample_rate)
+        self.carrier_freq = float(carrier_freq)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_baseband(
+        cls, wf: Waveform, carrier_freq: float
+    ) -> "EnvelopeSignal":
+        """Wrap a real baseband record (harmonic 0 only)."""
+        return cls({0: wf.samples.astype(complex)}, wf.sample_rate, carrier_freq)
+
+    @classmethod
+    def sine_carrier(
+        cls,
+        n: int,
+        sample_rate: float,
+        carrier_freq: float,
+        amplitude: float = 1.0,
+        phase: float = 0.0,
+        offset_hz: float = 0.0,
+    ) -> "EnvelopeSignal":
+        """``amplitude * sin((w_c + 2 pi offset) t + phase)`` as an envelope.
+
+        ``sin(x) = Re[-j e^{jx}]``, so the harmonic-1 envelope is
+        ``-j * amplitude * exp(j (2 pi offset t + phase))``.  A nonzero
+        ``offset_hz`` represents an LO slightly detuned from the carrier
+        reference (Equation 5's offset-LO trick); the offset must stay
+        well inside the envelope bandwidth.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if abs(offset_hz) >= sample_rate / 2.0:
+            raise ValueError("LO offset must be below the envelope Nyquist rate")
+        t = np.arange(n) / sample_rate
+        env = -1j * amplitude * np.exp(1j * (2.0 * np.pi * offset_hz * t + phase))
+        return cls({1: env}, sample_rate, carrier_freq)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of envelope samples."""
+        return len(next(iter(self.envelopes.values())))
+
+    def harmonics(self) -> list:
+        """Sorted harmonic indices present."""
+        return sorted(self.envelopes)
+
+    def harmonic(self, h: int) -> np.ndarray:
+        """Envelope at harmonic ``h`` (zeros if absent)."""
+        if h in self.envelopes:
+            return self.envelopes[h]
+        return np.zeros(self.n, dtype=complex)
+
+    def baseband(self) -> np.ndarray:
+        """The real baseband component ``E_0``."""
+        return self.harmonic(0).real
+
+    def peak_passband_estimate(self) -> float:
+        """Upper bound on the instantaneous passband amplitude.
+
+        ``max_t sum_h |E_h(t)|`` -- used to check the DUT polynomial is
+        not driven beyond its physical validity range.
+        """
+        total = np.zeros(self.n)
+        for h, env in self.envelopes.items():
+            total += np.abs(env) if h > 0 else np.abs(env.real)
+        return float(np.max(total)) if self.n else 0.0
+
+    # ------------------------------------------------------------------
+    # linear operations
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "EnvelopeSignal") -> None:
+        if (
+            other.sample_rate != self.sample_rate
+            or other.carrier_freq != self.carrier_freq
+            or other.n != self.n
+        ):
+            raise ValueError("envelope signals are not compatible")
+
+    def __add__(self, other: "EnvelopeSignal") -> "EnvelopeSignal":
+        self._check_compatible(other)
+        out = {h: env.copy() for h, env in self.envelopes.items()}
+        for h, env in other.envelopes.items():
+            if h in out:
+                out[h] = out[h] + env
+            else:
+                out[h] = env.copy()
+        return EnvelopeSignal(out, self.sample_rate, self.carrier_freq)
+
+    def scale(self, factor: float) -> "EnvelopeSignal":
+        """Multiply the whole signal by a real constant."""
+        return EnvelopeSignal(
+            {h: env * factor for h, env in self.envelopes.items()},
+            self.sample_rate,
+            self.carrier_freq,
+        )
+
+    def keep_harmonics(self, harmonics: Iterable[int]) -> "EnvelopeSignal":
+        """Ideal filter: retain only the listed harmonic bands.
+
+        Models tuned couplings (an LNA's matched input passes only the
+        carrier band) and the final low-pass selection of harmonic 0.
+        """
+        keep = set(harmonics)
+        out = {h: env.copy() for h, env in self.envelopes.items() if h in keep}
+        if not out:
+            out = {0: np.zeros(self.n, dtype=complex)}
+        return EnvelopeSignal(out, self.sample_rate, self.carrier_freq)
+
+    # ------------------------------------------------------------------
+    # nonlinear operations
+    # ------------------------------------------------------------------
+    def _two_sided(self) -> Dict[int, np.ndarray]:
+        """Two-sided coefficient form ``T_h`` (see module docstring)."""
+        t: Dict[int, np.ndarray] = {}
+        for h, env in self.envelopes.items():
+            if h == 0:
+                t[0] = env.real.astype(complex)
+            else:
+                t[h] = env / 2.0
+                t[-h] = np.conj(env) / 2.0
+        return t
+
+    @staticmethod
+    def _fold(two_sided: Dict[int, np.ndarray], n: int) -> Dict[int, np.ndarray]:
+        """Collapse a two-sided coefficient dict back to one-sided envelopes."""
+        out: Dict[int, np.ndarray] = {}
+        for h, coeff in two_sided.items():
+            if h < 0:
+                continue
+            out[h] = coeff if h == 0 else 2.0 * coeff
+        if not out:
+            out = {0: np.zeros(n, dtype=complex)}
+        return out
+
+    def multiply(
+        self, other: "EnvelopeSignal", max_harmonic: int = 12
+    ) -> "EnvelopeSignal":
+        """Exact product of two envelope signals.
+
+        Convolves the two-sided harmonic coefficients; components beyond
+        ``max_harmonic`` are dropped (they would be filtered by the load
+        board anyway, and with cubic nonlinearities the default keeps
+        everything).
+        """
+        self._check_compatible(other)
+        a = self._two_sided()
+        b = other._two_sided()
+        acc: Dict[int, np.ndarray] = {}
+        for ha, ea in a.items():
+            for hb, eb in b.items():
+                k = ha + hb
+                if abs(k) > max_harmonic:
+                    continue
+                prod = ea * eb
+                if k in acc:
+                    acc[k] += prod
+                else:
+                    acc[k] = prod.copy()
+        return EnvelopeSignal(
+            self._fold(acc, self.n), self.sample_rate, self.carrier_freq
+        )
+
+    def power(self, exponent: int, max_harmonic: int = 12) -> "EnvelopeSignal":
+        """Integer power via repeated multiplication."""
+        if exponent < 1:
+            raise ValueError("exponent must be >= 1")
+        result = self
+        for _ in range(exponent - 1):
+            result = result.multiply(self, max_harmonic)
+        return result
+
+    def apply_polynomial(
+        self, a1: float, a2: float, a3: float, max_harmonic: int = 12
+    ) -> "EnvelopeSignal":
+        """Apply ``a1 x + a2 x^2 + a3 x^3`` exactly in the envelope domain."""
+        out = self.scale(a1)
+        if a2 != 0.0:
+            out = out + self.power(2, max_harmonic).scale(a2)
+        if a3 != 0.0:
+            out = out + self.power(3, max_harmonic).scale(a3)
+        return out
+
+    # ------------------------------------------------------------------
+    # conversion back to sampled signals
+    # ------------------------------------------------------------------
+    def to_passband(self, passband_rate: float) -> Waveform:
+        """Reconstruct the real passband signal at ``passband_rate``.
+
+        Used only by validation tests; requires a rate above twice the
+        highest harmonic present.
+        """
+        h_max = max(self.harmonics())
+        if passband_rate < 2.0 * (h_max * self.carrier_freq + self.sample_rate / 2.0):
+            raise ValueError("passband rate too low for the harmonics present")
+        n_out = int(round(self.n * passband_rate / self.sample_rate))
+        t_out = np.arange(n_out) / passband_rate
+        t_env = np.arange(self.n) / self.sample_rate
+        out = np.zeros(n_out)
+        for h, env in self.envelopes.items():
+            re = np.interp(t_out, t_env, env.real)
+            if h == 0:
+                out += re
+                continue
+            im = np.interp(t_out, t_env, env.imag)
+            phase = 2.0 * np.pi * h * self.carrier_freq * t_out
+            out += re * np.cos(phase) - im * np.sin(phase)
+        return Waveform(out, passband_rate)
+
+    def baseband_waveform(self) -> Waveform:
+        """The harmonic-0 content as a real waveform."""
+        return Waveform(self.baseband(), self.sample_rate)
+
+    def filter_harmonic(self, h: int, bandwidth_hz: float) -> "EnvelopeSignal":
+        """One-pole low-pass the envelope of harmonic ``h``.
+
+        In passband terms this is a symmetric single-pole *bandpass* of
+        half-width ``bandwidth_hz`` around ``h * f_c`` -- the standard
+        model for a DUT whose matching network or bias circuit limits
+        its modulation bandwidth.  Other harmonics pass untouched.
+        """
+        if not (0.0 < bandwidth_hz < self.sample_rate / 2.0):
+            raise ValueError("bandwidth must lie in (0, envelope Nyquist)")
+        out = {k: env.copy() for k, env in self.envelopes.items()}
+        if h in out:
+            env = out[h]
+            # bilinear-transform one-pole on the complex envelope
+            import math
+
+            wc = 2.0 * self.sample_rate * math.tan(
+                math.pi * bandwidth_hz / self.sample_rate
+            )
+            k = 2.0 * self.sample_rate
+            b0 = wc / (k + wc)
+            a1 = (wc - k) / (k + wc)
+            y = np.empty_like(env)
+            prev_x = 0.0 + 0.0j
+            prev_y = 0.0 + 0.0j
+            for i, x in enumerate(env):
+                y[i] = b0 * (x + prev_x) - a1 * prev_y
+                prev_x = x
+                prev_y = y[i]
+            out[h] = y
+        return EnvelopeSignal(out, self.sample_rate, self.carrier_freq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EnvelopeSignal(harmonics={self.harmonics()}, n={self.n}, "
+            f"fs={self.sample_rate:.3g} Hz, fc={self.carrier_freq:.3g} Hz)"
+        )

@@ -1,0 +1,377 @@
+"""The signature test path: stimulus -> mixer -> DUT -> mixer -> LPF -> ADC.
+
+Implements the configurations of Figures 2 and 3 of the paper:
+
+* **Basic configuration** (Figure 2): both mixers driven from the same
+  carrier.  A path phase mismatch ``phi`` scales the signature by
+  ``cos(phi)`` (Equation 4) and can null it completely.
+* **Modified configuration** (Figure 3): the second LO is offset by
+  ``lo_offset_hz`` (Equation 5) and the FFT *magnitude* of the captured
+  record is used as the signature, which removes the phase dependence.
+
+The simulation runs in the harmonic-envelope domain
+(:mod:`repro.loadboard.envelope`), which reproduces the passband physics
+exactly for the cubic mixers/DUT while sampling only at baseband rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.circuits.device import RFDevice
+from repro.circuits.noisefig import added_output_noise_vrms
+from repro.dsp.filters import ButterworthLowpass
+from repro.dsp.mixer import Mixer
+from repro.dsp.sources import dbm_to_vpeak
+from repro.dsp.spectral import fft_magnitude_signature
+from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
+from repro.instruments.digitizer import BasebandDigitizer
+from repro.loadboard.envelope import EnvelopeSignal
+
+__all__ = [
+    "SignaturePathConfig",
+    "SignatureTestBoard",
+    "mix_envelope",
+    "simulation_config",
+    "hardware_config",
+]
+
+
+def mix_envelope(
+    mixer: Mixer,
+    rf: EnvelopeSignal,
+    lo: EnvelopeSignal,
+    max_harmonic: int = 12,
+) -> EnvelopeSignal:
+    """Apply a behavioral mixer's cross-product table in the envelope domain.
+
+    Same model as :meth:`repro.dsp.mixer.Mixer.mix`, but operating on
+    :class:`EnvelopeSignal` operands:  ``out = g * sum c_mn rf^m lo^n``.
+    """
+    max_m = max(m for m, _ in mixer.harmonics.coeffs)
+    max_n = max(n for _, n in mixer.harmonics.coeffs)
+    rf_pows = {1: rf}
+    lo_pows = {1: lo}
+    for p in range(2, max_m + 1):
+        rf_pows[p] = rf_pows[p - 1].multiply(rf, max_harmonic)
+    for p in range(2, max_n + 1):
+        lo_pows[p] = lo_pows[p - 1].multiply(lo, max_harmonic)
+    out: Optional[EnvelopeSignal] = None
+    for (m, n), c in mixer.harmonics.coeffs.items():
+        term = rf_pows[m].multiply(lo_pows[n], max_harmonic).scale(c)
+        out = term if out is None else out + term
+    assert out is not None  # coeffs table is never empty
+    return out.scale(mixer.conversion_gain)
+
+
+@dataclass
+class SignaturePathConfig:
+    """Everything that defines one signature-test setup.
+
+    Attributes mirror the hardware: carrier source, the two load-board
+    mixers, LPF, digitizer, and the DUT coupling style.
+
+    ``dut_coupling`` is ``"tuned"`` for narrowband DUTs (an LNA's matched
+    input/output pass only the carrier band) or ``"wideband"`` for DUTs
+    that pass all products.
+    """
+
+    carrier_freq: float = 900e6
+    carrier_power_dbm: float = 10.0
+    lo_offset_hz: float = 0.0
+    path_phase_rad: float = 0.0
+    random_path_phase: bool = False
+    mixer1: Mixer = field(default_factory=lambda: Mixer(conversion_gain=0.5))
+    mixer2: Mixer = field(default_factory=lambda: Mixer(conversion_gain=0.5))
+    lpf_order: int = 5
+    lpf_cutoff_hz: float = 10e6
+    digitizer_rate: float = 20e6
+    digitizer_noise_vrms: float = 1e-3
+    digitizer_bits: Optional[int] = None
+    capture_seconds: float = 5e-6
+    envelope_oversample: int = 4
+    dut_coupling: str = "tuned"
+    include_device_noise: bool = True
+    max_harmonic: int = 12
+    #: fixture losses between the board and the DUT ports, in dB --
+    #: nonzero for probe cards (wafer-level test) or lossy sockets
+    input_loss_db: float = 0.0
+    output_loss_db: float = 0.0
+    #: low-cost tester overhead per insertion (single configuration,
+    #: Section 2 advantage 2: no per-test setup)
+    setup_time: float = 0.010
+
+    def __post_init__(self):
+        if self.dut_coupling not in ("tuned", "wideband"):
+            raise ValueError("dut_coupling must be 'tuned' or 'wideband'")
+        if self.input_loss_db < 0 or self.output_loss_db < 0:
+            raise ValueError("fixture losses must be non-negative dB")
+        if self.envelope_oversample < 1:
+            raise ValueError("envelope_oversample must be >= 1")
+        if not (0 < self.lpf_cutoff_hz < self.digitizer_rate):
+            raise ValueError("LPF cutoff must be positive and near the capture band")
+        if abs(self.lo_offset_hz) >= self.engine_rate / 2.0:
+            raise ValueError("LO offset exceeds the envelope bandwidth")
+
+    @property
+    def engine_rate(self) -> float:
+        """Internal envelope simulation rate."""
+        return self.envelope_oversample * self.digitizer_rate
+
+    @property
+    def carrier_amplitude(self) -> float:
+        """Carrier peak amplitude in volts."""
+        return dbm_to_vpeak(self.carrier_power_dbm)
+
+    def total_test_time(self) -> float:
+        """Tester seconds for one signature insertion."""
+        return self.setup_time + self.capture_seconds
+
+
+class SignatureTestBoard:
+    """Simulates one capture through the load board of Figure 2/3.
+
+    After every capture, :attr:`last_overdrive_ratio` records the DUT
+    input peak relative to the device polynomial's saturation amplitude.
+    Ratios approaching 1 mean the cubic model is leaving its physical
+    validity range; the stimulus optimizer penalizes such drive levels.
+    """
+
+    def __init__(self, config: SignaturePathConfig):
+        self.config = config
+        self._lpf = ButterworthLowpass(
+            config.lpf_order, config.lpf_cutoff_hz, config.engine_rate
+        )
+        self._digitizer = BasebandDigitizer(
+            sample_rate=config.digitizer_rate,
+            bits=config.digitizer_bits,
+            noise_vrms=config.digitizer_noise_vrms,
+        )
+        #: peak DUT drive / saturation amplitude of the last capture
+        self.last_overdrive_ratio: float = 0.0
+
+    # ------------------------------------------------------------------
+    # stimulus handling
+    # ------------------------------------------------------------------
+    def _stimulus_record(
+        self, stimulus: Union[Waveform, PiecewiseLinearStimulus]
+    ) -> Waveform:
+        """Render the stimulus at the engine rate, padded to the capture.
+
+        Accepts a raw :class:`Waveform` or any stimulus object exposing
+        ``to_waveform(sample_rate)`` (PWL, multitone, ...).
+        """
+        cfg = self.config
+        if hasattr(stimulus, "to_waveform"):
+            wf = stimulus.to_waveform(cfg.engine_rate)
+        else:
+            wf = stimulus
+            if wf.sample_rate != cfg.engine_rate:
+                wf = wf.resample(cfg.engine_rate)
+        n_needed = int(round(cfg.capture_seconds * cfg.engine_rate))
+        if len(wf) < n_needed:
+            wf = wf.pad_to(n_needed)
+        elif len(wf) > n_needed:
+            wf = Waveform(wf.samples[:n_needed], cfg.engine_rate, wf.t0)
+        return wf
+
+    # ------------------------------------------------------------------
+    # the full path
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        device: RFDevice,
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """One signature acquisition: the digitized baseband response."""
+        cfg = self.config
+        x = self._stimulus_record(stimulus)
+        n = len(x)
+
+        rf_in = EnvelopeSignal.from_baseband(x, cfg.carrier_freq)
+        lo1 = EnvelopeSignal.sine_carrier(
+            n,
+            cfg.engine_rate,
+            cfg.carrier_freq,
+            amplitude=cfg.carrier_amplitude,
+            phase=0.0,
+        )
+        upconverted = mix_envelope(cfg.mixer1, rf_in, lo1, cfg.max_harmonic)
+        if cfg.input_loss_db > 0.0:
+            upconverted = upconverted.scale(10.0 ** (-cfg.input_loss_db / 20.0))
+
+        from repro.circuits.nonlinear import PolynomialNonlinearity
+
+        a1, a2, a3 = device.envelope_poly()
+        poly = PolynomialNonlinearity(a1, a2, a3)
+        sat = poly.saturation_amplitude
+
+        if cfg.dut_coupling == "tuned":
+            # Narrowband DUT: only the carrier band reaches the
+            # nonlinearity, so the describing function of the *saturating*
+            # transfer is exact -- physical gain compression at any drive,
+            # without the raw cubic's fold-back.
+            dut_in = upconverted.keep_harmonics([1])
+            u1 = dut_in.harmonic(1)
+            amps = np.abs(u1)
+            peak = float(amps.max()) if len(amps) else 0.0
+            self.last_overdrive_ratio = peak / sat if np.isfinite(sat) else 0.0
+            if peak > 0.0:
+                grid, table = poly.describing_gain_table(1.01 * peak)
+                gain = np.interp(amps, grid, table)
+            else:
+                gain = np.full_like(amps, a1, dtype=float)
+            dut_out = EnvelopeSignal(
+                {1: gain * u1}, dut_in.sample_rate, dut_in.carrier_freq
+            )
+        else:
+            # Wideband DUT: every product reaches the polynomial.  Only
+            # valid below the fold-back point; the optimizer's drive
+            # penalty keeps stimuli inside that range.
+            dut_in = upconverted
+            peak = dut_in.peak_passband_estimate()
+            self.last_overdrive_ratio = peak / sat if np.isfinite(sat) else 0.0
+            dut_out = dut_in.apply_polynomial(a1, a2, a3, cfg.max_harmonic)
+
+        # DUT envelope dynamics: a finite modulation bandwidth low-passes
+        # the carrier-band envelope (tuned coupling only -- a wideband DUT
+        # with memory is outside this model's scope)
+        env_bw = getattr(device, "envelope_bandwidth", None)
+        if env_bw is not None and cfg.dut_coupling == "tuned":
+            dut_out = dut_out.filter_harmonic(1, env_bw)
+
+        if cfg.output_loss_db > 0.0:
+            dut_out = dut_out.scale(10.0 ** (-cfg.output_loss_db / 20.0))
+
+        if cfg.include_device_noise and rng is not None:
+            dut_out = self._add_device_noise(dut_out, device, rng)
+
+        phase = cfg.path_phase_rad
+        if cfg.random_path_phase:
+            if rng is None:
+                raise ValueError("random_path_phase requires an rng")
+            phase = phase + rng.uniform(0.0, 2.0 * np.pi)
+        lo2 = EnvelopeSignal.sine_carrier(
+            n,
+            cfg.engine_rate,
+            cfg.carrier_freq,
+            amplitude=cfg.carrier_amplitude,
+            phase=phase,
+            offset_hz=cfg.lo_offset_hz,
+        )
+        downconverted = mix_envelope(cfg.mixer2, dut_out, lo2, cfg.max_harmonic)
+
+        baseband = downconverted.keep_harmonics([0]).baseband_waveform()
+        filtered = self._lpf.apply_fft(baseband)
+        return self._digitizer.capture(filtered, cfg.capture_seconds, rng)
+
+    def _add_device_noise(
+        self,
+        dut_out: EnvelopeSignal,
+        device: RFDevice,
+        rng: np.random.Generator,
+    ) -> EnvelopeSignal:
+        """Inject the DUT's added thermal noise on the carrier band.
+
+        The complex envelope of bandpass noise occupying ``engine_rate``
+        hertz around the carrier has independent gaussian quadratures of
+        standard deviation equal to the real noise RMS in that band.
+        """
+        specs = device.specs()
+        sigma = added_output_noise_vrms(
+            specs.gain_db, specs.nf_db, self.config.engine_rate
+        )
+        if sigma <= 0.0:
+            return dut_out
+        n = dut_out.n
+        noise_env = sigma * (rng.normal(size=n) + 1j * rng.normal(size=n))
+        noisy = EnvelopeSignal(
+            {1: dut_out.harmonic(1) + noise_env},
+            dut_out.sample_rate,
+            dut_out.carrier_freq,
+        )
+        # carry the other harmonics through untouched
+        for h in dut_out.harmonics():
+            if h != 1:
+                noisy.envelopes[h] = dut_out.harmonic(h)
+        return noisy
+
+    # ------------------------------------------------------------------
+    # signature extraction (Figure 3: FFT magnitude)
+    # ------------------------------------------------------------------
+    def signature(
+        self,
+        device: RFDevice,
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+        n_bins: Optional[int] = None,
+        log_scale: bool = False,
+    ) -> np.ndarray:
+        """Capture and reduce to the FFT-magnitude signature vector."""
+        record = self.capture(device, stimulus, rng)
+        return fft_magnitude_signature(
+            record, n_bins=n_bins, log_scale=log_scale
+        )
+
+    def time_signature(
+        self,
+        device: RFDevice,
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Raw time-domain signature (phase-sensitive; Figure 2 style).
+
+        Provided for the phase-robustness study -- the paper's Section 2.1
+        shows why this signature fails under path-phase variation.
+        """
+        return self.capture(device, stimulus, rng).samples.copy()
+
+
+def simulation_config() -> SignaturePathConfig:
+    """The paper's simulation setup (Section 4.1).
+
+    10 dBm, 900 MHz carrier driving both mixers; mixers generating 2nd and
+    3rd harmonic cross products; 10 MHz low-pass; response sampled at
+    20 MHz; 5 us stimulus; 1 mV gaussian measurement noise.
+    """
+    return SignaturePathConfig(
+        carrier_freq=900e6,
+        carrier_power_dbm=10.0,
+        lo_offset_hz=0.0,
+        lpf_cutoff_hz=10e6,
+        lpf_order=5,
+        digitizer_rate=20e6,
+        digitizer_noise_vrms=1e-3,
+        digitizer_bits=None,
+        capture_seconds=5e-6,
+        envelope_oversample=4,
+        dut_coupling="tuned",
+    )
+
+
+def hardware_config() -> SignaturePathConfig:
+    """The paper's hardware prototype setup (Section 4.2).
+
+    100 kHz offset between the mixer LO frequencies (900 MHz and
+    900.1 MHz), 1 MHz digitizing rate, 5 ms capture; FFT magnitudes used
+    as the signature to remove the phase dependence of the test-lead
+    interconnects (modeled as a random path phase per insertion).
+    """
+    return SignaturePathConfig(
+        carrier_freq=900e6,
+        carrier_power_dbm=10.0,
+        lo_offset_hz=100e3,
+        random_path_phase=True,
+        lpf_cutoff_hz=450e3,
+        lpf_order=5,
+        digitizer_rate=1e6,
+        digitizer_noise_vrms=2e-3,
+        digitizer_bits=12,
+        capture_seconds=5e-3,
+        envelope_oversample=4,
+        dut_coupling="tuned",
+    )

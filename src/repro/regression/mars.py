@@ -1,0 +1,158 @@
+"""Forward-stagewise adaptive hinge regression (MARS-style).
+
+A from-scratch implementation of the multivariate-adaptive-regression
+family the paper's references [4] and [9] draw on: the model is a sum of
+hinge basis functions
+
+    y ~ b0 + sum_m c_m * h_m(x),    h(x) = max(0, +/-(x_j - t))
+
+grown greedily.  Each forward step scans every (feature, knot, sign)
+candidate, adds the pair of hinges that most reduces the residual sum of
+squares, and refits all coefficients by least squares.  Growth stops at
+``max_terms`` or when the generalized cross-validation (GCV) score stops
+improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["HingeBasis", "MARSRegressor"]
+
+
+@dataclass(frozen=True)
+class HingeBasis:
+    """One hinge function ``max(0, sign * (x[feature] - knot))``."""
+
+    feature: int
+    knot: float
+    sign: int  # +1 or -1
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        v = self.sign * (x[:, self.feature] - self.knot)
+        return np.maximum(v, 0.0)
+
+
+class MARSRegressor:
+    """Greedy hinge-basis regression.
+
+    Parameters
+    ----------
+    max_terms:
+        Maximum number of hinge bases (pairs count as two).
+    n_knots:
+        Candidate knots per feature (taken at training-data quantiles).
+    min_improvement:
+        Forward growth stops when the relative GCV improvement of the
+        best candidate falls below this threshold.
+    ridge:
+        Small L2 term stabilizing the repeated least-squares refits.
+    """
+
+    def __init__(
+        self,
+        max_terms: int = 10,
+        n_knots: int = 7,
+        min_improvement: float = 1e-4,
+        ridge: float = 1e-8,
+    ):
+        if max_terms < 2:
+            raise ValueError("max_terms must be >= 2")
+        if n_knots < 1:
+            raise ValueError("n_knots must be >= 1")
+        self.max_terms = int(max_terms)
+        self.n_knots = int(n_knots)
+        self.min_improvement = float(min_improvement)
+        self.ridge = float(ridge)
+        self.bases_: List[HingeBasis] = []
+        self.coef_: Optional[np.ndarray] = None  # includes intercept first
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def _design(self, x: np.ndarray, bases: List[HingeBasis]) -> np.ndarray:
+        cols = [np.ones(len(x))]
+        cols.extend(b.evaluate(x) for b in bases)
+        return np.column_stack(cols)
+
+    def _solve(self, design: np.ndarray, y: np.ndarray) -> np.ndarray:
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        return np.linalg.solve(gram, design.T @ y)
+
+    def _gcv(self, rss: float, n: int, n_params: int) -> float:
+        """Friedman's GCV criterion with the usual complexity penalty."""
+        penalty = n_params + 0.5 * 3.0 * (n_params - 1)
+        denom = (1.0 - penalty / n) ** 2 if penalty < n else np.inf
+        return np.inf if denom == 0 or not np.isfinite(denom) else rss / (n * denom)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MARSRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError("x must be (n, d) and y (n,)")
+        n, d = x.shape
+        if n < 4:
+            raise ValueError("need at least four training samples")
+
+        # candidate knots at interior quantiles of each feature
+        qs = np.linspace(0.0, 1.0, self.n_knots + 2)[1:-1]
+        knots = [np.quantile(x[:, j], qs) for j in range(d)]
+
+        bases: List[HingeBasis] = []
+        design = self._design(x, bases)
+        coef = self._solve(design, y)
+        resid = y - design @ coef
+        best_gcv = self._gcv(float(resid @ resid), n, design.shape[1])
+
+        while len(bases) + 2 <= self.max_terms:
+            best: Optional[tuple] = None
+            for j in range(d):
+                for t in knots[j]:
+                    pair = [
+                        HingeBasis(j, float(t), +1),
+                        HingeBasis(j, float(t), -1),
+                    ]
+                    if any(b in bases for b in pair):
+                        continue
+                    trial = np.column_stack(
+                        [design] + [b.evaluate(x) for b in pair]
+                    )
+                    c = self._solve(trial, y)
+                    r = y - trial @ c
+                    gcv = self._gcv(float(r @ r), n, trial.shape[1])
+                    if best is None or gcv < best[0]:
+                        best = (gcv, pair, trial, c)
+            if best is None:
+                break
+            gcv, pair, trial, c = best
+            if best_gcv - gcv < self.min_improvement * max(best_gcv, 1e-300):
+                break
+            bases.extend(pair)
+            design = trial
+            coef = c
+            best_gcv = gcv
+
+        self.bases_ = bases
+        self.coef_ = coef
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = self._design(x, self.bases_) @ self.coef_
+        return out[0] if single else out
+
+    @property
+    def n_terms(self) -> int:
+        """Number of hinge bases in the fitted model."""
+        return len(self.bases_)

@@ -1,0 +1,92 @@
+"""k-fold cross-validation and model selection.
+
+The calibration stage picks, per specification, whichever regression
+pipeline cross-validates best on the training devices.  Model factories
+(zero-argument callables returning unfitted models) keep state from
+leaking between folds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.regression.metrics import rmse
+
+__all__ = ["kfold_indices", "cross_val_rmse", "select_best_model"]
+
+ModelFactory = Callable[[], object]
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold split of ``range(n)`` into (train, test) index pairs."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"cannot split {n} samples into {k} folds")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_val_rmse(
+    factory: ModelFactory,
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> float:
+    """Mean held-out RMSE over ``k`` folds.
+
+    A model that fails to fit on some fold (e.g. a degenerate design
+    matrix) is charged an infinite score rather than crashing the
+    selection loop.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores = []
+    for train, test in kfold_indices(len(x), k, rng):
+        model = factory()
+        try:
+            model.fit(x[train], y[train])
+            scores.append(rmse(y[test], model.predict(x[test])))
+        except (np.linalg.LinAlgError, ValueError):
+            return float("inf")
+    return float(np.mean(scores))
+
+
+def select_best_model(
+    candidates: Dict[str, ModelFactory],
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    rng: np.random.Generator | None = None,
+) -> Tuple[str, object, Dict[str, float]]:
+    """Cross-validate every candidate and refit the winner on all data.
+
+    Returns ``(name, fitted_model, scores)``.
+    """
+    if not candidates:
+        raise ValueError("no candidate models supplied")
+    rng = rng if rng is not None else np.random.default_rng()
+    # one split seed shared by every candidate so they see the same folds
+    split_seed = int(rng.integers(0, 2**31 - 1))
+    scores: Dict[str, float] = {}
+    for name, factory in candidates.items():
+        scores[name] = cross_val_rmse(
+            factory, x, y, k, np.random.default_rng(split_seed)
+        )
+    best_name = min(scores, key=scores.get)
+    if not np.isfinite(scores[best_name]):
+        raise RuntimeError("every candidate model failed cross-validation")
+    best = candidates[best_name]()
+    best.fit(np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+    return best_name, best, scores

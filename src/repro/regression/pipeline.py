@@ -1,0 +1,48 @@
+"""Composable transform + regressor pipelines.
+
+A pipeline owns the full signature-to-spec path of Figure 5:
+standardize the raw FFT-bin signature, optionally compress it with PCA,
+then regress.  The same fitted pipeline is used at calibration time (fit)
+and production time (predict).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """Sequential transforms ending in a regressor.
+
+    Every step except the last must expose ``fit``/``transform``; the
+    last must expose ``fit(X, y)``/``predict(X)``.
+    """
+
+    def __init__(self, steps: Sequence):
+        steps = list(steps)
+        if not steps:
+            raise ValueError("pipeline needs at least a final regressor")
+        for s in steps[:-1]:
+            if not (hasattr(s, "fit") and hasattr(s, "transform")):
+                raise TypeError(f"{s!r} is not a transformer")
+        last = steps[-1]
+        if not (hasattr(last, "fit") and hasattr(last, "predict")):
+            raise TypeError(f"{last!r} is not a regressor")
+        self.steps: List = steps
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Pipeline":
+        z = np.asarray(x, dtype=float)
+        for s in self.steps[:-1]:
+            z = s.fit(z).transform(z)
+        self.steps[-1].fit(z, np.asarray(y, dtype=float))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        z = np.asarray(x, dtype=float)
+        for s in self.steps[:-1]:
+            z = s.transform(z)
+        return self.steps[-1].predict(z)

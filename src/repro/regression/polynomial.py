@@ -1,0 +1,94 @@
+"""Polynomial feature expansion and polynomial ridge regression.
+
+The calibration relationship between FFT-bin magnitudes and specs in dB
+is mildly nonlinear (log compression, describing-function gain).  A
+degree-2 polynomial over a PCA-compressed signature captures most of that
+curvature at very low model complexity.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.regression.linear import RidgeRegression
+
+__all__ = ["PolynomialFeatures", "PolynomialRidge"]
+
+
+class PolynomialFeatures:
+    """Expand features with all monomials up to ``degree``.
+
+    For inputs ``(x1, .., xd)`` and degree 2 the output columns are
+    ``x1..xd, x1^2, x1 x2, .., xd^2`` (no constant column -- downstream
+    models fit their own intercept).
+    """
+
+    def __init__(self, degree: int = 2, interaction_only: bool = False):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = int(degree)
+        self.interaction_only = bool(interaction_only)
+        self._combos: Optional[List[Tuple[int, ...]]] = None
+        self._n_inputs: Optional[int] = None
+
+    def fit(self, x: np.ndarray) -> "PolynomialFeatures":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be (n_samples, n_features)")
+        d = x.shape[1]
+        combos: List[Tuple[int, ...]] = []
+        for deg in range(1, self.degree + 1):
+            for combo in combinations_with_replacement(range(d), deg):
+                if self.interaction_only and len(set(combo)) != len(combo):
+                    continue
+                combos.append(combo)
+        self._combos = combos
+        self._n_inputs = d
+        return self
+
+    @property
+    def n_output_features(self) -> int:
+        if self._combos is None:
+            raise RuntimeError("not fitted")
+        return len(self._combos)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._combos is None or self._n_inputs is None:
+            raise RuntimeError("not fitted")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self._n_inputs:
+            raise ValueError(
+                f"feature count {x.shape[1]} != fitted {self._n_inputs}"
+            )
+        cols = [np.prod(x[:, combo], axis=1) for combo in self._combos]
+        out = np.column_stack(cols)
+        return out[0] if single else out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class PolynomialRidge:
+    """Ridge regression on polynomial features.
+
+    Intended for low-dimensional inputs (apply PCA first for FFT-bin
+    signatures); the feature count grows combinatorially with dimension.
+    """
+
+    def __init__(self, degree: int = 2, alpha: float = 1.0):
+        self.features = PolynomialFeatures(degree=degree)
+        self.model = RidgeRegression(alpha=alpha)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PolynomialRidge":
+        z = self.features.fit_transform(np.asarray(x, dtype=float))
+        self.model.fit(z, np.asarray(y, dtype=float))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict(self.features.transform(np.asarray(x, dtype=float)))

@@ -1,0 +1,70 @@
+"""Production-test runtime: the paper's FASTest Runtime System (Figure 5).
+
+* :mod:`repro.runtime.specs` -- datasheet limits and pass/fail binning.
+* :mod:`repro.runtime.calibration` -- one-time training: measure specs on
+  the RF ATE and signatures on the low-cost tester for the training
+  devices, fit normalized regression relationships.
+* :mod:`repro.runtime.production` -- the production flow: signature
+  capture on the low-cost tester, spec prediction, binning, throughput
+  accounting.
+* :mod:`repro.runtime.economics` -- test-time and test-cost comparison of
+  the conventional and signature flows.
+"""
+
+from repro.runtime.specs import SpecificationLimit, SpecificationLimits
+from repro.runtime.calibration import CalibrationModel, CalibrationSession
+from repro.runtime.production import (
+    DeviceTestRecord,
+    ProductionRunResult,
+    ProductionTestFlow,
+)
+from repro.runtime.economics import (
+    TesterCostModel,
+    FlowEconomics,
+    compare_flows,
+)
+from repro.runtime.binning import (
+    BinningReport,
+    confusion,
+    guard_banded_limits,
+    sweep_guard_band,
+)
+from repro.runtime.outlier import OutlierScore, SignatureOutlierScreen
+from repro.runtime.normalization import GoldenDeviceNormalizer
+from repro.runtime.monitoring import GoldenSignatureMonitor, MonitorState
+from repro.runtime.diagnosis import ParameterDiagnosis, ParameterDiagnosisModel
+from repro.runtime.compaction import CompactionResult, compact_test_set
+from repro.runtime.artifacts import (
+    TestProgram,
+    load_test_program,
+    save_test_program,
+)
+
+__all__ = [
+    "SpecificationLimit",
+    "SpecificationLimits",
+    "CalibrationModel",
+    "CalibrationSession",
+    "DeviceTestRecord",
+    "ProductionRunResult",
+    "ProductionTestFlow",
+    "TesterCostModel",
+    "FlowEconomics",
+    "compare_flows",
+    "BinningReport",
+    "confusion",
+    "guard_banded_limits",
+    "sweep_guard_band",
+    "OutlierScore",
+    "SignatureOutlierScreen",
+    "GoldenDeviceNormalizer",
+    "GoldenSignatureMonitor",
+    "MonitorState",
+    "ParameterDiagnosis",
+    "ParameterDiagnosisModel",
+    "CompactionResult",
+    "compact_test_set",
+    "TestProgram",
+    "save_test_program",
+    "load_test_program",
+]

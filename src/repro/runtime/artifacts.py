@@ -1,0 +1,106 @@
+"""Test-program artifacts: persisting and reloading a deployed flow.
+
+A production test program is an *artifact*: the optimized stimulus and
+the fitted calibration model travel from the test-engineering bench to
+many testers on the floor, and must reload bit-exactly months later.
+:func:`save_test_program` / :func:`load_test_program` serialize the pair
+(plus limits and metadata) to a single file.
+
+Format: a ``pickle`` payload wrapped with a magic string and a format
+version, so stale or foreign files fail loudly instead of unpickling
+garbage.  Pickle is appropriate here because the artifact is produced
+and consumed by the same library on a trusted test floor; the loader
+still verifies the header before touching the payload.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.runtime.calibration import CalibrationModel
+from repro.runtime.specs import SpecificationLimits
+
+__all__ = ["TestProgram", "save_test_program", "load_test_program"]
+
+_MAGIC = b"repro-test-program"
+_VERSION = 1
+
+
+@dataclass
+class TestProgram:
+    """Everything a production tester needs to run signature test.
+
+    Attributes
+    ----------
+    stimulus:
+        The optimized PWL stimulus.
+    calibration:
+        Fitted signature -> spec pipelines.
+    limits:
+        Optional datasheet limits for binning.
+    metadata:
+        Free-form provenance (DUT name, calibration date, tester id...).
+    """
+
+    stimulus: PiecewiseLinearStimulus
+    calibration: CalibrationModel
+    limits: Optional[SpecificationLimits] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"stimulus: {self.stimulus.n_breakpoints} breakpoints over "
+            f"{self.stimulus.duration * 1e6:.3g} us "
+            f"(limit +/-{self.stimulus.v_limit:.3g} V)",
+            "calibration models:",
+        ]
+        for name in self.calibration.spec_names:
+            lines.append(f"  {name}: {self.calibration.chosen[name]}")
+        if self.limits is not None:
+            lines.append(f"limits on: {sorted(self.limits.limits)}")
+        for key, value in sorted(self.metadata.items()):
+            lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+
+def save_test_program(program: TestProgram, path: Union[str, Path]) -> Path:
+    """Write a test program to ``path``; returns the resolved path."""
+    if not isinstance(program, TestProgram):
+        raise TypeError("expected a TestProgram")
+    path = Path(path)
+    payload = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(_VERSION.to_bytes(2, "big"))
+        fh.write(payload)
+    return path.resolve()
+
+
+def load_test_program(path: Union[str, Path]) -> TestProgram:
+    """Read a test program written by :func:`save_test_program`.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a test-program artifact or its format version
+        is unsupported.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not a repro test-program artifact")
+        version = int.from_bytes(fh.read(2), "big")
+        if version != _VERSION:
+            raise ValueError(
+                f"{path}: format version {version} not supported "
+                f"(this library reads version {_VERSION})"
+            )
+        program = pickle.load(fh)
+    if not isinstance(program, TestProgram):
+        raise ValueError(f"{path}: payload is not a TestProgram")
+    return program

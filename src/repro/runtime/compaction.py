@@ -1,0 +1,145 @@
+"""Conventional-test compaction: the introduction's "test less" lever.
+
+"The test less techniques exploit redundancy among the tests" -- even
+without signature test, a production program can drop a parametric test
+whenever the spec it measures is predictable from the specs the
+*remaining* tests measure.  :func:`compact_test_set` finds such
+redundancies in historical spec data by greedy backward elimination:
+repeatedly drop the spec whose best cross-validated prediction from the
+surviving specs is tightest, while the prediction error stays within the
+caller's accuracy budget.
+
+This is the paper's first cost lever and a natural companion to the
+signature flow: the compacted conventional program is the fair baseline
+the signature test must beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.regression.linear import RidgeRegression
+from repro.regression.model_select import cross_val_rmse
+from repro.regression.polynomial import PolynomialRidge
+
+__all__ = ["CompactionResult", "compact_test_set"]
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """Outcome of the test-set compaction."""
+
+    kept: Tuple[str, ...]
+    dropped: Tuple[str, ...]
+    #: dropped spec -> CV RMSE of predicting it from the kept specs
+    prediction_errors: Dict[str, float]
+    #: seconds saved per insertion (when test times were provided)
+    seconds_saved: float
+
+    def summary(self) -> str:
+        lines = [f"kept tests: {list(self.kept)}"]
+        for name in self.dropped:
+            lines.append(
+                f"dropped {name}: predictable from the kept specs to "
+                f"+/-{self.prediction_errors[name]:.3f} (CV RMSE)"
+            )
+        if self.seconds_saved > 0:
+            lines.append(
+                f"insertion time saved: {self.seconds_saved * 1e3:.0f} ms"
+            )
+        return "\n".join(lines)
+
+
+def _best_cv_error(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+) -> float:
+    """Tightest cross-validated prediction of y from x."""
+    candidates = [
+        lambda: RidgeRegression(1e-4),
+        lambda: RidgeRegression(0.1),
+        lambda: PolynomialRidge(2, 1e-3),
+    ]
+    k = min(5, len(x) // 2)
+    return min(
+        cross_val_rmse(c, x, y, k, np.random.default_rng(rng.integers(2**31)))
+        for c in candidates
+    )
+
+
+def compact_test_set(
+    spec_matrix: np.ndarray,
+    spec_names: Sequence[str],
+    max_rmse: Dict[str, float],
+    test_times: Optional[Dict[str, float]] = None,
+    min_kept: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> CompactionResult:
+    """Greedy backward elimination of redundant spec tests.
+
+    Parameters
+    ----------
+    spec_matrix:
+        Historical measurements, shape (N devices, n specs).
+    spec_names:
+        Column names.
+    max_rmse:
+        Per-spec accuracy budget: a spec may be dropped only if it is
+        predictable from the kept specs within this RMSE.
+    test_times:
+        Optional per-spec test time (seconds) for the savings estimate;
+        also used to prefer dropping the slowest redundant test first.
+    min_kept:
+        Never drop below this many tests.
+    """
+    spec_matrix = np.asarray(spec_matrix, dtype=float)
+    if spec_matrix.ndim != 2 or spec_matrix.shape[1] != len(spec_names):
+        raise ValueError("spec_matrix shape does not match spec_names")
+    if len(spec_matrix) < 10:
+        raise ValueError("need at least 10 historical devices")
+    unknown = set(max_rmse) - set(spec_names)
+    if unknown:
+        raise KeyError(f"max_rmse names not in spec_names: {sorted(unknown)}")
+    if min_kept < 1:
+        raise ValueError("min_kept must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    names: List[str] = list(spec_names)
+    kept = list(range(len(names)))
+    dropped: List[int] = []
+    errors: Dict[str, float] = {}
+
+    while len(kept) > min_kept:
+        candidates: List[Tuple[float, float, int]] = []
+        for j in kept:
+            budget = max_rmse.get(names[j])
+            if budget is None:
+                continue  # spec without a budget is never dropped
+            rest = [i for i in kept if i != j]
+            if not rest:
+                continue
+            err = _best_cv_error(
+                spec_matrix[:, rest], spec_matrix[:, j], rng
+            )
+            if err <= budget:
+                time_gain = (test_times or {}).get(names[j], 0.0)
+                candidates.append((time_gain, -err, j))
+        if not candidates:
+            break
+        # drop the redundant test that saves the most time (error as
+        # tie-break: the most predictable one)
+        candidates.sort(reverse=True)
+        _, neg_err, j = candidates[0]
+        kept.remove(j)
+        dropped.append(j)
+        errors[names[j]] = -neg_err
+
+    seconds_saved = sum((test_times or {}).get(names[j], 0.0) for j in dropped)
+    return CompactionResult(
+        kept=tuple(names[j] for j in kept),
+        dropped=tuple(names[j] for j in dropped),
+        prediction_errors=errors,
+        seconds_saved=seconds_saved,
+    )

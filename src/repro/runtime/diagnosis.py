@@ -1,0 +1,246 @@
+"""Parametric fault diagnosis from signatures (the paper's reference [9]).
+
+Cherubal & Chatterjee, "Parametric fault diagnosis for analog systems
+using functional mapping" (DATE 1999) -- by the same group, referenced
+as the regression machinery's origin -- goes one step beyond spec
+prediction: estimate the *process parameters* themselves from the
+measured response, so a failing device can be traced to the component
+that drifted.
+
+:class:`ParameterDiagnosisModel` reuses the calibration stack with the
+process parameters (as fractional deviations from nominal) as the
+regression targets.  In simulation the training parameters are known
+exactly; on silicon they would come from PCM/e-test data.
+
+Not every parameter is diagnosable: one that barely moves the signature
+(the LNA's base resistance, say) cannot be estimated from it, however
+good the regression.  More fundamentally, a tuned-path signature carries
+only as many degrees of freedom as the DUT's envelope behaviour (two for
+the cubic LNA: gain and third-order coefficient), so parameters acting
+through the *same* degree of freedom -- all the bias resistors move
+``gm`` -- form ambiguity groups that no estimator can split.  The model
+therefore cross-validates each parameter's estimator and reports a
+per-parameter *observability* (the fraction of its process variance the
+signature explains); diagnoses are ranked only among parameters the
+signature can actually see, and the blind ones are flagged instead of
+hallucinated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.parameters import ParameterSpace
+from repro.regression.model_select import select_best_model
+from repro.runtime.calibration import default_candidates
+
+__all__ = ["ParameterDiagnosis", "ParameterDiagnosisModel", "ambiguity_groups"]
+
+
+def ambiguity_groups(
+    a_s: np.ndarray,
+    space: ParameterSpace,
+    collinearity: float = 0.95,
+) -> List[Tuple[str, ...]]:
+    """Group parameters whose signature effects are collinear.
+
+    Two parameters whose columns of the signature sensitivity matrix
+    ``A_s`` point (anti)parallel move the signature along the same
+    direction -- no estimator can tell them apart, only their *group* is
+    diagnosable.  Groups are the connected components of the graph whose
+    edges join columns with ``|cos angle| >= collinearity``; parameters
+    with (near-)zero signature effect form their own "blind" group at
+    the end.
+
+    Parameters
+    ----------
+    a_s:
+        Signature sensitivity matrix, shape (m, k), columns in the
+        space's canonical order (e.g. from
+        :meth:`repro.testgen.optimizer.SignatureStimulusOptimizer.signature_matrix`).
+    space:
+        The parameter space naming the columns.
+    collinearity:
+        Cosine threshold for "same direction".
+    """
+    a_s = np.asarray(a_s, dtype=float)
+    if a_s.ndim != 2 or a_s.shape[1] != len(space):
+        raise ValueError("A_s column count must match the parameter space")
+    if not (0.0 < collinearity <= 1.0):
+        raise ValueError("collinearity must be in (0, 1]")
+    names = space.names()
+    norms = np.linalg.norm(a_s, axis=0)
+    blind_cut = 1e-3 * float(np.max(norms)) if np.max(norms) > 0 else 0.0
+    active = [j for j in range(len(names)) if norms[j] > blind_cut]
+    blind = [j for j in range(len(names)) if norms[j] <= blind_cut]
+
+    # union-find over the active columns
+    parent = {j: j for j in active}
+
+    def find(j):
+        while parent[j] != j:
+            parent[j] = parent[parent[j]]
+            j = parent[j]
+        return j
+
+    for i_pos, i in enumerate(active):
+        for j in active[i_pos + 1 :]:
+            cos = abs(float(a_s[:, i] @ a_s[:, j])) / (norms[i] * norms[j])
+            if cos >= collinearity:
+                parent[find(i)] = find(j)
+
+    groups: Dict[int, List[str]] = {}
+    for j in active:
+        groups.setdefault(find(j), []).append(names[j])
+    out = [tuple(sorted(g)) for g in groups.values()]
+    out.sort(key=lambda g: (-len(g), g))
+    if blind:
+        out.append(tuple(sorted(names[j] for j in blind)))
+    return out
+
+
+@dataclass(frozen=True)
+class ParameterDiagnosis:
+    """One device's diagnosis."""
+
+    #: parameter -> estimated fractional deviation from nominal
+    estimated_deviations: Dict[str, float]
+    #: parameter -> deviation in units of its own process sigma,
+    #: restricted to observable parameters
+    sigma_scores: Dict[str, float]
+    #: observable parameters ranked by |sigma score|, largest first
+    ranked: Tuple[str, ...]
+
+    @property
+    def prime_suspect(self) -> str:
+        """The observable parameter deviating hardest from nominal."""
+        if not self.ranked:
+            raise ValueError("no observable parameters to rank")
+        return self.ranked[0]
+
+
+class ParameterDiagnosisModel:
+    """Signature -> process-parameter estimator.
+
+    Parameters
+    ----------
+    space:
+        The process space whose parameters are to be estimated.
+    observability_threshold:
+        A parameter counts as observable when cross-validation explains
+        at least this fraction of its process variance
+        (``1 - (cv_rmse / sigma)^2``).
+    """
+
+    def __init__(self, space: ParameterSpace, observability_threshold: float = 0.5):
+        if not (0.0 < observability_threshold < 1.0):
+            raise ValueError("observability_threshold must be in (0, 1)")
+        self.space = space
+        self.observability_threshold = float(observability_threshold)
+        self._models: Dict[str, object] = {}
+        self.observability: Dict[str, float] = {}
+        self.chosen: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        signatures: np.ndarray,
+        parameter_matrix: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ParameterDiagnosisModel":
+        """Fit one estimator per process parameter.
+
+        Parameters
+        ----------
+        signatures:
+            Training signatures, shape (N, m).
+        parameter_matrix:
+            The training devices' true parameter values, shape (N, k),
+            columns in the space's canonical order (raw values -- they
+            are normalized internally).
+        """
+        signatures = np.asarray(signatures, dtype=float)
+        parameter_matrix = np.asarray(parameter_matrix, dtype=float)
+        if signatures.ndim != 2 or parameter_matrix.ndim != 2:
+            raise ValueError("signatures and parameters must be 2-D")
+        if len(signatures) != len(parameter_matrix):
+            raise ValueError("row counts differ")
+        if parameter_matrix.shape[1] != len(self.space):
+            raise ValueError(
+                f"expected {len(self.space)} parameter columns, "
+                f"got {parameter_matrix.shape[1]}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        deviations = self.space.normalize(parameter_matrix)
+        sigmas = self.space.fractional_std_vector()
+        candidates = default_candidates(len(signatures))
+        folds = min(5, len(signatures) // 2)
+
+        for j, name in enumerate(self.space.names()):
+            best_name, model, scores = select_best_model(
+                candidates, signatures, deviations[:, j], k=folds, rng=rng
+            )
+            cv_rmse = scores[best_name]
+            explained = max(0.0, 1.0 - (cv_rmse / max(sigmas[j], 1e-12)) ** 2)
+            self._models[name] = model
+            self.chosen[name] = best_name
+            self.observability[name] = float(explained)
+        return self
+
+    def observable_parameters(self) -> List[str]:
+        """Parameters the signature can actually estimate."""
+        if not self.observability:
+            raise RuntimeError("model is not fitted")
+        return [
+            n
+            for n in self.space.names()
+            if self.observability[n] >= self.observability_threshold
+        ]
+
+    # ------------------------------------------------------------------
+    # diagnosis
+    # ------------------------------------------------------------------
+    def estimate(self, signature: np.ndarray) -> Dict[str, float]:
+        """Estimated fractional deviations for every parameter."""
+        if not self._models:
+            raise RuntimeError("model is not fitted")
+        signature = np.asarray(signature, dtype=float)
+        if signature.ndim != 1:
+            raise ValueError("expected one signature vector")
+        row = signature[None, :]
+        return {
+            name: float(model.predict(row)[0])
+            for name, model in self._models.items()
+        }
+
+    def diagnose(self, signature: np.ndarray) -> ParameterDiagnosis:
+        """Rank the observable parameters by how far they sit off nominal."""
+        estimates = self.estimate(signature)
+        sigmas = dict(
+            zip(self.space.names(), self.space.fractional_std_vector().tolist())
+        )
+        observable = self.observable_parameters()
+        scores = {
+            name: estimates[name] / max(sigmas[name], 1e-12) for name in observable
+        }
+        ranked = tuple(sorted(scores, key=lambda n: -abs(scores[n])))
+        return ParameterDiagnosis(
+            estimated_deviations=estimates, sigma_scores=scores, ranked=ranked
+        )
+
+    def summary(self) -> str:
+        if not self.observability:
+            raise RuntimeError("model is not fitted")
+        lines = [f"{'parameter':>12s}  {'observability':>13s}  {'model':>12s}"]
+        for name in self.space.names():
+            obs = self.observability[name]
+            tag = "" if obs >= self.observability_threshold else "  (blind)"
+            lines.append(
+                f"{name:>12s}  {obs:13.3f}  {self.chosen[name]:>12s}{tag}"
+            )
+        return "\n".join(lines)

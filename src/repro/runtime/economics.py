@@ -1,0 +1,170 @@
+"""Test-time and test-cost economics.
+
+Section 1 of the paper motivates signature test with two numbers: the
+cost of "million-dollar ATEs" and the "long test times required by
+elaborate performance tests"; Section 4.2 notes the signature test
+"required only 5 milliseconds of data capture".  This module turns those
+into the standard production-test economics: tester cost per second,
+throughput, and cost per device, for both flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TesterCostModel", "FlowEconomics", "FlowComparison", "compare_flows"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class TesterCostModel:
+    """Cost structure of one tester.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    capital_cost:
+        Purchase price (currency units).
+    depreciation_years:
+        Straight-line depreciation period.
+    utilization:
+        Fraction of wall-clock time the tester runs production.
+    annual_operating_cost:
+        Maintenance, floor space, operator share per year.
+    """
+
+    name: str
+    capital_cost: float
+    depreciation_years: float = 5.0
+    utilization: float = 0.85
+    annual_operating_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.capital_cost < 0 or self.annual_operating_cost < 0:
+            raise ValueError("costs must be non-negative")
+        if not (0.0 < self.utilization <= 1.0):
+            raise ValueError("utilization must be in (0, 1]")
+        if self.depreciation_years <= 0:
+            raise ValueError("depreciation_years must be positive")
+
+    @property
+    def cost_per_second(self) -> float:
+        """Fully loaded cost of one productive tester-second."""
+        annual = self.capital_cost / self.depreciation_years + self.annual_operating_cost
+        return annual / (SECONDS_PER_YEAR * self.utilization)
+
+    @classmethod
+    def conventional_rf_ate(cls) -> "TesterCostModel":
+        """The paper's 'million-dollar ATE'."""
+        return cls(
+            name="conventional RF ATE",
+            capital_cost=1_000_000.0,
+            annual_operating_cost=80_000.0,
+        )
+
+    @classmethod
+    def low_cost_tester(cls) -> "TesterCostModel":
+        """RF source + AWG + digitizer + load board."""
+        return cls(
+            name="low-cost signature tester",
+            capital_cost=100_000.0,
+            annual_operating_cost=20_000.0,
+        )
+
+
+@dataclass(frozen=True)
+class FlowEconomics:
+    """Economics of one test flow on one tester.
+
+    ``sites`` models multi-site testing (the introduction's "test
+    faster" lever): ``sites`` devices are tested concurrently per
+    insertion.  Site hardware is far cheaper than the tester core, so
+    the default model charges ``site_cost_fraction`` of the base capital
+    per additional site.
+    """
+
+    tester: TesterCostModel
+    seconds_per_device: float
+    sites: int = 1
+    site_cost_fraction: float = 0.10
+
+    def __post_init__(self):
+        if self.seconds_per_device <= 0:
+            raise ValueError("test time must be positive")
+        if self.sites < 1:
+            raise ValueError("sites must be >= 1")
+        if not (0.0 <= self.site_cost_fraction <= 1.0):
+            raise ValueError("site_cost_fraction must be in [0, 1]")
+
+    @property
+    def effective_seconds_per_device(self) -> float:
+        """Tester seconds consumed per device at this site count."""
+        return self.seconds_per_device / self.sites
+
+    @property
+    def throughput_per_hour(self) -> float:
+        return 3600.0 / self.effective_seconds_per_device
+
+    @property
+    def _site_capital_factor(self) -> float:
+        return 1.0 + self.site_cost_fraction * (self.sites - 1)
+
+    @property
+    def cost_per_device(self) -> float:
+        return (
+            self.tester.cost_per_second
+            * self._site_capital_factor
+            * self.effective_seconds_per_device
+        )
+
+
+@dataclass(frozen=True)
+class FlowComparison:
+    """Side-by-side result of :func:`compare_flows`."""
+
+    conventional: FlowEconomics
+    signature: FlowEconomics
+
+    @property
+    def time_speedup(self) -> float:
+        """How many times faster the signature insertion is."""
+        return (
+            self.conventional.seconds_per_device / self.signature.seconds_per_device
+        )
+
+    @property
+    def cost_reduction(self) -> float:
+        """Conventional cost-per-device divided by signature cost."""
+        return self.conventional.cost_per_device / self.signature.cost_per_device
+
+    def summary(self) -> str:
+        c, s = self.conventional, self.signature
+        return "\n".join(
+            [
+                f"{c.tester.name}: {c.seconds_per_device * 1e3:.1f} ms/device, "
+                f"{c.throughput_per_hour:.0f} devices/h, "
+                f"{c.cost_per_device * 100:.3f} cents/device",
+                f"{s.tester.name}: {s.seconds_per_device * 1e3:.1f} ms/device, "
+                f"{s.throughput_per_hour:.0f} devices/h, "
+                f"{s.cost_per_device * 100:.3f} cents/device",
+                f"speedup {self.time_speedup:.1f}x, "
+                f"cost reduction {self.cost_reduction:.1f}x",
+            ]
+        )
+
+
+def compare_flows(
+    conventional_seconds: float,
+    signature_seconds: float,
+    conventional_tester: TesterCostModel | None = None,
+    signature_tester: TesterCostModel | None = None,
+) -> FlowComparison:
+    """Compare the two flows' per-device time and cost."""
+    conventional_tester = conventional_tester or TesterCostModel.conventional_rf_ate()
+    signature_tester = signature_tester or TesterCostModel.low_cost_tester()
+    return FlowComparison(
+        conventional=FlowEconomics(conventional_tester, conventional_seconds),
+        signature=FlowEconomics(signature_tester, signature_seconds),
+    )

@@ -1,0 +1,111 @@
+"""Production drift monitoring (statistical process control on the tester).
+
+A signature calibration is only valid while the tester behaves the way
+it did at calibration time; sources drift, filters age, cables loosen.
+Production floors therefore re-measure a golden device on a schedule and
+watch the resulting signatures with control-chart logic.
+
+:class:`GoldenSignatureMonitor` keeps an exponentially weighted moving
+average (EWMA) of the golden signature's per-bin deviation from its
+calibration-time reference, normalized by the expected measurement
+noise.  When the smoothed deviation exceeds the control limit, the
+tester needs re-normalization (or service) before its predictions can be
+trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["MonitorState", "GoldenSignatureMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorState:
+    """Snapshot after one golden-device check."""
+
+    n_checks: int
+    ewma_score: float
+    raw_score: float
+    in_control: bool
+
+
+class GoldenSignatureMonitor:
+    """EWMA control chart over golden-device signature drift.
+
+    Parameters
+    ----------
+    reference:
+        Golden signature at calibration time (the in-control center).
+    noise_sigma:
+        Expected per-bin measurement noise std (sets the score scale);
+        see :func:`repro.testgen.objective.signature_noise_std`.
+    smoothing:
+        EWMA weight ``lambda`` in (0, 1]; smaller = smoother/slower.
+    control_limit:
+        Alarm threshold on the EWMA score.  The raw score is the RMS
+        per-bin deviation in noise-sigma units, so an in-control tester
+        scores ~1; the default limit of 3 flags systematic drift well
+        above the noise floor.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        noise_sigma: float,
+        smoothing: float = 0.3,
+        control_limit: float = 3.0,
+    ):
+        reference = np.asarray(reference, dtype=float)
+        if reference.ndim != 1 or len(reference) == 0:
+            raise ValueError("reference must be a non-empty vector")
+        if noise_sigma <= 0:
+            raise ValueError("noise_sigma must be positive")
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must be in (0, 1]")
+        if control_limit <= 0:
+            raise ValueError("control_limit must be positive")
+        self.reference = reference
+        self.noise_sigma = float(noise_sigma)
+        self.smoothing = float(smoothing)
+        self.control_limit = float(control_limit)
+        self._ewma: Optional[float] = None
+        self.history: List[MonitorState] = []
+
+    def check(self, golden_signature: np.ndarray) -> MonitorState:
+        """Score one fresh golden-device signature.
+
+        Returns the updated monitor state and appends it to ``history``.
+        """
+        sig = np.asarray(golden_signature, dtype=float)
+        if sig.shape != self.reference.shape:
+            raise ValueError("signature length does not match the reference")
+        deviation = (sig - self.reference) / self.noise_sigma
+        raw = float(np.sqrt(np.mean(deviation**2)))
+        if self._ewma is None:
+            self._ewma = raw
+        else:
+            self._ewma = self.smoothing * raw + (1.0 - self.smoothing) * self._ewma
+        state = MonitorState(
+            n_checks=len(self.history) + 1,
+            ewma_score=self._ewma,
+            raw_score=raw,
+            in_control=self._ewma <= self.control_limit,
+        )
+        self.history.append(state)
+        return state
+
+    @property
+    def in_control(self) -> bool:
+        """Current status (True before any check)."""
+        return self.history[-1].in_control if self.history else True
+
+    def checks_until_alarm(self) -> Optional[int]:
+        """Index (1-based) of the first out-of-control check, if any."""
+        for state in self.history:
+            if not state.in_control:
+                return state.n_checks
+        return None

@@ -1,0 +1,95 @@
+"""Signature normalization for tester-to-tester transfer (Figure 5).
+
+The paper's runtime diagram contains explicit "Signature normalization"
+and "Normalization" boxes: the calibration relationships are extracted
+from *normalized* signatures so they survive tester variations (source
+level drift, filter tolerance, cable loss) between the calibration
+insertion and the production floor -- or between two different testers.
+
+:class:`GoldenDeviceNormalizer` implements the standard industrial
+scheme: a known *golden device* is measured on each tester; production
+signatures are divided, bin by bin, by that tester's golden signature.
+Any multiplicative, possibly frequency-dependent path-gain difference
+between testers cancels exactly:
+
+    s_prod(f) / g_prod(f) = s_cal(f) / g_cal(f)
+
+whenever tester differences act as a linear filter on the captured
+baseband response.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GoldenDeviceNormalizer"]
+
+
+class GoldenDeviceNormalizer:
+    """Bin-wise ratio normalization against a golden-device signature.
+
+    Parameters
+    ----------
+    golden_signature:
+        FFT-magnitude signature of the golden device *on this tester*.
+    floor:
+        Bins where the golden signature is below ``floor`` times its
+        maximum carry little reference energy; dividing by them would
+        amplify measurement noise into the normalized features, so they
+        are scaled by the global reference level instead.  The default
+        (3 %) keeps the ratio trick to solidly-measured bins.
+    """
+
+    def __init__(self, golden_signature: np.ndarray, floor: float = 0.03):
+        golden = np.asarray(golden_signature, dtype=float)
+        if golden.ndim != 1 or len(golden) == 0:
+            raise ValueError("golden signature must be a non-empty vector")
+        if np.max(golden) <= 0:
+            raise ValueError("golden signature is empty (all zero)")
+        if not (0 < floor < 1):
+            raise ValueError("floor must be in (0, 1)")
+        self.golden = golden
+        peak = float(np.max(golden))
+        self._reference = np.where(golden >= floor * peak, golden, peak)
+
+    def normalize(self, signature: np.ndarray) -> np.ndarray:
+        """Return the normalized signature (dimensionless ratios)."""
+        signature = np.asarray(signature, dtype=float)
+        if signature.shape != self.golden.shape:
+            raise ValueError(
+                f"signature length {signature.shape} != golden {self.golden.shape}"
+            )
+        return signature / self._reference
+
+    def normalize_batch(self, signatures: np.ndarray) -> np.ndarray:
+        """Normalize a (n, m) batch."""
+        signatures = np.asarray(signatures, dtype=float)
+        if signatures.ndim != 2 or signatures.shape[1] != len(self.golden):
+            raise ValueError("batch shape does not match the golden signature")
+        return signatures / self._reference[None, :]
+
+    @classmethod
+    def from_board(
+        cls,
+        board,
+        golden_device,
+        stimulus,
+        rng: Optional[np.random.Generator] = None,
+        n_averages: int = 8,
+        floor: float = 0.03,
+    ) -> "GoldenDeviceNormalizer":
+        """Measure the golden device on ``board`` and build the normalizer.
+
+        Averaging a few captures keeps measurement noise out of the
+        reference (a noisy reference would inject correlated error into
+        every production signature).
+        """
+        if n_averages < 1:
+            raise ValueError("n_averages must be >= 1")
+        sigs = [
+            board.signature(golden_device, stimulus, rng=rng)
+            for _ in range(n_averages)
+        ]
+        return cls(np.mean(sigs, axis=0), floor=floor)

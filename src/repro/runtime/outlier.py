@@ -1,0 +1,138 @@
+"""Signature-space outlier screening for catastrophic defects.
+
+The calibration regression interpolates within the cloud of *good*
+training signatures; a catastrophically defective part lands far outside
+that cloud, and its "predicted specs" are extrapolated garbage.  Before
+trusting the regression, production flows therefore screen each
+signature for manifold membership.
+
+:class:`SignatureOutlierScreen` models the good-signature cloud with a
+PCA subspace fitted on training signatures and scores new signatures by
+
+* the **Mahalanobis distance** inside the retained subspace (is the
+  device an extreme process corner?), and
+* the **reconstruction residual** orthogonal to it (is the signature
+  shaped like a good device's at all?).
+
+Both are normalized by their training quantiles, so a single threshold
+(default: reject above 3x the 99th-percentile training score) covers
+both mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.regression.pca import PCA
+
+__all__ = ["OutlierScore", "SignatureOutlierScreen"]
+
+
+@dataclass(frozen=True)
+class OutlierScore:
+    """Breakdown of one signature's outlier score."""
+
+    mahalanobis: float  # in-subspace distance, normalized
+    residual: float  # off-subspace distance, normalized
+    is_outlier: bool
+
+    @property
+    def score(self) -> float:
+        """The combined score compared against the threshold."""
+        return max(self.mahalanobis, self.residual)
+
+
+class SignatureOutlierScreen:
+    """PCA-subspace screen fitted on good-device training signatures.
+
+    Parameters
+    ----------
+    n_components:
+        Retained subspace dimension; defaults to the number of
+        components explaining 99 % of training variance (capped at 8).
+    threshold:
+        Scores are normalized so the 99th percentile of the *training*
+        scores is 1.0; signatures scoring above ``threshold`` are flagged.
+        The default 3.0 keeps process corners in and gross defects out.
+    """
+
+    def __init__(self, n_components: Optional[int] = None, threshold: float = 3.0):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.requested_components = n_components
+        self.threshold = float(threshold)
+        self._pca: Optional[PCA] = None
+        self._scale_mahalanobis: float = 1.0
+        self._scale_residual: float = 1.0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, signatures: np.ndarray) -> "SignatureOutlierScreen":
+        signatures = np.asarray(signatures, dtype=float)
+        if signatures.ndim != 2 or len(signatures) < 8:
+            raise ValueError("need a (n >= 8, m) matrix of training signatures")
+        full = PCA().fit(signatures)
+        if self.requested_components is not None:
+            k = min(self.requested_components, full.components_.shape[0])
+        else:
+            ratios = np.cumsum(full.explained_variance_ratio())
+            k = int(np.searchsorted(ratios, 0.99)) + 1
+            k = max(2, min(k, 8, full.components_.shape[0]))
+        self._pca = PCA(k).fit(signatures)
+
+        maha, resid = self._raw_scores(signatures)
+        # normalize by the training 99th percentile (floored to avoid
+        # divide-by-zero on noise-free synthetic data)
+        self._scale_mahalanobis = max(float(np.quantile(maha, 0.99)), 1e-12)
+        self._scale_residual = max(float(np.quantile(resid, 0.99)), 1e-12)
+        return self
+
+    def _raw_scores(self, signatures: np.ndarray):
+        assert self._pca is not None
+        z = self._pca.transform(signatures)
+        var = np.maximum(self._pca.explained_variance_, 1e-300)
+        maha = np.sqrt(np.sum(z**2 / var, axis=1))
+        recon = self._pca.inverse_transform(z)
+        resid = np.linalg.norm(signatures - recon, axis=1)
+        return maha, resid
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score(self, signature: np.ndarray) -> OutlierScore:
+        """Score a single signature."""
+        if self._pca is None:
+            raise RuntimeError("screen is not fitted")
+        signature = np.asarray(signature, dtype=float)
+        if signature.ndim != 1:
+            raise ValueError("expected a single signature vector")
+        maha, resid = self._raw_scores(signature[None, :])
+        m = float(maha[0]) / self._scale_mahalanobis
+        r = float(resid[0]) / self._scale_residual
+        return OutlierScore(
+            mahalanobis=m, residual=r, is_outlier=max(m, r) > self.threshold
+        )
+
+    def score_batch(self, signatures: np.ndarray) -> np.ndarray:
+        """Combined scores for a batch; shape (n,)."""
+        if self._pca is None:
+            raise RuntimeError("screen is not fitted")
+        signatures = np.asarray(signatures, dtype=float)
+        maha, resid = self._raw_scores(signatures)
+        return np.maximum(
+            maha / self._scale_mahalanobis, resid / self._scale_residual
+        )
+
+    def flag_batch(self, signatures: np.ndarray) -> np.ndarray:
+        """Boolean outlier flags for a batch."""
+        return self.score_batch(signatures) > self.threshold
+
+    @property
+    def n_components(self) -> int:
+        if self._pca is None:
+            raise RuntimeError("screen is not fitted")
+        return self._pca.components_.shape[0]

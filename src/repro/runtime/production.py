@@ -1,0 +1,125 @@
+"""The production signature-test flow.
+
+Figure 5, right box: "During production test, the signature response of
+the DUT is measured on a low-cost tester and the performance
+specifications are computed from the obtained signature."
+
+:class:`ProductionTestFlow` owns the pieces a test-floor insertion needs:
+the signature board (with its stimulus), the calibration model, and the
+datasheet limits.  It produces per-device records plus run-level yield
+and throughput statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuits.device import RFDevice, SpecSet
+from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
+from repro.loadboard.signature_path import SignatureTestBoard
+from repro.runtime.calibration import CalibrationModel
+from repro.runtime.specs import SpecificationLimits
+
+__all__ = ["DeviceTestRecord", "ProductionRunResult", "ProductionTestFlow"]
+
+
+@dataclass(frozen=True)
+class DeviceTestRecord:
+    """Outcome of testing one device."""
+
+    device_id: int
+    predicted: SpecSet
+    passed: Optional[bool]  # None when no limits were configured
+    test_time: float
+    signature: np.ndarray
+
+
+@dataclass
+class ProductionRunResult:
+    """Aggregate statistics of a production run."""
+
+    records: List[DeviceTestRecord] = field(default_factory=list)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.records)
+
+    @property
+    def yield_fraction(self) -> float:
+        """Pass fraction (requires limits to have been configured)."""
+        judged = [r for r in self.records if r.passed is not None]
+        if not judged:
+            raise ValueError("no pass/fail information recorded")
+        return sum(r.passed for r in judged) / len(judged)
+
+    @property
+    def total_test_time(self) -> float:
+        return sum(r.test_time for r in self.records)
+
+    @property
+    def mean_test_time(self) -> float:
+        if not self.records:
+            raise ValueError("empty run")
+        return self.total_test_time / len(self.records)
+
+    def throughput_per_hour(self) -> float:
+        """Devices per tester-hour at this flow's test time."""
+        if self.mean_test_time <= 0:
+            raise ValueError("test time must be positive")
+        return 3600.0 / self.mean_test_time
+
+    def predicted_matrix(self) -> np.ndarray:
+        """All predicted specs as an (N, 3) matrix."""
+        return np.vstack([r.predicted.as_vector() for r in self.records])
+
+
+class ProductionTestFlow:
+    """Signature capture + spec prediction + binning for one DUT family."""
+
+    def __init__(
+        self,
+        board: SignatureTestBoard,
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        calibration: CalibrationModel,
+        limits: Optional[SpecificationLimits] = None,
+        signature_bins: Optional[int] = None,
+    ):
+        self.board = board
+        self.stimulus = stimulus
+        self.calibration = calibration
+        self.limits = limits
+        self.signature_bins = signature_bins
+
+    def test_device(
+        self,
+        device: RFDevice,
+        rng: np.random.Generator,
+        device_id: int = 0,
+    ) -> DeviceTestRecord:
+        """One production insertion."""
+        signature = self.board.signature(
+            device, self.stimulus, rng=rng, n_bins=self.signature_bins
+        )
+        predicted = self.calibration.predict(signature)
+        passed = self.limits.check(predicted) if self.limits is not None else None
+        return DeviceTestRecord(
+            device_id=device_id,
+            predicted=predicted,
+            passed=passed,
+            test_time=self.board.config.total_test_time(),
+            signature=signature,
+        )
+
+    def run(
+        self,
+        devices: Sequence[RFDevice],
+        rng: np.random.Generator,
+    ) -> ProductionRunResult:
+        """Test a lot of devices."""
+        result = ProductionRunResult()
+        for i, device in enumerate(devices):
+            result.records.append(self.test_device(device, rng, device_id=i))
+        return result

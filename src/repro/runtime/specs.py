@@ -1,0 +1,100 @@
+"""Datasheet specification limits and pass/fail binning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.device import SpecSet
+
+__all__ = ["SpecificationLimit", "SpecificationLimits", "lna_limits"]
+
+
+@dataclass(frozen=True)
+class SpecificationLimit:
+    """One test limit: ``minimum <= value <= maximum`` (either side open)."""
+
+    name: str
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self):
+        if self.minimum is None and self.maximum is None:
+            raise ValueError(f"{self.name}: at least one bound is required")
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise ValueError(f"{self.name}: minimum exceeds maximum")
+
+    def check(self, value: float) -> bool:
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+    def margin(self, value: float) -> float:
+        """Distance to the nearest limit (negative when failing)."""
+        margins = []
+        if self.minimum is not None:
+            margins.append(value - self.minimum)
+        if self.maximum is not None:
+            margins.append(self.maximum - value)
+        return min(margins)
+
+
+class SpecificationLimits:
+    """A set of limits keyed by spec name (``gain_db`` etc.)."""
+
+    def __init__(self, limits: Dict[str, SpecificationLimit]):
+        for name, limit in limits.items():
+            if name != limit.name:
+                raise ValueError(f"key {name!r} != limit name {limit.name!r}")
+        self.limits = dict(limits)
+
+    def check(self, specs: SpecSet) -> bool:
+        """True when every limited spec is within its bounds."""
+        values = specs.as_dict()
+        return all(
+            limit.check(values[name])
+            for name, limit in self.limits.items()
+            if name in values
+        )
+
+    def failures(self, specs: SpecSet) -> Dict[str, float]:
+        """Failing specs and their (negative) margins."""
+        values = specs.as_dict()
+        out = {}
+        for name, limit in self.limits.items():
+            if name in values and not limit.check(values[name]):
+                out[name] = limit.margin(values[name])
+        return out
+
+    def worst_margin(self, specs: SpecSet) -> float:
+        """The tightest margin across all limited specs."""
+        values = specs.as_dict()
+        margins = [
+            limit.margin(values[name])
+            for name, limit in self.limits.items()
+            if name in values
+        ]
+        if not margins:
+            raise ValueError("no applicable limits")
+        return min(margins)
+
+
+def lna_limits(
+    gain_min_db: float = 14.0,
+    nf_max_db: float = 3.3,
+    iip3_min_dbm: float = -1.0,
+) -> SpecificationLimits:
+    """Representative production limits for the 900 MHz LNA family."""
+    return SpecificationLimits(
+        {
+            "gain_db": SpecificationLimit("gain_db", minimum=gain_min_db),
+            "nf_db": SpecificationLimit("nf_db", maximum=nf_max_db),
+            "iip3_dbm": SpecificationLimit("iip3_dbm", minimum=iip3_min_dbm),
+        }
+    )

@@ -1,0 +1,186 @@
+"""Multitone stimulus encoding: the follow-on literature's alternative.
+
+The paper optimizes PWL breakpoints; later alternate-test work often
+uses *multitone* stimuli instead -- a sum of coherent tones whose
+amplitudes and phases are the optimization variables.  Multitones keep
+all stimulus energy on known FFT bins (every signature bin is either
+signal or noise, never spectral leakage) at the cost of a higher crest
+factor to manage.
+
+:class:`MultitoneStimulus` is accepted anywhere a
+:class:`~repro.dsp.waveform.PiecewiseLinearStimulus` is (both expose
+``to_waveform``); :class:`MultitoneEncoding` is a drop-in replacement
+for :class:`~repro.testgen.pwl.StimulusEncoding` in the genetic
+optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.waveform import Waveform
+
+__all__ = ["MultitoneStimulus", "MultitoneEncoding"]
+
+
+@dataclass(frozen=True)
+class MultitoneStimulus:
+    """A sum of coherent tones ``sum_k a_k sin(2 pi f_k t + phi_k)``.
+
+    Frequencies are fixed by the encoding; amplitudes are scaled down
+    together if their sum (a bound on the peak) exceeds ``v_limit``, so
+    the stimulus always respects the AWG range regardless of phasing.
+    """
+
+    amplitudes: np.ndarray
+    phases: np.ndarray
+    frequencies: np.ndarray
+    duration: float
+    v_limit: float
+
+    def __post_init__(self):
+        amplitudes = np.asarray(self.amplitudes, dtype=float)
+        phases = np.asarray(self.phases, dtype=float)
+        frequencies = np.asarray(self.frequencies, dtype=float)
+        if not (len(amplitudes) == len(phases) == len(frequencies)):
+            raise ValueError("amplitudes, phases, frequencies must match in length")
+        if len(amplitudes) == 0:
+            raise ValueError("need at least one tone")
+        if np.any(amplitudes < 0):
+            raise ValueError("amplitudes must be non-negative")
+        if not (self.duration > 0 and self.v_limit > 0):
+            raise ValueError("duration and v_limit must be positive")
+        total = float(np.sum(amplitudes))
+        if total > self.v_limit:
+            amplitudes = amplitudes * (self.v_limit / total)
+        object.__setattr__(self, "amplitudes", amplitudes)
+        object.__setattr__(self, "phases", phases)
+        object.__setattr__(self, "frequencies", frequencies)
+
+    @property
+    def n_tones(self) -> int:
+        return len(self.amplitudes)
+
+    def peak_bound(self) -> float:
+        """Upper bound on the waveform peak (sum of amplitudes)."""
+        return float(np.sum(self.amplitudes))
+
+    def to_waveform(self, sample_rate: float) -> Waveform:
+        """Sample the multitone at ``sample_rate``."""
+        if not (sample_rate > 0):
+            raise ValueError("sample_rate must be positive")
+        if sample_rate < 2.0 * float(np.max(self.frequencies)):
+            raise ValueError("sample rate below Nyquist for the highest tone")
+        n = max(2, int(round(self.duration * sample_rate)))
+        t = np.arange(n) / sample_rate
+        out = np.zeros(n)
+        for a, f, phi in zip(self.amplitudes, self.frequencies, self.phases):
+            out += a * np.sin(2.0 * np.pi * f * t + phi)
+        return Waveform(out, sample_rate)
+
+    def crest_factor(self, sample_rate: float) -> float:
+        """Peak-to-RMS ratio of the sampled stimulus."""
+        wf = self.to_waveform(sample_rate)
+        rms = wf.rms()
+        return wf.peak() / rms if rms > 0 else np.inf
+
+
+@dataclass(frozen=True)
+class MultitoneEncoding:
+    """Genetic encoding over tone amplitudes and phases.
+
+    The gene is ``[a_1..a_K, phi_1..phi_K]``.  Tone frequencies sit on
+    the coherent bin grid ``k / duration`` so every tone lands exactly
+    on a signature FFT bin.
+
+    Parameters
+    ----------
+    n_tones:
+        Number of tones (gene length is ``2 * n_tones``).
+    duration:
+        Stimulus/capture duration, seconds.
+    v_limit:
+        AWG amplitude bound (enforced through the amplitude-sum rule).
+    first_bin, bin_step:
+        Tone ``k`` sits at ``(first_bin + k * bin_step) / duration`` Hz.
+    """
+
+    n_tones: int = 8
+    duration: float = 5e-6
+    v_limit: float = 0.4
+    first_bin: int = 1
+    bin_step: int = 2  # odd-ish spacing keeps IM products off the tones
+
+    def __post_init__(self):
+        if self.n_tones < 1:
+            raise ValueError("n_tones must be >= 1")
+        if self.duration <= 0 or self.v_limit <= 0:
+            raise ValueError("duration and v_limit must be positive")
+        if self.first_bin < 1 or self.bin_step < 1:
+            raise ValueError("first_bin and bin_step must be >= 1")
+
+    def frequencies(self) -> np.ndarray:
+        bins = self.first_bin + self.bin_step * np.arange(self.n_tones)
+        return bins / self.duration
+
+    @property
+    def n_breakpoints(self) -> int:
+        """Gene length (named for interface parity with StimulusEncoding)."""
+        return 2 * self.n_tones
+
+    # ------------------------------------------------------------------
+    # codec (the StimulusEncoding interface)
+    # ------------------------------------------------------------------
+    def decode(self, gene: np.ndarray) -> MultitoneStimulus:
+        gene = np.asarray(gene, dtype=float)
+        if gene.shape != (2 * self.n_tones,):
+            raise ValueError(
+                f"gene must have {2 * self.n_tones} entries, got {gene.shape}"
+            )
+        amplitudes = np.clip(gene[: self.n_tones], 0.0, self.v_limit)
+        phases = gene[self.n_tones :]
+        return MultitoneStimulus(
+            amplitudes=amplitudes,
+            phases=phases,
+            frequencies=self.frequencies(),
+            duration=self.duration,
+            v_limit=self.v_limit,
+        )
+
+    def encode(self, stimulus: MultitoneStimulus) -> np.ndarray:
+        if stimulus.n_tones != self.n_tones:
+            raise ValueError("tone count mismatch")
+        return np.concatenate([stimulus.amplitudes, stimulus.phases])
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        lower = np.concatenate(
+            [np.zeros(self.n_tones), np.zeros(self.n_tones)]
+        )
+        upper = np.concatenate(
+            [np.full(self.n_tones, self.v_limit), np.full(self.n_tones, 2 * np.pi)]
+        )
+        return lower, upper
+
+    def seed_genes(self, rng: np.random.Generator, n_random: int = 4) -> np.ndarray:
+        """Structured seeds: flat combs at several drive levels.
+
+        Newman phases (``phi_k = pi k^2 / K``) give near-minimal crest
+        factor; zero phases give maximal crest -- both are useful
+        starting shapes, at an amplitude ladder like the PWL seeds.
+        """
+        k = np.arange(self.n_tones)
+        newman = np.pi * k**2 / self.n_tones
+        zeros = np.zeros(self.n_tones)
+        seeds = []
+        for scale in (0.2, 0.4, 0.6, 0.9):
+            flat = np.full(self.n_tones, scale * self.v_limit / self.n_tones)
+            seeds.append(np.concatenate([flat, newman]))
+            seeds.append(np.concatenate([flat, zeros]))
+        for _ in range(max(0, n_random)):
+            amp = rng.uniform(0, self.v_limit / self.n_tones, self.n_tones)
+            ph = rng.uniform(0, 2 * np.pi, self.n_tones)
+            seeds.append(np.concatenate([amp, ph]))
+        return np.vstack(seeds)

@@ -1,0 +1,91 @@
+"""The stimulus-optimization objective (Equation 10 and Section 3.1).
+
+``F = (1/n) sum_i sigma_i^2`` with
+``sigma_i^2 = sigma_p,i^2 + sigma_m^2 ||a_i||^2``: the first term is the
+mapping residual of Equation 8 (how much of the spec's process
+sensitivity the signature cannot explain), the second the measurement
+noise amplified by the mapping row.  A good stimulus drives both down
+simultaneously -- it must make the signature sensitive to every process
+direction the specs care about, *and* keep the mapping gains small so
+noise does not swamp the prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.testgen.mapping import LinearSignatureMap
+
+__all__ = [
+    "signature_noise_std",
+    "prediction_error_variances",
+    "signature_test_objective",
+]
+
+
+def signature_noise_std(noise_vrms: float, n_samples: int) -> float:
+    """Per-bin noise std of an FFT-magnitude signature.
+
+    Additive time-domain noise of standard deviation ``sigma`` spreads
+    over the single-sided amplitude spectrum of an ``N``-sample record
+    with per-bin standard deviation ``sigma * sqrt(2 / N)`` (for bins
+    carrying signal, where the magnitude operates in its linear regime).
+    """
+    if noise_vrms < 0:
+        raise ValueError("noise_vrms must be non-negative")
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    return noise_vrms * math.sqrt(2.0 / n_samples)
+
+
+def prediction_error_variances(
+    a_p: np.ndarray,
+    a_s: np.ndarray,
+    sigma_m: float,
+    spec_scales: Optional[Sequence[float]] = None,
+    rcond: float = 1e-10,
+) -> np.ndarray:
+    """Per-spec total error variances for a candidate stimulus.
+
+    Parameters
+    ----------
+    a_p, a_s:
+        Sensitivity matrices (Equations 6-7).
+    sigma_m:
+        Per-component signature measurement-noise std.
+    spec_scales:
+        Optional per-spec scale factors; each spec's row of ``A_p`` is
+        divided by its scale before solving, so the returned variances
+        are in scaled units.  Use this when the specs' natural units are
+        not comparable.  The gain/NF/IIP3 triple is already all-dB, so
+        the default (no scaling) matches the paper.
+    rcond:
+        Pseudoinverse truncation threshold.
+    """
+    a_p = np.asarray(a_p, dtype=float)
+    if spec_scales is not None:
+        scales = np.asarray(spec_scales, dtype=float)
+        if scales.shape != (a_p.shape[0],):
+            raise ValueError("spec_scales must have one entry per spec")
+        if np.any(scales <= 0):
+            raise ValueError("spec_scales must be positive")
+        a_p = a_p / scales[:, None]
+    mapping = LinearSignatureMap.from_sensitivities(
+        a_p, a_s, sigma_m=sigma_m, rcond=rcond
+    )
+    return mapping.total_error_variances(sigma_m)
+
+
+def signature_test_objective(
+    a_p: np.ndarray,
+    a_s: np.ndarray,
+    sigma_m: float,
+    spec_scales: Optional[Sequence[float]] = None,
+    rcond: float = 1e-10,
+) -> float:
+    """The scalar objective ``F`` minimized by the genetic optimizer."""
+    variances = prediction_error_variances(a_p, a_s, sigma_m, spec_scales, rcond)
+    return float(np.mean(variances))

@@ -1,0 +1,100 @@
+"""PWL stimulus encoding for the genetic optimizer.
+
+The genetic string is the vector of breakpoint voltages of a
+piecewise-linear stimulus on a uniform time grid (Section 3.1).  This
+module supplies the gene <-> stimulus codec, the gene bounds, and a set
+of structured seed waveforms (ramps, bursts, multilevel staircases) that
+give the first GA generation useful diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dsp.waveform import PiecewiseLinearStimulus
+
+__all__ = ["StimulusEncoding"]
+
+
+@dataclass(frozen=True)
+class StimulusEncoding:
+    """Fixed geometry of the PWL stimulus being optimized.
+
+    Attributes
+    ----------
+    n_breakpoints:
+        Number of PWL levels (= gene length).
+    duration:
+        Stimulus duration in seconds (5 us in the paper's simulation
+        experiment, 5 ms in the hardware experiment).
+    v_limit:
+        AWG amplitude bound; genes live in ``[-v_limit, v_limit]``.
+    """
+
+    n_breakpoints: int = 16
+    duration: float = 5e-6
+    v_limit: float = 0.4
+
+    def __post_init__(self):
+        if self.n_breakpoints < 2:
+            raise ValueError("need at least two breakpoints")
+        if self.duration <= 0 or self.v_limit <= 0:
+            raise ValueError("duration and v_limit must be positive")
+
+    # ------------------------------------------------------------------
+    # codec
+    # ------------------------------------------------------------------
+    def decode(self, gene: np.ndarray) -> PiecewiseLinearStimulus:
+        """Gene vector -> stimulus."""
+        gene = np.asarray(gene, dtype=float)
+        if gene.shape != (self.n_breakpoints,):
+            raise ValueError(
+                f"gene must have {self.n_breakpoints} entries, got {gene.shape}"
+            )
+        return PiecewiseLinearStimulus(gene, self.duration, self.v_limit)
+
+    def encode(self, stimulus: PiecewiseLinearStimulus) -> np.ndarray:
+        """Stimulus -> gene vector."""
+        if stimulus.n_breakpoints != self.n_breakpoints:
+            raise ValueError("breakpoint count mismatch")
+        return stimulus.to_gene()
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) gene bounds for the GA."""
+        lower = np.full(self.n_breakpoints, -self.v_limit)
+        upper = np.full(self.n_breakpoints, self.v_limit)
+        return lower, upper
+
+    # ------------------------------------------------------------------
+    # seeds
+    # ------------------------------------------------------------------
+    def seed_genes(self, rng: np.random.Generator, n_random: int = 4) -> np.ndarray:
+        """A diverse starting population.
+
+        The objective depends critically on how hard the DUT is driven:
+        too soft and the third-order term disappears into the noise, too
+        hard and the drive-level penalty fires.  The seeds therefore form
+        an *amplitude ladder* -- ramps, triangles and flats at several
+        fractions of full scale -- plus ``n_random`` random genes, so the
+        first generation already brackets the optimal drive level.
+        """
+        n = self.n_breakpoints
+        v = self.v_limit
+        t = np.linspace(0.0, 1.0, n)
+        ramp = 2.0 * t - 1.0
+        triangle = 1.0 - 2.0 * np.abs(2.0 * t - 1.0)
+        staircase = 2.0 * np.floor(t * 4) / 3.0 - 1.0
+        seeds: List[np.ndarray] = []
+        for scale in (0.2, 0.35, 0.5, 0.7, 0.9):
+            seeds.append(v * scale * ramp)
+            seeds.append(np.full(n, v * scale))
+        for scale in (0.3, 0.6):
+            seeds.append(v * scale * triangle)
+            seeds.append(v * scale * staircase)
+        for scale in (0.25, 0.5, 0.75):
+            for _ in range(max(1, n_random // 3)):
+                seeds.append(rng.uniform(-v * scale, v * scale, size=n))
+        return np.clip(np.vstack(seeds), -v, v)

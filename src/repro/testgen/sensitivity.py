@@ -1,0 +1,107 @@
+"""Finite-difference sensitivity estimation (Equations 6-7).
+
+The paper's linear model relates normalized process perturbations ``dx``
+to performance perturbations ``dp = A_p dx`` and signature perturbations
+``ds = A_s dx``.  Both matrices are estimated here by forward (or
+central) finite differences around the nominal process point, with the
+perturbations expressed as *fractions of nominal* so that parameters of
+wildly different physical units share a common scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.circuits.parameters import ParameterSpace
+
+__all__ = [
+    "finite_difference_jacobian",
+    "performance_sensitivity",
+    "signature_sensitivity",
+]
+
+VectorFunction = Callable[[Dict[str, float]], np.ndarray]
+
+
+def finite_difference_jacobian(
+    func: VectorFunction,
+    space: ParameterSpace,
+    rel_step: float = 0.05,
+    central: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Jacobian of ``func`` w.r.t. normalized process deviations.
+
+    Parameters
+    ----------
+    func:
+        Maps a parameter dict to an output vector (specs or a signature).
+        Must be deterministic -- pass noise-free evaluations.
+    space:
+        Process-parameter space supplying names and nominals.
+    rel_step:
+        Fractional perturbation of each parameter.
+    central:
+        Use central differences (2x the evaluations, 2nd-order accurate).
+
+    Returns
+    -------
+    ``(J, baseline)`` where ``J[i, j] = d out_i / d (dx_j)`` with ``dx_j``
+    the *fractional* deviation of parameter ``j``, and ``baseline`` the
+    nominal output.
+    """
+    if not (0.0 < rel_step < 0.5):
+        raise ValueError("rel_step should be a small positive fraction")
+    baseline = np.asarray(func(space.to_dict(space.nominal_vector())), dtype=float)
+    if baseline.ndim != 1:
+        raise ValueError("func must return a 1-D vector")
+    jac = np.empty((len(baseline), len(space)))
+    for j, name in enumerate(space.names()):
+        plus = np.asarray(
+            func(space.to_dict(space.perturbed_vector(name, rel_step))), dtype=float
+        )
+        if central:
+            minus = np.asarray(
+                func(space.to_dict(space.perturbed_vector(name, -rel_step))),
+                dtype=float,
+            )
+            jac[:, j] = (plus - minus) / (2.0 * rel_step)
+        else:
+            jac[:, j] = (plus - baseline) / rel_step
+    return jac, baseline
+
+
+def performance_sensitivity(
+    device_factory: Callable[[Dict[str, float]], "object"],
+    space: ParameterSpace,
+    rel_step: float = 0.05,
+    central: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The matrix ``A_p`` of Equation 6 (specs vs process).
+
+    ``device_factory`` builds a DUT instance from a parameter dict; its
+    ``specs()`` vector (gain dB, NF dB, IIP3 dBm) is differentiated.
+    Returns ``(A_p, nominal_specs)``.
+    """
+
+    def spec_vector(params: Dict[str, float]) -> np.ndarray:
+        return device_factory(params).specs().as_vector()
+
+    return finite_difference_jacobian(spec_vector, space, rel_step, central)
+
+
+def signature_sensitivity(
+    signature_fn: VectorFunction,
+    space: ParameterSpace,
+    rel_step: float = 0.05,
+    central: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The matrix ``A_s`` of Equation 7 (signature vs process).
+
+    ``signature_fn`` maps a parameter dict to the *noise-free* signature
+    vector for the stimulus under evaluation.  Forward differences are the
+    default: the GA calls this inside its fitness loop, and forward
+    differencing halves the cost.  Returns ``(A_s, nominal_signature)``.
+    """
+    return finite_difference_jacobian(signature_fn, space, rel_step, central)

@@ -1,0 +1,105 @@
+"""Tests for repro.circuits.behavioral."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.sources import dbm_to_vpeak, tone
+from repro.dsp.spectral import tone_amplitude
+
+
+class TestSpecsRoundtrip:
+    def test_specs_returned(self, behavioral_amp):
+        s = behavioral_amp.specs()
+        assert s.gain_db == 16.0
+        assert s.nf_db == 2.0
+        assert s.iip3_dbm == 3.0
+
+    def test_envelope_poly_consistent_with_specs(self, behavioral_amp):
+        a1, a2, a3 = behavioral_amp.envelope_poly()
+        assert 20 * np.log10(a1) == pytest.approx(16.0)
+        assert a3 < 0
+
+    def test_negative_nf_rejected(self):
+        with pytest.raises(ValueError):
+            BehavioralAmplifier(1e9, 10.0, -1.0, 0.0)
+
+
+class TestProcessRF:
+    def test_small_signal_gain(self, behavioral_amp):
+        f = behavioral_amp.center_frequency
+        amp_in = dbm_to_vpeak(-40.0)
+        wf = tone(f, 64 / f, 16 * f, amplitude=amp_in)
+        out = behavioral_amp.process_rf(wf)
+        gain = 20 * np.log10(tone_amplitude(out, f) / amp_in)
+        assert gain == pytest.approx(16.0, abs=0.05)
+
+    def test_compression_at_high_drive(self, behavioral_amp):
+        f = behavioral_amp.center_frequency
+        amp_in = dbm_to_vpeak(-5.0)  # near P1dB
+        wf = tone(f, 64 / f, 16 * f, amplitude=amp_in)
+        out = behavioral_amp.process_rf(wf)
+        gain = 20 * np.log10(tone_amplitude(out, f) / amp_in)
+        assert gain < 15.5  # visibly compressed
+
+    def test_noise_only_with_rng(self, behavioral_amp):
+        f = behavioral_amp.center_frequency
+        wf = tone(f, 64 / f, 16 * f, amplitude=1e-4)
+        clean = behavioral_amp.process_rf(wf)
+        noisy = behavioral_amp.process_rf(wf, np.random.default_rng(0))
+        assert np.array_equal(
+            clean.samples, behavioral_amp.process_rf(wf).samples
+        )
+        assert not np.array_equal(clean.samples, noisy.samples)
+
+    def test_noise_level_tracks_nf(self):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        quiet = BehavioralAmplifier(1e9, 16.0, 1.0, 3.0, noise_bandwidth=1e7)
+        loud = BehavioralAmplifier(1e9, 16.0, 10.0, 3.0, noise_bandwidth=1e7)
+        silence = tone(1e9, 64 / 1e9, 16e9, amplitude=0.0)
+        n_quiet = quiet.process_rf(silence, rng1).rms()
+        n_loud = loud.process_rf(silence, rng2).rms()
+        assert n_loud > 3.0 * n_quiet
+
+    def test_envelope_bandwidth_filters_modulation(self):
+        # a device with a 2 kHz modulation bandwidth passes the carrier
+        # but strips fast AM sidebands
+        import numpy as np
+
+        fc, fs = 100e3, 1e6
+        amp = BehavioralAmplifier(fc, 20.0, 3.0, 30.0, envelope_bandwidth=2e3)
+        t = np.arange(int(20e-3 * fs)) / fs
+        slow_am = (1 + 0.5 * np.cos(2 * np.pi * 500 * t)) * np.sin(2 * np.pi * fc * t)
+        fast_am = (1 + 0.5 * np.cos(2 * np.pi * 20e3 * t)) * np.sin(2 * np.pi * fc * t)
+        from repro.dsp.waveform import Waveform
+        from repro.dsp.spectral import amplitude_spectrum
+
+        out_slow = amp.process_rf(Waveform(1e-3 * slow_am, fs))
+        out_fast = amp.process_rf(Waveform(1e-3 * fast_am, fs))
+        spec_slow = amplitude_spectrum(out_slow, "flattop")
+        spec_fast = amplitude_spectrum(out_fast, "flattop")
+        # carrier passes equally in both cases
+        assert spec_slow.amplitude_at(fc) == pytest.approx(
+            spec_fast.amplitude_at(fc), rel=0.02
+        )
+        # the slow sideband survives far better than the fast one
+        slow_side = spec_slow.amplitude_at(fc + 500) / spec_slow.amplitude_at(fc)
+        fast_side = spec_fast.amplitude_at(fc + 20e3) / spec_fast.amplitude_at(fc)
+        assert slow_side > 5.0 * fast_side
+
+
+class TestWithSpecs:
+    def test_replaces_one_spec(self, behavioral_amp):
+        tweaked = behavioral_amp.with_specs(gain_db=18.0)
+        assert tweaked.specs().gain_db == 18.0
+        assert tweaked.specs().nf_db == 2.0
+        assert tweaked.specs().iip3_dbm == 3.0
+
+    def test_original_untouched(self, behavioral_amp):
+        behavioral_amp.with_specs(gain_db=0.0)
+        assert behavioral_amp.specs().gain_db == 16.0
+
+    def test_output_noise_vrms_interface(self, behavioral_amp):
+        v = behavioral_amp.output_noise_vrms(1e6)
+        assert v > 0

@@ -1,0 +1,155 @@
+"""Tests for repro.circuits.bjt."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.bjt import (
+    THERMAL_VOLTAGE,
+    BiasNetwork,
+    BJTParameters,
+    bjt_noise_factor,
+    solve_bias,
+)
+
+
+def nominal_params(**overrides):
+    base = dict(is_sat=2e-16, beta_f=100.0, vaf=60.0, rb=35.0, ikf=0.05)
+    base.update(overrides)
+    return BJTParameters(**base)
+
+
+def nominal_network(**overrides):
+    base = dict(vcc=3.0, r1=3.9e3, r2=2.7e3, re=82.0)
+    base.update(overrides)
+    return BiasNetwork(**base)
+
+
+class TestBiasNetwork:
+    def test_thevenin(self):
+        net = nominal_network()
+        assert net.v_thevenin == pytest.approx(3.0 * 2.7 / 6.6)
+        assert net.r_thevenin == pytest.approx(3.9e3 * 2.7e3 / 6.6e3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nominal_network(vcc=-1.0)
+        with pytest.raises(ValueError):
+            nominal_network(r1=0.0)
+
+
+class TestSolveBias:
+    def test_kvl_satisfied(self):
+        params, net = nominal_params(), nominal_network()
+        op = solve_bias(params, net)
+        residual = (
+            net.v_thevenin - op.ib * net.r_thevenin - op.vbe - (op.ic + op.ib) * net.re
+        )
+        assert abs(residual) < 1e-9
+
+    def test_collector_current_reasonable(self):
+        op = solve_bias(nominal_params(), nominal_network())
+        assert 1e-3 < op.ic < 10e-3  # a few mA
+
+    def test_vbe_physical(self):
+        op = solve_bias(nominal_params(), nominal_network())
+        assert 0.6 < op.vbe < 0.9
+
+    def test_gm_close_to_ic_over_vt(self):
+        op = solve_bias(nominal_params(), nominal_network())
+        # the qb correction lowers gm slightly below Ic/Vt
+        assert op.gm < op.ic / THERMAL_VOLTAGE
+        assert op.gm > 0.7 * op.ic / THERMAL_VOLTAGE
+
+    def test_beta_dc_degraded_by_high_injection(self):
+        op = solve_bias(nominal_params(), nominal_network())
+        assert op.beta_dc < 100.0
+        assert op.beta_dc == pytest.approx(100.0 / op.qb, rel=1e-9)
+
+    def test_higher_is_sat_lowers_vbe(self):
+        op_lo = solve_bias(nominal_params(is_sat=2e-16), nominal_network())
+        op_hi = solve_bias(nominal_params(is_sat=4e-16), nominal_network())
+        assert op_hi.vbe < op_lo.vbe
+        # but the emitter-degenerated current barely moves
+        assert op_hi.ic == pytest.approx(op_lo.ic, rel=0.05)
+
+    def test_smaller_ikf_reduces_current_and_beta(self):
+        op_big = solve_bias(nominal_params(ikf=1.0), nominal_network())
+        op_small = solve_bias(nominal_params(ikf=0.01), nominal_network())
+        assert op_small.beta_dc < op_big.beta_dc
+        assert op_small.ic < op_big.ic
+
+    def test_early_voltage_sets_ro(self):
+        op = solve_bias(nominal_params(vaf=60.0), nominal_network())
+        assert op.r_o == pytest.approx((60.0 + op.vce) / op.ic, rel=1e-9)
+
+    def test_smaller_re_raises_current(self):
+        op_big = solve_bias(nominal_params(), nominal_network(re=120.0))
+        op_small = solve_bias(nominal_params(), nominal_network(re=60.0))
+        assert op_small.ic > op_big.ic
+
+    def test_unbiased_network_rejected(self):
+        # divider too weak to forward-bias the junction
+        with pytest.raises(ValueError, match="forward-bias"):
+            solve_bias(nominal_params(), nominal_network(r2=100.0))
+
+    def test_saturated_transistor_rejected(self):
+        with pytest.raises(ValueError, match="saturated"):
+            solve_bias(nominal_params(), nominal_network(rc_dc=2e3))
+
+    def test_vce_accounts_for_drops(self):
+        net = nominal_network(rc_dc=100.0)
+        op = solve_bias(nominal_params(), net)
+        expected = 3.0 - op.ic * 100.0 - (op.ic + op.ib) * 82.0
+        assert op.vce == pytest.approx(expected, rel=1e-9)
+
+
+class TestNoiseFactor:
+    def test_above_unity(self):
+        assert bjt_noise_factor(gm=0.15, beta=90.0, rb=35.0) > 1.0
+
+    def test_rb_increases_noise(self):
+        f_lo = bjt_noise_factor(gm=0.15, beta=90.0, rb=10.0)
+        f_hi = bjt_noise_factor(gm=0.15, beta=90.0, rb=50.0)
+        assert f_hi > f_lo
+        # rb contributes linearly via its thermal term (delta rb / Rs)
+        # plus quadratically via the base shot-noise term
+        gm, beta, rs = 0.15, 90.0, 50.0
+        expected = 40.0 / rs + gm * ((rs + 50.0) ** 2 - (rs + 10.0) ** 2) / (
+            2.0 * beta * rs
+        )
+        assert f_hi - f_lo == pytest.approx(expected, rel=1e-9)
+
+    def test_beta_reduces_base_shot_noise(self):
+        f_lo = bjt_noise_factor(gm=0.15, beta=50.0, rb=35.0)
+        f_hi = bjt_noise_factor(gm=0.15, beta=200.0, rb=35.0)
+        assert f_hi < f_lo
+
+    def test_gm_tradeoff_has_minimum(self):
+        # collector shot noise falls with gm, base shot noise rises:
+        # the noise factor is non-monotonic in gm
+        gms = np.linspace(0.001, 2.0, 400)
+        f = np.array([bjt_noise_factor(g, 90.0, 35.0) for g in gms])
+        k = int(np.argmin(f))
+        assert 0 < k < len(gms) - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bjt_noise_factor(0.0, 90.0, 35.0)
+        with pytest.raises(ValueError):
+            bjt_noise_factor(0.1, 0.0, 35.0)
+        with pytest.raises(ValueError):
+            bjt_noise_factor(0.1, 90.0, -1.0)
+
+
+class TestBJTParameterValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            nominal_params(is_sat=0.0)
+        with pytest.raises(ValueError):
+            nominal_params(beta_f=0.5)
+        with pytest.raises(ValueError):
+            nominal_params(vaf=-10.0)
+        with pytest.raises(ValueError):
+            nominal_params(rb=-1.0)
+        with pytest.raises(ValueError):
+            nominal_params(ikf=0.0)

@@ -1,0 +1,30 @@
+"""Tests for the shared RFDevice/SpecSet interface."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.device import SpecSet
+
+
+class TestSpecSet:
+    def test_vector_roundtrip(self):
+        s = SpecSet(gain_db=16.0, nf_db=2.0, iip3_dbm=3.0)
+        assert SpecSet.from_vector(s.as_vector()) == s
+
+    def test_vector_order(self):
+        s = SpecSet(gain_db=1.0, nf_db=2.0, iip3_dbm=3.0)
+        assert np.allclose(s.as_vector(), [1.0, 2.0, 3.0])
+        assert SpecSet.NAMES == ("gain_db", "nf_db", "iip3_dbm")
+
+    def test_as_dict(self):
+        s = SpecSet(gain_db=1.0, nf_db=2.0, iip3_dbm=3.0)
+        assert s.as_dict() == {"gain_db": 1.0, "nf_db": 2.0, "iip3_dbm": 3.0}
+
+    def test_from_vector_validates_shape(self):
+        with pytest.raises(ValueError):
+            SpecSet.from_vector([1.0, 2.0])
+
+    def test_frozen(self):
+        s = SpecSet(1.0, 2.0, 3.0)
+        with pytest.raises(AttributeError):
+            s.gain_db = 5.0

@@ -1,0 +1,81 @@
+"""Tests for repro.circuits.faults."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.faults import (
+    FAULT_LIBRARY,
+    FaultyDevice,
+    bias_shift_fault,
+    dead_stage_fault,
+    open_input_fault,
+    shorted_output_fault,
+)
+from repro.dsp.sources import tone
+
+
+@pytest.fixture
+def healthy():
+    return BehavioralAmplifier(900e6, 16.0, 2.0, 3.0)
+
+
+class TestFaultModels:
+    def test_open_input_kills_gain(self, healthy):
+        fault = open_input_fault(healthy)
+        assert fault.specs().gain_db < -20.0
+
+    def test_shorted_output_heavy_loss(self, healthy):
+        fault = shorted_output_fault(healthy)
+        assert fault.specs().gain_db == pytest.approx(16.0 - 25.0)
+
+    def test_dead_stage_is_lossy_but_linear(self, healthy):
+        fault = dead_stage_fault(healthy)
+        s = fault.specs()
+        assert s.gain_db == pytest.approx(-10.0, abs=0.1)
+        assert s.iip3_dbm > healthy.specs().iip3_dbm
+
+    def test_bias_shift_is_subtle(self, healthy):
+        fault = bias_shift_fault(healthy)
+        s = fault.specs()
+        # a gross defect, but within an order of magnitude of a corner
+        assert -10.0 < s.gain_db - 16.0 < 0.0
+        assert s.iip3_dbm < healthy.specs().iip3_dbm
+
+    def test_library_complete(self, healthy):
+        assert set(FAULT_LIBRARY) == {
+            "open_input",
+            "shorted_output",
+            "dead_stage",
+            "bias_shift",
+        }
+        for name, ctor in FAULT_LIBRARY.items():
+            fault = ctor(healthy)
+            assert fault.name == name
+
+
+class TestFaultBehaviour:
+    def test_envelope_poly_reflects_fault(self, healthy):
+        fault = open_input_fault(healthy)
+        a1_fault = fault.envelope_poly()[0]
+        a1_good = healthy.envelope_poly()[0]
+        assert a1_fault < 0.05 * a1_good
+
+    def test_process_rf_attenuates(self, healthy):
+        fault = shorted_output_fault(healthy)
+        f = healthy.center_frequency
+        wf = tone(f, 64 / f, 16 * f, amplitude=1e-3)
+        out_fault = fault.process_rf(wf)
+        out_good = healthy.process_rf(wf)
+        assert out_fault.rms() < 0.1 * out_good.rms()
+
+    def test_process_rf_noise_with_rng(self, healthy):
+        fault = open_input_fault(healthy)
+        f = healthy.center_frequency
+        wf = tone(f, 64 / f, 16 * f, amplitude=0.0)
+        noisy = fault.process_rf(wf, np.random.default_rng(0))
+        assert noisy.rms() > 0.0
+
+    def test_nf_floor_at_zero(self, healthy):
+        fault = FaultyDevice(healthy, "weird", extra_nf_db=-100.0)
+        assert fault.specs().nf_db == 0.0

@@ -1,0 +1,96 @@
+"""Tests for repro.circuits.gilbert (circuit-level Gilbert-cell mixer)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gilbert import (
+    NOMINAL_PROCESS,
+    GilbertCellMixer,
+    gilbert_parameter_space,
+)
+from repro.dsp.sources import dbm_to_vpeak, tone
+from repro.dsp.spectral import tone_amplitude
+
+
+class TestNominal:
+    def test_specs_plausible(self):
+        mixer = GilbertCellMixer()
+        s = mixer.specs()
+        assert 2.0 < s.gain_db < 15.0  # active mixer conversion gain
+        assert 8.0 < s.nf_db < 18.0  # SSB mixer noise figures are high
+        assert -10.0 < s.iip3_dbm < 10.0
+
+    def test_bias_current(self):
+        mixer = GilbertCellMixer()
+        # (3.0 - 0.78) / 1.1k ~ 2 mA
+        assert mixer.tail_current == pytest.approx(2.02e-3, rel=0.01)
+
+    def test_if_frequency(self):
+        assert GilbertCellMixer().if_frequency == pytest.approx(100e6)
+
+
+class TestProcessSensitivity:
+    def test_load_resistor_raises_gain(self):
+        lo = GilbertCellMixer({"r_load": 0.8 * NOMINAL_PROCESS["r_load"]})
+        hi = GilbertCellMixer({"r_load": 1.2 * NOMINAL_PROCESS["r_load"]})
+        assert hi.conversion_gain_db() > lo.conversion_gain_db() + 2.0
+
+    def test_bias_resistor_lowers_current_and_gain(self):
+        starved = GilbertCellMixer({"r_bias": 1.2 * NOMINAL_PROCESS["r_bias"]})
+        nominal = GilbertCellMixer()
+        assert starved.tail_current < nominal.tail_current
+        assert starved.conversion_gain_db() < nominal.conversion_gain_db()
+
+    def test_degeneration_trades_gain_for_linearity(self):
+        soft = GilbertCellMixer({"r_degen": 0.8 * NOMINAL_PROCESS["r_degen"]})
+        hard = GilbertCellMixer({"r_degen": 1.2 * NOMINAL_PROCESS["r_degen"]})
+        assert hard.conversion_gain_db() < soft.conversion_gain_db()
+        assert hard.iip3_dbm() > soft.iip3_dbm()
+
+    def test_rb_silent_in_gain_loud_in_nf(self):
+        lo = GilbertCellMixer({"rb": 0.8 * NOMINAL_PROCESS["rb"]})
+        hi = GilbertCellMixer({"rb": 1.2 * NOMINAL_PROCESS["rb"]})
+        assert hi.conversion_gain_db() == pytest.approx(lo.conversion_gain_db())
+        assert hi.nf_db() > lo.nf_db() + 0.2
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError):
+            GilbertCellMixer({"r_gate": 1.0})
+
+
+class TestParameterSpace:
+    def test_monte_carlo_all_valid(self):
+        space = gilbert_parameter_space()
+        rng = np.random.default_rng(0)
+        for point in space.sample(rng, 100):
+            mixer = GilbertCellMixer(space.to_dict(point))
+            assert np.isfinite(mixer.specs().as_vector()).all()
+
+    def test_spread(self):
+        space = gilbert_parameter_space()
+        rng = np.random.default_rng(1)
+        specs = np.vstack(
+            [
+                GilbertCellMixer(space.to_dict(p)).specs().as_vector()
+                for p in space.sample(rng, 150)
+            ]
+        )
+        assert 0.3 < specs[:, 0].std() < 3.0  # conversion gain dB
+        assert specs[:, 1].std() > 0.1  # NF dB
+
+
+class TestSignalPath:
+    def test_conversion_gain_measured_at_if(self):
+        mixer = GilbertCellMixer()
+        f = mixer.center_frequency
+        amp = dbm_to_vpeak(-40.0)
+        wf = tone(f, 256 / f, 16 * f, amplitude=amp)
+        out = mixer.process_rf(wf)
+        gain = 20 * np.log10(tone_amplitude(out, mixer.if_frequency) / amp)
+        assert gain == pytest.approx(mixer.conversion_gain_db(), abs=0.3)
+
+    def test_envelope_poly_matches_specs(self):
+        mixer = GilbertCellMixer()
+        a1, _, a3 = mixer.envelope_poly()
+        assert 20 * np.log10(a1) == pytest.approx(mixer.conversion_gain_db())
+        assert a3 < 0

@@ -1,0 +1,121 @@
+"""Tests for repro.circuits.lna (the 900 MHz LNA model)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lna import LNA900, NOMINAL_PROCESS, lna_parameter_space
+
+
+class TestNominalLNA:
+    def test_specs_in_paper_ranges(self, nominal_lna):
+        s = nominal_lna.specs()
+        # Figure 8's gain axis spans roughly 15 to 17.5 dB
+        assert 15.0 < s.gain_db < 17.5
+        # Figure 9's IIP3 axis sits near +3 dBm
+        assert 1.0 < s.iip3_dbm < 4.5
+        # an LNA noise figure
+        assert 1.0 < s.nf_db < 3.5
+
+    def test_bias_point(self, nominal_lna):
+        op = nominal_lna.operating_point
+        assert 2e-3 < op.ic < 8e-3
+        assert op.gm > 0.05
+
+    def test_tank_resonates_at_design_frequency(self, nominal_lna):
+        f0 = nominal_lna.design.center_frequency
+        z_center = nominal_lna.tank_impedance(f0)
+        assert z_center > nominal_lna.tank_impedance(0.9 * f0)
+        assert z_center > nominal_lna.tank_impedance(1.1 * f0)
+
+    def test_loop_gain_positive(self, nominal_lna):
+        assert nominal_lna.loop_gain > 0.5
+
+
+class TestProcessSensitivity:
+    def test_r_load_raises_gain(self):
+        lo = LNA900({"r_load": 0.9 * NOMINAL_PROCESS["r_load"]})
+        hi = LNA900({"r_load": 1.1 * NOMINAL_PROCESS["r_load"]})
+        assert hi.gain_db() > lo.gain_db()
+
+    def test_rb_silent_in_gain_loud_in_nf(self):
+        lo = LNA900({"rb": 0.8 * NOMINAL_PROCESS["rb"]})
+        hi = LNA900({"rb": 1.2 * NOMINAL_PROCESS["rb"]})
+        assert hi.gain_db() == pytest.approx(lo.gain_db(), abs=1e-9)
+        assert hi.nf_db() > lo.nf_db() + 0.1
+
+    def test_tank_detuning_lowers_gain(self):
+        nominal = LNA900()
+        detuned = LNA900({"c_tank": 1.2 * NOMINAL_PROCESS["c_tank"]})
+        assert detuned.gain_db() < nominal.gain_db()
+
+    def test_bias_current_drives_iip3(self):
+        # higher Ic -> higher gm -> stronger feedback -> better IIP3
+        lo = LNA900({"re": 1.2 * NOMINAL_PROCESS["re"]})  # less current
+        hi = LNA900({"re": 0.8 * NOMINAL_PROCESS["re"]})  # more current
+        assert hi.operating_point.ic > lo.operating_point.ic
+        assert hi.iip3_dbm() > lo.iip3_dbm()
+
+    def test_vaf_effect_is_weak(self):
+        lo = LNA900({"vaf": 0.8 * NOMINAL_PROCESS["vaf"]})
+        hi = LNA900({"vaf": 1.2 * NOMINAL_PROCESS["vaf"]})
+        assert abs(hi.gain_db() - lo.gain_db()) < 0.2
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            LNA900({"r_gate": 100.0})
+
+
+class TestParameterSpace:
+    def test_contains_paper_parameters(self):
+        space = lna_parameter_space()
+        for name in ("is_sat", "beta_f", "vaf", "rb", "ikf"):
+            assert name in space
+
+    def test_default_is_20_percent(self):
+        space = lna_parameter_space()
+        for p in space:
+            assert p.rel_variation == pytest.approx(0.2)
+
+    def test_all_corner_devices_solve(self):
+        # every one-at-a-time band-edge device must have a valid bias point
+        space = lna_parameter_space()
+        for name in space.names():
+            for step in (-0.2, 0.2):
+                vec = space.perturbed_vector(name, step)
+                lna = LNA900(space.to_dict(vec))
+                assert lna.operating_point.ic > 0
+
+    def test_monte_carlo_devices_all_solve(self):
+        space = lna_parameter_space()
+        rng = np.random.default_rng(0)
+        for point in space.sample(rng, 200):
+            lna = LNA900(space.to_dict(point))
+            s = lna.specs()
+            assert np.isfinite(s.as_vector()).all()
+
+    def test_spec_spread_reasonable(self):
+        space = lna_parameter_space()
+        rng = np.random.default_rng(1)
+        specs = np.vstack(
+            [LNA900(space.to_dict(p)).specs().as_vector() for p in space.sample(rng, 300)]
+        )
+        gain_std, nf_std, iip3_std = specs.std(axis=0)
+        assert 0.5 < gain_std < 3.0  # dB
+        assert 0.05 < nf_std < 0.8  # dB
+        assert 0.5 < iip3_std < 5.0  # dBm
+
+
+class TestBehavioralView:
+    def test_behavioral_matches_specs(self, nominal_lna):
+        beh = nominal_lna.to_behavioral()
+        assert beh.specs().gain_db == pytest.approx(nominal_lna.gain_db())
+        assert beh.specs().iip3_dbm == pytest.approx(nominal_lna.iip3_dbm())
+        assert beh.specs().nf_db == pytest.approx(nominal_lna.nf_db())
+
+    def test_behavioral_cached(self, nominal_lna):
+        assert nominal_lna.to_behavioral() is nominal_lna.to_behavioral()
+
+    def test_envelope_poly_consistent(self, nominal_lna):
+        a1, _, a3 = nominal_lna.envelope_poly()
+        assert 20 * np.log10(a1) == pytest.approx(nominal_lna.gain_db())
+        assert a3 < 0.0

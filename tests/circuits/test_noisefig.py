@@ -1,0 +1,109 @@
+"""Tests for repro.circuits.noisefig."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.noisefig import (
+    added_output_noise_vrms,
+    enr_db_to_ratio,
+    factor_to_nf_db,
+    friis_cascade_nf_db,
+    input_referred_noise_vrms,
+    nf_db_to_factor,
+    output_noise_vrms,
+    y_factor_nf_db,
+)
+
+
+class TestConversions:
+    def test_3db_is_factor_2(self):
+        assert nf_db_to_factor(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_0db_is_unity(self):
+        assert nf_db_to_factor(0.0) == 1.0
+        assert factor_to_nf_db(1.0) == 0.0
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            factor_to_nf_db(0.9)
+
+    @given(nf=st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, nf):
+        assert factor_to_nf_db(nf_db_to_factor(nf)) == pytest.approx(nf, abs=1e-9)
+
+
+class TestFriis:
+    def test_single_stage(self):
+        assert friis_cascade_nf_db([(20.0, 2.0)]) == pytest.approx(2.0)
+
+    def test_high_first_gain_dominates(self):
+        # with 30 dB first-stage gain, a terrible second stage barely matters
+        total = friis_cascade_nf_db([(30.0, 2.0), (10.0, 15.0)])
+        assert total == pytest.approx(2.0, abs=0.2)
+
+    def test_lossy_first_stage_hurts(self):
+        # attenuator (loss 6 dB, NF 6 dB) in front of a 2 dB LNA
+        total = friis_cascade_nf_db([(-6.0, 6.0), (20.0, 2.0)])
+        assert total == pytest.approx(8.0, abs=0.3)
+
+    def test_order_matters(self):
+        a = friis_cascade_nf_db([(20.0, 2.0), (10.0, 10.0)])
+        b = friis_cascade_nf_db([(10.0, 10.0), (20.0, 2.0)])
+        assert a < b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            friis_cascade_nf_db([])
+
+
+class TestYFactor:
+    def test_ideal_roundtrip(self):
+        # F = ENR / (Y - 1)  ->  Y = 1 + ENR / F
+        for nf in (1.0, 3.0, 7.0):
+            enr = 15.0
+            y = 1.0 + enr_db_to_ratio(enr) / nf_db_to_factor(nf)
+            assert y_factor_nf_db(y, enr) == pytest.approx(nf, abs=1e-9)
+
+    def test_y_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            y_factor_nf_db(0.9, 15.0)
+
+    def test_huge_y_clamps_to_zero_nf(self):
+        # measurement noise can make F come out below 1; clamp, don't crash
+        assert y_factor_nf_db(1e9, 15.0) == 0.0
+
+
+class TestOutputNoise:
+    def test_total_exceeds_added(self):
+        total = output_noise_vrms(20.0, 3.0, 1e6)
+        added = added_output_noise_vrms(20.0, 3.0, 1e6)
+        assert total > added > 0.0
+
+    def test_total_and_added_consistent(self):
+        # total^2 = added^2 + (amplified source kTB)^2
+        g_db, nf_db, bw = 16.0, 2.5, 1e7
+        total = output_noise_vrms(g_db, nf_db, bw)
+        added = added_output_noise_vrms(g_db, nf_db, bw)
+        from repro.dsp.noise import thermal_noise_vrms
+
+        source = thermal_noise_vrms(bw) * 10 ** (g_db / 20.0)
+        assert total**2 == pytest.approx(added**2 + source**2, rel=1e-9)
+
+    def test_zero_nf_adds_nothing(self):
+        assert added_output_noise_vrms(20.0, 0.0, 1e6) == 0.0
+
+    def test_input_referred(self):
+        v = input_referred_noise_vrms(3.0103, 1e6)
+        from repro.dsp.noise import thermal_noise_vrms
+
+        # F = 2: the device adds exactly one kTB at its input
+        assert v == pytest.approx(thermal_noise_vrms(1e6), rel=1e-3)
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            output_noise_vrms(10.0, 3.0, -1.0)

@@ -1,0 +1,111 @@
+"""Tests for the PA, attenuator and mixer DUT models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.attenuator import Attenuator
+from repro.circuits.mixer_dut import DownconversionMixerDUT
+from repro.circuits.pa import PowerAmplifier
+from repro.dsp.sources import dbm_to_vpeak, tone
+from repro.dsp.spectral import tone_amplitude, tone_power_dbm
+
+
+class TestPowerAmplifier:
+    def make(self):
+        return PowerAmplifier(
+            center_frequency=900e6, gain_db=25.0, p1db_out_dbm=27.0, nf_db=6.0
+        )
+
+    def test_p1db_referencing(self):
+        pa = self.make()
+        assert pa.p1db_in_dbm == pytest.approx(27.0 - 25.0 + 1.0, abs=1e-6)
+        assert pa.p1db_out_dbm == 27.0
+
+    def test_iip3_relation(self):
+        pa = self.make()
+        assert pa.specs().iip3_dbm == pytest.approx(pa.p1db_in_dbm + 9.6357, abs=1e-3)
+
+    def test_psat_above_p1db(self):
+        pa = self.make()
+        assert pa.psat_out_dbm > pa.p1db_out_dbm
+
+    def test_small_signal_gain(self):
+        pa = self.make()
+        f = pa.center_frequency
+        amp = dbm_to_vpeak(-30.0)
+        out = pa.process_rf(tone(f, 64 / f, 16 * f, amplitude=amp))
+        assert 20 * np.log10(tone_amplitude(out, f) / amp) == pytest.approx(
+            25.0, abs=0.05
+        )
+
+    def test_saturates_at_high_drive(self):
+        pa = self.make()
+        f = pa.center_frequency
+        p_out_low = tone_power_dbm(
+            pa.process_rf(tone(f, 64 / f, 16 * f, amplitude=dbm_to_vpeak(5.0))), f
+        )
+        p_out_high = tone_power_dbm(
+            pa.process_rf(tone(f, 64 / f, 16 * f, amplitude=dbm_to_vpeak(15.0))), f
+        )
+        # 10 dB more input produces far less than 10 dB more output
+        assert p_out_high - p_out_low < 4.0
+
+    def test_backoff_helper(self):
+        pa = self.make()
+        assert pa.drive_level_for_backoff(6.0) == pytest.approx(pa.p1db_in_dbm - 6.0)
+
+
+class TestAttenuator:
+    def test_nf_equals_loss(self):
+        att = Attenuator(900e6, loss_db=6.0)
+        s = att.specs()
+        assert s.gain_db == -6.0
+        assert s.nf_db == 6.0
+
+    def test_attenuation_applied(self):
+        att = Attenuator(900e6, loss_db=20.0)
+        f = att.center_frequency
+        wf = tone(f, 64 / f, 16 * f, amplitude=0.1)
+        out = att.process_rf(wf)
+        assert out.rms() == pytest.approx(0.1 * wf.rms(), rel=0.01)
+
+    def test_very_linear(self):
+        att = Attenuator(900e6, loss_db=3.0)
+        assert att.specs().iip3_dbm >= 50.0
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Attenuator(900e6, loss_db=-1.0)
+
+
+class TestDownconversionMixerDUT:
+    def make(self):
+        return DownconversionMixerDUT(
+            rf_frequency=900e6,
+            lo_frequency=800e6,
+            conversion_gain_db=-6.5,
+            nf_db=7.0,
+            iip3_dbm=12.0,
+        )
+
+    def test_if_frequency(self):
+        assert self.make().if_frequency == pytest.approx(100e6)
+
+    def test_conversion_gain_measured_at_if(self):
+        dut = self.make()
+        f_rf = dut.center_frequency
+        amp = dbm_to_vpeak(-30.0)
+        wf = tone(f_rf, 256 / f_rf, 16 * f_rf, amplitude=amp)
+        out = dut.process_rf(wf)
+        gain = 20 * np.log10(tone_amplitude(out, dut.if_frequency) / amp)
+        assert gain == pytest.approx(-6.5, abs=0.2)
+
+    def test_equal_rf_lo_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            DownconversionMixerDUT(900e6, 900e6)
+
+    def test_specs(self):
+        s = self.make().specs()
+        assert s.gain_db == -6.5
+        assert s.nf_db == 7.0
+        assert s.iip3_dbm == 12.0

@@ -1,0 +1,167 @@
+"""Tests for repro.circuits.parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.parameters import (
+    ParameterSpace,
+    ProcessParameter,
+    uniform_percent,
+)
+
+
+def small_space():
+    return ParameterSpace(
+        [
+            uniform_percent("a", 100.0, 20.0),
+            uniform_percent("b", 2e-12, 20.0),
+            ProcessParameter("c", 50.0, 0.1, distribution="gaussian"),
+        ]
+    )
+
+
+class TestProcessParameter:
+    def test_band_edges(self):
+        p = uniform_percent("r", 100.0, 20.0)
+        assert p.lower == pytest.approx(80.0)
+        assert p.upper == pytest.approx(120.0)
+
+    def test_negative_nominal_band(self):
+        p = ProcessParameter("x", -8.0, 0.1)
+        assert p.lower == pytest.approx(-8.8)
+        assert p.upper == pytest.approx(-7.2)
+        assert p.lower < p.upper
+
+    def test_fractional_std_uniform(self):
+        p = uniform_percent("r", 10.0, 20.0)
+        assert p.fractional_std == pytest.approx(0.2 / np.sqrt(3))
+
+    def test_fractional_std_gaussian(self):
+        p = ProcessParameter("r", 10.0, 0.3, distribution="gaussian")
+        assert p.fractional_std == pytest.approx(0.1)
+
+    def test_sample_within_band(self):
+        rng = np.random.default_rng(0)
+        p = uniform_percent("r", 100.0, 20.0)
+        draws = p.sample(rng, size=1000)
+        assert np.all(draws >= p.lower)
+        assert np.all(draws <= p.upper)
+
+    def test_gaussian_sample_truncated(self):
+        rng = np.random.default_rng(0)
+        p = ProcessParameter("r", 100.0, 0.2, distribution="gaussian")
+        draws = p.sample(rng, size=5000)
+        assert np.all(draws >= p.lower)
+        assert np.all(draws <= p.upper)
+
+    def test_uniform_sample_statistics(self):
+        rng = np.random.default_rng(1)
+        p = uniform_percent("r", 100.0, 20.0)
+        draws = p.sample(rng, size=20000)
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.01)
+        assert np.std(draws) == pytest.approx(20.0 / np.sqrt(3), rel=0.03)
+
+    def test_clip(self):
+        p = uniform_percent("r", 100.0, 20.0)
+        assert p.clip(200.0) == 120.0
+        assert p.clip(10.0) == 80.0
+        assert p.clip(100.0) == 100.0
+
+    def test_zero_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("r", 0.0, 0.2)
+
+    def test_bad_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            ProcessParameter("r", 1.0, 0.2, distribution="lognormal")
+
+    def test_bad_variation(self):
+        with pytest.raises(ValueError):
+            ProcessParameter("r", 1.0, 1.5)
+
+
+class TestParameterSpace:
+    def test_basic_protocol(self):
+        space = small_space()
+        assert len(space) == 3
+        assert "a" in space
+        assert "z" not in space
+        assert space.names() == ["a", "b", "c"]
+        assert space.index_of("b") == 1
+        assert space["c"].distribution == "gaussian"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ParameterSpace([uniform_percent("a", 1.0), uniform_percent("a", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([])
+
+    def test_nominal_vector(self):
+        assert np.allclose(small_space().nominal_vector(), [100.0, 2e-12, 50.0])
+
+    def test_dict_vector_roundtrip(self):
+        space = small_space()
+        vec = np.array([90.0, 2.2e-12, 55.0])
+        assert np.allclose(space.to_vector(space.to_dict(vec)), vec)
+
+    def test_to_vector_fills_nominals(self):
+        space = small_space()
+        vec = space.to_vector({"a": 85.0})
+        assert vec[0] == 85.0
+        assert vec[1] == 2e-12
+
+    def test_to_vector_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown"):
+            small_space().to_vector({"zzz": 1.0})
+
+    def test_sample_shape_and_bounds(self):
+        space = small_space()
+        rng = np.random.default_rng(0)
+        draws = space.sample(rng, 500)
+        assert draws.shape == (500, 3)
+        for j, p in enumerate(space):
+            assert np.all(draws[:, j] >= p.lower - 1e-15)
+            assert np.all(draws[:, j] <= p.upper + 1e-15)
+
+    def test_perturbed_vector(self):
+        space = small_space()
+        vec = space.perturbed_vector("a", 0.05)
+        assert vec[0] == pytest.approx(105.0)
+        assert vec[1] == 2e-12
+
+    def test_normalize_denormalize_roundtrip(self):
+        space = small_space()
+        rng = np.random.default_rng(3)
+        pts = space.sample(rng, 50)
+        back = space.denormalize(space.normalize(pts))
+        assert np.allclose(back, pts)
+
+    def test_normalize_nominal_is_zero(self):
+        space = small_space()
+        assert np.allclose(space.normalize(space.nominal_vector()), 0.0)
+
+    def test_subset(self):
+        sub = small_space().subset(["c", "a"])
+        assert sub.names() == ["c", "a"]
+        assert len(sub) == 2
+
+    def test_fractional_std_vector(self):
+        space = small_space()
+        v = space.fractional_std_vector()
+        assert v[0] == pytest.approx(0.2 / np.sqrt(3))
+        assert v[2] == pytest.approx(0.1 / 3)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_samples_always_in_band(self, seed, n):
+        space = small_space()
+        draws = space.sample(np.random.default_rng(seed), n)
+        norm = space.normalize(draws)
+        assert np.all(np.abs(norm) <= 0.2 + 1e-12)

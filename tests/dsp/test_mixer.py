@@ -1,0 +1,94 @@
+"""Tests for repro.dsp.mixer (behavioral mixer with harmonic products)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.sources import tone
+from repro.dsp.spectral import amplitude_spectrum
+
+
+class TestMixerHarmonics:
+    def test_default_table_has_fundamental(self):
+        h = MixerHarmonics()
+        assert h.coeffs[(1, 1)] == 1.0
+
+    def test_ideal_is_single_product(self):
+        assert set(MixerHarmonics.ideal().coeffs) == {(1, 1)}
+
+    def test_rejects_out_of_range_orders(self):
+        with pytest.raises(ValueError, match="1..3"):
+            MixerHarmonics({(1, 1): 1.0, (4, 1): 0.1})
+
+    def test_rejects_missing_fundamental(self):
+        with pytest.raises(ValueError, match="fundamental"):
+            MixerHarmonics({(2, 1): 0.1})
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            MixerHarmonics({(1, 1): np.nan})
+
+
+class TestIdealMixer:
+    def test_sum_and_difference_frequencies(self):
+        fs = 1e6
+        rf = tone(100e3, 4e-3, fs)
+        lo = tone(30e3, 4e-3, fs)
+        out = Mixer(conversion_gain=1.0, harmonics=MixerHarmonics.ideal()).mix(rf, lo)
+        spec = amplitude_spectrum(out, window_kind="flattop")
+        # sin a sin b = (cos(a-b) - cos(a+b)) / 2 -> amplitude 0.5 each
+        assert spec.amplitude_at(70e3) == pytest.approx(0.5, rel=0.02)
+        assert spec.amplitude_at(130e3) == pytest.approx(0.5, rel=0.02)
+
+    def test_conversion_gain_scales_output(self):
+        fs = 1e6
+        rf = tone(100e3, 2e-3, fs)
+        lo = tone(30e3, 2e-3, fs)
+        strong = Mixer(1.0, MixerHarmonics.ideal()).mix(rf, lo)
+        weak = Mixer(0.5, MixerHarmonics.ideal()).mix(rf, lo)
+        assert weak.rms() == pytest.approx(0.5 * strong.rms(), rel=1e-9)
+
+
+class TestHarmonicProducts:
+    def test_second_harmonic_products_present(self):
+        fs = 4e6
+        rf = tone(100e3, 4e-3, fs)
+        lo = tone(30e3, 4e-3, fs)
+        mixer = Mixer(1.0, MixerHarmonics({(1, 1): 1.0, (2, 1): 0.2}))
+        spec = amplitude_spectrum(mixer.mix(rf, lo), window_kind="flattop")
+        # rf^2 * lo contains 2*100k +/- 30k products
+        assert spec.amplitude_at(230e3) > 0.01
+        assert spec.amplitude_at(170e3) > 0.01
+
+    def test_lo_third_harmonic_products(self):
+        fs = 4e6
+        rf = tone(100e3, 4e-3, fs)
+        lo = tone(30e3, 4e-3, fs)
+        mixer = Mixer(1.0, MixerHarmonics({(1, 1): 1.0, (1, 3): 0.1}))
+        spec = amplitude_spectrum(mixer.mix(rf, lo), window_kind="flattop")
+        # sin^3 contains the 3rd harmonic: products at 100k +/- 90k
+        assert spec.amplitude_at(190e3) > 0.002
+        assert spec.amplitude_at(10e3) > 0.002
+
+    def test_paper_model_contains_all_products(self):
+        table = MixerHarmonics.paper_model()
+        for key in [(1, 1), (2, 1), (1, 2), (3, 1), (1, 3)]:
+            assert key in table.coeffs
+
+
+class TestMixerValidation:
+    def test_rate_mismatch(self):
+        rf = tone(1e3, 1e-3, 1e6)
+        lo = tone(1e3, 1e-3, 2e6)
+        with pytest.raises(ValueError, match="rate"):
+            Mixer().mix(rf, lo)
+
+    def test_length_mismatch(self):
+        rf = tone(1e3, 1e-3, 1e6)
+        lo = tone(1e3, 2e-3, 1e6)
+        with pytest.raises(ValueError, match="length"):
+            Mixer().mix(rf, lo)
+
+    def test_nonpositive_gain(self):
+        with pytest.raises(ValueError, match="positive"):
+            Mixer(conversion_gain=0.0)

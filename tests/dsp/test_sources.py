@@ -1,0 +1,111 @@
+"""Tests for repro.dsp.sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.sources import (
+    chirp,
+    dbm_to_vpeak,
+    dc,
+    silence,
+    tone,
+    two_tone,
+    vpeak_to_dbm,
+    white_noise,
+)
+from repro.dsp.spectral import amplitude_spectrum
+
+
+class TestPowerConversions:
+    def test_0dbm_is_316mv(self):
+        # 1 mW into 50 ohm: v_peak = sqrt(2 * 1e-3 * 50) = 0.3162 V
+        assert dbm_to_vpeak(0.0) == pytest.approx(0.31623, rel=1e-4)
+
+    def test_10dbm_is_1v(self):
+        assert dbm_to_vpeak(10.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_roundtrip(self):
+        for p in (-30.0, -10.0, 0.0, 13.0):
+            assert vpeak_to_dbm(dbm_to_vpeak(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_zero_voltage_is_minus_inf(self):
+        assert vpeak_to_dbm(0.0) == -math.inf
+
+
+class TestTone:
+    def test_amplitude_and_frequency(self):
+        wf = tone(1e3, duration=10e-3, sample_rate=100e3, amplitude=2.0)
+        assert wf.peak() == pytest.approx(2.0, rel=1e-3)
+        spec = amplitude_spectrum(wf)
+        assert spec.freqs[np.argmax(spec.amplitudes)] == pytest.approx(1e3, abs=spec.resolution_hz)
+
+    def test_power_dbm_parameter(self):
+        wf = tone(1e3, 10e-3, 100e3, power_dbm=10.0)
+        assert wf.mean_power_dbm() == pytest.approx(10.0, abs=0.05)
+
+    def test_phase_offset(self):
+        wf = tone(1e3, 1e-3, 1e6, phase=np.pi / 2)
+        assert wf.samples[0] == pytest.approx(1.0, abs=1e-6)  # sin(pi/2)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            tone(1e3, 0.0, 1e6)
+
+
+class TestTwoTone:
+    def test_contains_both_frequencies(self):
+        wf = two_tone(1e3, 2e3, 20e-3, 100e3, amplitude=1.0)
+        spec = amplitude_spectrum(wf)
+        assert spec.amplitude_at(1e3) == pytest.approx(1.0, rel=0.02)
+        assert spec.amplitude_at(2e3) == pytest.approx(1.0, rel=0.02)
+
+    def test_equal_frequencies_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            two_tone(1e3, 1e3, 1e-3, 1e6)
+
+    def test_power_each(self):
+        wf = two_tone(1e3, 2e3, 20e-3, 100e3, power_dbm_each=0.0)
+        spec = amplitude_spectrum(wf)
+        assert spec.power_dbm_at(1e3) == pytest.approx(0.0, abs=0.1)
+        assert spec.power_dbm_at(2e3) == pytest.approx(0.0, abs=0.1)
+
+
+class TestChirp:
+    def test_energy_spread_across_band(self):
+        wf = chirp(1e3, 10e3, 100e-3, 100e3)
+        spec = amplitude_spectrum(wf)
+        in_band = (spec.freqs >= 1e3) & (spec.freqs <= 10e3)
+        power_in = np.sum(spec.amplitudes[in_band] ** 2)
+        power_total = np.sum(spec.amplitudes**2)
+        assert power_in / power_total > 0.9
+
+    def test_amplitude_bound(self):
+        wf = chirp(1e3, 5e3, 10e-3, 100e3, amplitude=0.5)
+        assert wf.peak() <= 0.5 + 1e-9
+
+
+class TestNoiseAndDC:
+    def test_white_noise_rms(self):
+        rng = np.random.default_rng(0)
+        wf = white_noise(1.0, 10e3, rms=0.1, rng=rng)
+        assert wf.rms() == pytest.approx(0.1, rel=0.05)
+
+    def test_white_noise_reproducible(self):
+        a = white_noise(1e-3, 1e6, 0.1, np.random.default_rng(42))
+        b = white_noise(1e-3, 1e6, 0.1, np.random.default_rng(42))
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_negative_rms_rejected(self):
+        with pytest.raises(ValueError):
+            white_noise(1e-3, 1e6, -0.1)
+
+    def test_silence(self):
+        wf = silence(1e-3, 1e6)
+        assert wf.rms() == 0.0
+        assert len(wf) == 1000
+
+    def test_dc(self):
+        wf = dc(2.5, 1e-3, 1e6)
+        assert np.all(wf.samples == 2.5)

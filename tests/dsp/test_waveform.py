@@ -1,0 +1,217 @@
+"""Tests for repro.dsp.waveform."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
+
+
+class TestWaveformConstruction:
+    def test_basic_attributes(self):
+        wf = Waveform([0.0, 1.0, 2.0, 3.0], sample_rate=4.0)
+        assert len(wf) == 4
+        assert wf.n == 4
+        assert wf.dt == 0.25
+        assert wf.duration == 1.0
+
+    def test_times_start_at_t0(self):
+        wf = Waveform([1.0, 2.0], sample_rate=2.0, t0=10.0)
+        assert np.allclose(wf.times(), [10.0, 10.5])
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Waveform(np.zeros((2, 2)), 1.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="positive"):
+            Waveform([1.0], 0.0)
+
+    def test_copy_is_independent(self):
+        wf = Waveform([1.0, 2.0], 1.0)
+        c = wf.copy()
+        c.samples[0] = 99.0
+        assert wf.samples[0] == 1.0
+
+
+class TestWaveformArithmetic:
+    def test_add_waveforms(self):
+        a = Waveform([1.0, 2.0], 1.0)
+        b = Waveform([10.0, 20.0], 1.0)
+        assert np.allclose((a + b).samples, [11.0, 22.0])
+
+    def test_add_scalar(self):
+        a = Waveform([1.0, 2.0], 1.0)
+        assert np.allclose((a + 1.0).samples, [2.0, 3.0])
+        assert np.allclose((1.0 + a).samples, [2.0, 3.0])
+
+    def test_subtract(self):
+        a = Waveform([3.0, 4.0], 1.0)
+        b = Waveform([1.0, 1.0], 1.0)
+        assert np.allclose((a - b).samples, [2.0, 3.0])
+        assert np.allclose((5.0 - a).samples, [2.0, 1.0])
+
+    def test_multiply_is_elementwise(self):
+        a = Waveform([2.0, 3.0], 1.0)
+        b = Waveform([4.0, 5.0], 1.0)
+        assert np.allclose((a * b).samples, [8.0, 15.0])
+
+    def test_divide_by_scalar(self):
+        a = Waveform([2.0, 4.0], 1.0)
+        assert np.allclose((a / 2.0).samples, [1.0, 2.0])
+
+    def test_negate(self):
+        a = Waveform([1.0, -2.0], 1.0)
+        assert np.allclose((-a).samples, [-1.0, 2.0])
+
+    def test_rate_mismatch_raises(self):
+        a = Waveform([1.0], 1.0)
+        b = Waveform([1.0], 2.0)
+        with pytest.raises(ValueError, match="sample-rate mismatch"):
+            a + b
+
+    def test_length_mismatch_raises(self):
+        a = Waveform([1.0], 1.0)
+        b = Waveform([1.0, 2.0], 1.0)
+        with pytest.raises(ValueError, match="length mismatch"):
+            a * b
+
+    def test_map_applies_function(self):
+        a = Waveform([1.0, 2.0], 1.0)
+        out = a.map(lambda x: x**2)
+        assert np.allclose(out.samples, [1.0, 4.0])
+
+
+class TestWaveformMeasurements:
+    def test_rms_of_constant(self):
+        assert Waveform([3.0] * 10, 1.0).rms() == pytest.approx(3.0)
+
+    def test_rms_of_sine(self):
+        t = np.arange(1000) / 1000.0
+        wf = Waveform(np.sin(2 * np.pi * 10 * t), 1000.0)
+        assert wf.rms() == pytest.approx(1 / math.sqrt(2), rel=1e-3)
+
+    def test_peak(self):
+        assert Waveform([1.0, -5.0, 2.0], 1.0).peak() == 5.0
+
+    def test_power_dbm_of_1v_sine(self):
+        # 1 V peak into 50 ohm: 10 mW = +10 dBm
+        t = np.arange(1000) / 1e6
+        wf = Waveform(np.sin(2 * np.pi * 10e3 * t), 1e6)
+        assert wf.mean_power_dbm() == pytest.approx(10.0, abs=0.05)
+
+    def test_power_of_silence_is_minus_inf(self):
+        assert Waveform([0.0, 0.0], 1.0).mean_power_dbm() == -math.inf
+
+    def test_energy(self):
+        wf = Waveform([1.0, 1.0], sample_rate=2.0)
+        assert wf.energy() == pytest.approx(1.0)  # 2 * 1^2 * 0.5
+
+
+class TestWaveformStructure:
+    def test_slice_time(self):
+        wf = Waveform(np.arange(10.0), 10.0)
+        sl = wf.slice_time(0.2, 0.5)
+        assert np.allclose(sl.samples, [2.0, 3.0, 4.0])
+        assert sl.t0 == pytest.approx(0.2)
+
+    def test_slice_time_empty_raises(self):
+        wf = Waveform(np.arange(10.0), 10.0)
+        with pytest.raises(ValueError, match="no samples"):
+            wf.slice_time(5.0, 6.0)
+
+    def test_repeat(self):
+        wf = Waveform([1.0, 2.0], 1.0)
+        assert np.allclose(wf.repeat(3).samples, [1, 2, 1, 2, 1, 2])
+
+    def test_repeat_invalid(self):
+        with pytest.raises(ValueError):
+            Waveform([1.0], 1.0).repeat(0)
+
+    def test_resample_preserves_duration(self):
+        wf = Waveform(np.sin(np.arange(100)), 100.0)
+        up = wf.resample(200.0)
+        assert up.duration == pytest.approx(wf.duration, rel=0.02)
+        assert up.sample_rate == 200.0
+
+    def test_resample_identity(self):
+        wf = Waveform([1.0, 2.0, 3.0], 10.0)
+        same = wf.resample(10.0)
+        assert np.allclose(same.samples, wf.samples)
+
+    def test_resample_linear_signal_exact(self):
+        # a linear ramp survives linear-interpolation resampling exactly
+        # (instants past the original record clamp to the last sample)
+        wf = Waveform(np.linspace(0.0, 1.0, 101), 100.0)
+        up = wf.resample(400.0)
+        t = up.times()
+        inside = t <= 1.0
+        assert np.allclose(up.samples[inside], t[inside], atol=1e-9)
+
+    def test_pad_to(self):
+        wf = Waveform([1.0, 2.0], 1.0)
+        padded = wf.pad_to(5)
+        assert len(padded) == 5
+        assert np.allclose(padded.samples, [1, 2, 0, 0, 0])
+
+    def test_pad_to_shorter_is_noop(self):
+        wf = Waveform([1.0, 2.0, 3.0], 1.0)
+        assert len(wf.pad_to(2)) == 3
+
+
+class TestPWLStimulus:
+    def test_breakpoint_times_span_duration(self):
+        stim = PiecewiseLinearStimulus([0.0, 1.0, 0.0], duration=2.0)
+        assert np.allclose(stim.breakpoint_times(), [0.0, 1.0, 2.0])
+
+    def test_to_waveform_interpolates(self):
+        stim = PiecewiseLinearStimulus([0.0, 1.0], duration=1.0)
+        wf = stim.to_waveform(4.0)
+        assert np.allclose(wf.samples, [0.0, 0.25, 0.5, 0.75])
+
+    def test_levels_clipped_to_limit(self):
+        stim = PiecewiseLinearStimulus([-5.0, 5.0], duration=1.0, v_limit=1.0)
+        assert stim.levels.min() == -1.0
+        assert stim.levels.max() == 1.0
+
+    def test_gene_roundtrip(self):
+        levels = np.array([0.1, -0.2, 0.3, 0.0])
+        stim = PiecewiseLinearStimulus(levels, duration=1.0)
+        back = PiecewiseLinearStimulus.from_gene(stim.to_gene(), 1.0)
+        assert np.allclose(back.levels, levels)
+
+    def test_needs_two_breakpoints(self):
+        with pytest.raises(ValueError, match="two"):
+            PiecewiseLinearStimulus([1.0], duration=1.0)
+
+    def test_perturbed_respects_limit(self):
+        rng = np.random.default_rng(0)
+        stim = PiecewiseLinearStimulus([0.9, -0.9], duration=1.0, v_limit=1.0)
+        for _ in range(20):
+            p = stim.perturbed(rng, scale=0.5)
+            assert np.all(np.abs(p.levels) <= 1.0)
+
+    @given(
+        levels=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=2, max_size=32
+        ),
+        v_limit=st.floats(min_value=0.01, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_levels_always_within_limit(self, levels, v_limit):
+        stim = PiecewiseLinearStimulus(levels, duration=1.0, v_limit=v_limit)
+        assert np.all(np.abs(stim.levels) <= v_limit + 1e-12)
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_waveform_peak_bounded_by_levels(self, n):
+        rng = np.random.default_rng(n)
+        stim = PiecewiseLinearStimulus(
+            rng.uniform(-1, 1, n), duration=1e-3, v_limit=1.0
+        )
+        wf = stim.to_waveform(1e6)
+        # linear interpolation never overshoots the breakpoints
+        assert wf.peak() <= np.abs(stim.levels).max() + 1e-12

@@ -1,0 +1,135 @@
+"""Tests for the experiment drivers (reduced configurations).
+
+The benchmarks run the full paper-scale experiments; here the drivers are
+exercised end to end at a reduced size so the test suite stays fast while
+still proving the pipelines work and the paper's qualitative shape holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.hardware import (
+    HW_SPEC_NAMES,
+    rf2401_device,
+    rf2401_family_space,
+    run_hardware_experiment,
+)
+from repro.experiments.lna_simulation import run_simulation_experiment
+from repro.experiments.phase_study import run_phase_study
+from repro.testgen.genetic import GAConfig
+
+
+@pytest.fixture(scope="module")
+def small_sim():
+    """Reduced simulation experiment: ramp stimulus, 40/12 devices."""
+    return run_simulation_experiment(
+        seed=5,
+        n_train=40,
+        n_val=12,
+        stimulus="ramp",
+        use_cache=False,
+    )
+
+
+class TestSimulationExperiment:
+    def test_shapes(self, small_sim):
+        assert small_sim.true_specs.shape == (12, 3)
+        assert small_sim.predicted_specs.shape == (12, 3)
+        assert small_sim.train_true_specs.shape == (40, 3)
+
+    def test_errors_recorded_for_all_specs(self, small_sim):
+        for name in ("gain_db", "nf_db", "iip3_dbm"):
+            assert np.isfinite(small_sim.std_errors[name])
+            assert np.isfinite(small_sim.rms_errors[name])
+
+    def test_gain_and_iip3_predictable(self, small_sim):
+        # the qualitative claim of Figures 8-9: predictions track direct
+        # simulation (R^2 close to 1) even with a crude ramp stimulus
+        assert small_sim.r2["gain_db"] > 0.9
+        assert small_sim.r2["iip3_dbm"] > 0.8
+
+    def test_nf_hardest_to_predict(self, small_sim):
+        # Figure 10's message: NF error is several times gain error
+        assert small_sim.std_errors["nf_db"] > small_sim.std_errors["gain_db"]
+
+    def test_scatter_accessor(self, small_sim):
+        x, y = small_sim.scatter("gain_db")
+        assert len(x) == len(y) == 12
+
+    def test_summary_mentions_paper_values(self, small_sim):
+        text = small_sim.summary()
+        assert "paper 0.060" in text
+        assert "paper 0.340" in text
+
+    def test_baseline_stimulus_kinds(self):
+        for kind in ("flat", "random"):
+            res = run_simulation_experiment(
+                seed=6, n_train=20, n_val=8, stimulus=kind, use_cache=False
+            )
+            assert np.isfinite(res.std_errors["gain_db"])
+        with pytest.raises(ValueError, match="unknown baseline"):
+            run_simulation_experiment(
+                seed=6, n_train=20, n_val=8, stimulus="square", use_cache=False
+            )
+
+    def test_ga_path_produces_optimization_result(self):
+        res = run_simulation_experiment(
+            seed=7,
+            n_train=20,
+            n_val=8,
+            ga_config=GAConfig(population_size=6, generations=1),
+            use_cache=False,
+        )
+        assert res.optimization is not None
+        assert res.optimization.stimulus.n_breakpoints == 16
+
+    def test_cache_returns_same_object(self):
+        a = run_simulation_experiment(seed=8, n_train=20, n_val=8, stimulus="ramp")
+        b = run_simulation_experiment(seed=8, n_train=20, n_val=8, stimulus="ramp")
+        assert a is b
+
+
+class TestHardwareExperiment:
+    def test_family_space(self):
+        space = rf2401_family_space()
+        assert set(space.names()) == {"gain_db", "nf_db", "iip3_dbm"}
+
+    def test_device_factory(self):
+        dev = rf2401_device({"gain_db": 15.0, "nf_db": 4.0, "iip3_dbm": -8.0})
+        assert dev.specs().gain_db == 15.0
+
+    def test_reduced_run(self):
+        res = run_hardware_experiment(
+            seed=11,
+            n_calibration=14,
+            n_validation=10,
+            ga_config=GAConfig(population_size=6, generations=1),
+            use_cache=False,
+        )
+        assert res.measured_specs.shape == (10, 2)
+        assert res.predicted_specs.shape == (10, 2)
+        for name in HW_SPEC_NAMES:
+            assert np.isfinite(res.rms_errors[name])
+        # predictions must track measurements through random path phase
+        assert res.r2["gain_db"] > 0.7
+        x, y = res.scatter("gain_db")
+        assert len(x) == 10
+        assert "paper 0.16" in res.summary()
+
+
+class TestPhaseStudy:
+    def test_equation4_shape(self):
+        res = run_phase_study(n_phases=9)
+        # rms follows |cos(phi)| including the nulls
+        assert np.allclose(res.same_lo_rms, res.eq4_prediction, atol=0.02)
+        k_null = np.argmin(np.abs(res.phases - np.pi / 2))
+        assert res.same_lo_rms[k_null] < 1e-6
+
+    def test_offset_fftmag_robust(self):
+        res = run_phase_study(n_phases=9)
+        assert res.worst_case()["offset_lo_fft_magnitude"] < 0.02
+        assert res.worst_case()["same_lo_time_domain"] > 0.5
+
+    def test_summary(self):
+        res = run_phase_study(n_phases=5)
+        assert "worst-case" in res.summary()

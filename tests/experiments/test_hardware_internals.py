@@ -1,0 +1,74 @@
+"""Unit tests for the hardware-experiment building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.experiments.hardware import (
+    _deterministic,
+    _socket_view,
+    rf2401_device,
+    rf2401_family_space,
+)
+from repro.loadboard.signature_path import hardware_config
+
+
+class TestSocketView:
+    def test_zero_sigma_returns_same_device(self):
+        dev = BehavioralAmplifier(900e6, 15.0, 4.0, -8.0)
+        assert _socket_view(dev, np.random.default_rng(0), 0.0) is dev
+
+    def test_perturbs_only_gain(self):
+        dev = BehavioralAmplifier(900e6, 15.0, 4.0, -8.0)
+        rng = np.random.default_rng(1)
+        view = _socket_view(dev, rng, 0.1)
+        assert view is not dev
+        assert view.specs().gain_db != 15.0
+        assert abs(view.specs().gain_db - 15.0) < 1.0
+        assert view.specs().nf_db == 4.0
+        assert view.specs().iip3_dbm == -8.0
+
+    def test_insertions_differ(self):
+        dev = BehavioralAmplifier(900e6, 15.0, 4.0, -8.0)
+        rng = np.random.default_rng(2)
+        a = _socket_view(dev, rng, 0.05).specs().gain_db
+        b = _socket_view(dev, rng, 0.05).specs().gain_db
+        assert a != b
+
+    def test_statistics(self):
+        dev = BehavioralAmplifier(900e6, 15.0, 4.0, -8.0)
+        rng = np.random.default_rng(3)
+        gains = [_socket_view(dev, rng, 0.05).specs().gain_db for _ in range(300)]
+        assert np.std(gains) == pytest.approx(0.05, rel=0.15)
+
+
+class TestDeterministicConfig:
+    def test_random_phase_pinned(self):
+        cfg = hardware_config()
+        assert cfg.random_path_phase
+        det = _deterministic(cfg)
+        assert not det.random_path_phase
+        assert det.path_phase_rad == 0.0
+        # everything else is untouched
+        assert det.lo_offset_hz == cfg.lo_offset_hz
+        assert det.capture_seconds == cfg.capture_seconds
+
+    def test_original_not_mutated(self):
+        cfg = hardware_config()
+        _deterministic(cfg)
+        assert cfg.random_path_phase
+
+
+class TestFamily:
+    def test_space_nominals_match_rf_front_end(self):
+        space = rf2401_family_space()
+        assert space["gain_db"].nominal == pytest.approx(15.0)
+        assert space["iip3_dbm"].nominal == pytest.approx(-8.0)
+
+    def test_device_round_trip(self):
+        space = rf2401_family_space()
+        vec = space.sample(np.random.default_rng(4), 1)[0]
+        dev = rf2401_device(space.to_dict(vec))
+        s = dev.specs()
+        assert s.gain_db == pytest.approx(vec[space.index_of("gain_db")])
+        assert s.iip3_dbm == pytest.approx(vec[space.index_of("iip3_dbm")])

@@ -1,0 +1,84 @@
+"""Tests for the lot-to-lot process-shift experiment."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lna import lna_parameter_space
+from repro.experiments.process_shift import (
+    run_process_shift_experiment,
+    shifted_space,
+)
+
+
+class TestShiftedSpace:
+    def test_means_moved_by_sigma_fraction(self):
+        base = lna_parameter_space()
+        shifted = shifted_space(1.0)
+        for p_base, p_shift in zip(base, shifted):
+            expected = p_base.nominal * (1.0 + p_base.fractional_std)
+            assert p_shift.nominal == pytest.approx(expected)
+            assert p_shift.rel_variation == p_base.rel_variation
+
+    def test_zero_shift_is_identity(self):
+        base = lna_parameter_space()
+        same = shifted_space(0.0)
+        assert np.allclose(same.nominal_vector(), base.nominal_vector())
+
+    def test_negative_shift(self):
+        shifted = shifted_space(-2.0)
+        base = lna_parameter_space()
+        assert np.all(shifted.nominal_vector() < base.nominal_vector())
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # a 3-sigma mean excursion: a genuine process event
+        return run_process_shift_experiment(
+            seed=9, shift_fraction=3.0, n_train=40, n_val=15
+        )
+
+    def test_shift_degrades_predictions(self, result):
+        # the original calibration must be visibly worse on the
+        # well-predicted specs
+        assert (
+            result.shifted_errors["gain_db"]
+            > 2.0 * result.baseline_errors["gain_db"]
+        )
+        assert (
+            result.shifted_errors["iip3_dbm"]
+            > 1.5 * result.baseline_errors["iip3_dbm"]
+        )
+
+    def test_recalibration_recovers(self, result):
+        assert (
+            result.recalibrated_errors["gain_db"]
+            < 0.6 * result.shifted_errors["gain_db"]
+        )
+
+    def test_lot_level_statistic_notices_the_shift(self, result):
+        # individual devices stay plausible (the per-device flag rate is
+        # low), but the lot's mean outlier score rises -- the statistic a
+        # drift monitor would watch
+        assert result.mean_score_shifted > 1.3 * result.mean_score_baseline
+        assert result.false_alarm_rate < 0.2
+
+    def test_moderate_shift_is_tolerated(self):
+        # the nonlinear calibration learns device physics, not lot
+        # statistics: a 1.5-sigma lot excursion barely hurts gain
+        mild = run_process_shift_experiment(
+            seed=9, shift_fraction=1.5, n_train=40, n_val=15
+        )
+        assert mild.shifted_errors["gain_db"] < 3.0 * mild.baseline_errors["gain_db"]
+
+    def test_summary(self, result):
+        text = result.summary()
+        assert "process shift" in text
+        assert "recal" in text
+
+    def test_cache(self):
+        a = run_process_shift_experiment(seed=9, shift_fraction=1.5,
+                                         n_train=40, n_val=15)
+        b = run_process_shift_experiment(seed=9, shift_fraction=1.5,
+                                         n_train=40, n_val=15)
+        assert a is b

@@ -1,0 +1,58 @@
+"""Tests for repro.instruments.awg."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.instruments.awg import ArbitraryWaveformGenerator
+
+
+class TestAWG:
+    def test_play_renders_at_awg_rate(self):
+        awg = ArbitraryWaveformGenerator(sample_rate=100e6)
+        stim = PiecewiseLinearStimulus([0.0, 0.5, -0.5], duration=1e-6)
+        wf = awg.play(stim)
+        assert wf.sample_rate == 100e6
+        assert len(wf) == 100
+
+    def test_quantization_grid(self):
+        awg = ArbitraryWaveformGenerator(100e6, bits=8, full_scale=1.0)
+        stim = PiecewiseLinearStimulus([-0.9, 0.9], duration=1e-6)
+        wf = awg.play(stim)
+        lsb = awg.lsb
+        assert np.allclose(wf.samples / lsb, np.round(wf.samples / lsb), atol=1e-9)
+
+    def test_lsb(self):
+        awg = ArbitraryWaveformGenerator(1e6, bits=12, full_scale=1.0)
+        assert awg.lsb == pytest.approx(2.0 / 4096)
+
+    def test_clipping_at_full_scale(self):
+        awg = ArbitraryWaveformGenerator(1e6, bits=12, full_scale=0.5)
+        stim = PiecewiseLinearStimulus([2.0, -2.0], duration=1e-5, v_limit=5.0)
+        wf = awg.play(stim)
+        assert wf.samples.max() <= 0.5
+        assert wf.samples.min() >= -0.5
+
+    def test_output_noise_requires_rng(self):
+        awg = ArbitraryWaveformGenerator(1e6, output_noise_vrms=1e-3)
+        stim = PiecewiseLinearStimulus([0.1, 0.1], duration=1e-4)
+        clean = awg.play(stim)
+        noisy = awg.play(stim, rng=np.random.default_rng(0))
+        assert np.array_equal(clean.samples, awg.play(stim).samples)
+        assert not np.array_equal(clean.samples, noisy.samples)
+
+    def test_play_samples(self):
+        awg = ArbitraryWaveformGenerator(1e6, bits=14)
+        wf = awg.play_samples(np.array([0.1, -0.1, 0.2]))
+        assert len(wf) == 3
+        assert wf.sample_rate == 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArbitraryWaveformGenerator(0.0)
+        with pytest.raises(ValueError):
+            ArbitraryWaveformGenerator(1e6, bits=0)
+        with pytest.raises(ValueError):
+            ArbitraryWaveformGenerator(1e6, full_scale=-1.0)
+        with pytest.raises(ValueError):
+            ArbitraryWaveformGenerator(1e6, output_noise_vrms=-1e-3)

@@ -1,0 +1,135 @@
+"""Tests for the conventional-ATE instrument models.
+
+These are the framework's baseline: each instrument must recover the
+behavioral DUT's known specs through a genuine signal-path measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.instruments.ate import ConventionalRFATE
+from repro.instruments.ate import TestTimeBreakdown as TimeBreakdown
+from repro.instruments.network_analyzer import GainAnalyzer
+from repro.instruments.noise_meter import NoiseFigureMeter
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+
+@pytest.fixture
+def dut():
+    return BehavioralAmplifier(
+        center_frequency=900e6, gain_db=16.0, nf_db=2.5, iip3_dbm=3.0
+    )
+
+
+class TestGainAnalyzer:
+    def test_recovers_gain(self, dut):
+        meter = GainAnalyzer(test_power_dbm=-40.0, repeatability_db=0.0)
+        assert meter.measure_gain_db(dut) == pytest.approx(16.0, abs=0.05)
+
+    def test_repeatability_noise(self, dut):
+        meter = GainAnalyzer(repeatability_db=0.1)
+        rng = np.random.default_rng(0)
+        readings = [meter.measure_gain_db(dut, rng=rng) for _ in range(50)]
+        assert np.std(readings) == pytest.approx(0.1, rel=0.35)
+
+    def test_high_power_shows_compression(self, dut):
+        small = GainAnalyzer(test_power_dbm=-40.0, repeatability_db=0.0)
+        large = GainAnalyzer(test_power_dbm=-7.0, repeatability_db=0.0)
+        assert large.measure_gain_db(dut) < small.measure_gain_db(dut) - 0.5
+
+    def test_total_time(self):
+        meter = GainAnalyzer(setup_time=0.08, measure_time=0.1)
+        assert meter.total_time() == pytest.approx(0.18)
+
+
+class TestNoiseFigureMeter:
+    def test_recovers_nf(self, dut):
+        meter = NoiseFigureMeter(n_averages=16)
+        rng = np.random.default_rng(1)
+        nf = meter.measure_nf_db(dut, rng)
+        assert nf == pytest.approx(2.5, abs=0.4)
+
+    def test_distinguishes_quiet_and_noisy_duts(self):
+        rng = np.random.default_rng(2)
+        meter = NoiseFigureMeter(n_averages=16)
+        quiet = BehavioralAmplifier(900e6, 16.0, 1.0, 3.0)
+        noisy = BehavioralAmplifier(900e6, 16.0, 8.0, 3.0)
+        assert meter.measure_nf_db(noisy, rng) > meter.measure_nf_db(quiet, rng) + 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseFigureMeter(bandwidth_hz=0.0)
+        with pytest.raises(ValueError):
+            NoiseFigureMeter(n_averages=0)
+
+
+class TestSpectrumAnalyzer:
+    def test_recovers_iip3(self, dut):
+        sa = SpectrumAnalyzer(tone_power_dbm=-20.0, repeatability_db=0.0)
+        result = sa.measure_iip3(dut)
+        assert result.iip3_dbm == pytest.approx(3.0, abs=0.3)
+
+    def test_oip3_is_iip3_plus_gain(self, dut):
+        sa = SpectrumAnalyzer(repeatability_db=0.0)
+        result = sa.measure_iip3(dut)
+        assert result.oip3_dbm - result.iip3_dbm == pytest.approx(16.0, abs=0.3)
+
+    def test_im3_well_below_fundamental(self, dut):
+        sa = SpectrumAnalyzer(tone_power_dbm=-25.0, repeatability_db=0.0)
+        result = sa.measure_iip3(dut)
+        assert result.fundamental_out_dbm - result.im3_out_dbm > 30.0
+
+    def test_p1db_matches_analytic(self, dut):
+        sa = SpectrumAnalyzer(repeatability_db=0.0)
+        p1db = sa.measure_p1db_dbm(dut, power_start_dbm=-35.0, power_stop_dbm=0.0)
+        assert p1db == pytest.approx(3.0 - 9.6357, abs=0.5)
+
+    def test_p1db_sweep_range_too_low(self, dut):
+        sa = SpectrumAnalyzer(repeatability_db=0.0)
+        with pytest.raises(ValueError, match="never compressed"):
+            sa.measure_p1db_dbm(dut, power_start_dbm=-50.0, power_stop_dbm=-30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpectrumAnalyzer(tone_offset_hz=0.0)
+
+
+class TestConventionalRFATE:
+    def test_full_insertion(self, dut):
+        ate = ConventionalRFATE()
+        rng = np.random.default_rng(3)
+        result = ate.test_device(dut, rng)
+        assert result.specs.gain_db == pytest.approx(16.0, abs=0.2)
+        assert result.specs.nf_db == pytest.approx(2.5, abs=0.6)
+        assert result.specs.iip3_dbm == pytest.approx(3.0, abs=0.5)
+        assert result.p1db_dbm is None
+
+    def test_time_breakdown(self, dut):
+        ate = ConventionalRFATE()
+        rng = np.random.default_rng(4)
+        result = ate.test_device(dut, rng)
+        assert set(result.time.as_dict()) == {"gain", "noise_figure", "iip3"}
+        assert result.time.total == pytest.approx(ate.insertion_time())
+        assert result.time.total > 0.5  # hundreds of ms, the paper's pain point
+
+    def test_p1db_included_when_requested(self, dut):
+        ate = ConventionalRFATE(include_p1db=True)
+        rng = np.random.default_rng(5)
+        result = ate.test_device(dut, rng)
+        assert result.p1db_dbm == pytest.approx(3.0 - 9.6357, abs=0.6)
+        assert "p1db" in result.time.as_dict()
+
+
+class TestTimeBreakdownUnit:
+    def test_totals(self):
+        tb = TimeBreakdown()
+        tb.add("a", 0.1, 0.2)
+        tb.add("b", 0.3, 0.4)
+        assert tb.setup_total == pytest.approx(0.4)
+        assert tb.measure_total == pytest.approx(0.6)
+        assert tb.total == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("a", -0.1, 0.0)

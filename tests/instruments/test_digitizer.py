@@ -1,0 +1,65 @@
+"""Tests for repro.instruments.digitizer."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.sources import tone
+from repro.dsp.waveform import Waveform
+from repro.instruments.digitizer import BasebandDigitizer
+
+
+class TestDigitizer:
+    def test_resamples_to_capture_rate(self):
+        dig = BasebandDigitizer(sample_rate=1e6, bits=None, noise_vrms=0.0)
+        wf = tone(10e3, 1e-3, 8e6)
+        out = dig.capture(wf)
+        assert out.sample_rate == 1e6
+        assert len(out) == 1000
+
+    def test_duration_truncation(self):
+        dig = BasebandDigitizer(1e6, bits=None, noise_vrms=0.0)
+        wf = tone(10e3, 2e-3, 8e6)
+        out = dig.capture(wf, duration=0.5e-3)
+        assert len(out) == 500
+
+    def test_noise_only_with_rng(self):
+        dig = BasebandDigitizer(1e6, bits=None, noise_vrms=1e-3)
+        wf = Waveform(np.zeros(8000), 8e6)
+        clean = dig.capture(wf)
+        noisy = dig.capture(wf, rng=np.random.default_rng(0))
+        assert clean.rms() == 0.0
+        assert noisy.rms() == pytest.approx(1e-3, rel=0.1)
+
+    def test_quantization(self):
+        dig = BasebandDigitizer(1e6, bits=8, full_scale=1.0, noise_vrms=0.0)
+        wf = tone(10e3, 1e-3, 8e6, amplitude=0.9)
+        out = dig.capture(wf)
+        lsb = 2.0 / 256
+        assert np.allclose(out.samples / lsb, np.round(out.samples / lsb), atol=1e-9)
+
+    def test_ideal_converter(self):
+        dig = BasebandDigitizer(1e6, bits=None, noise_vrms=0.0)
+        wf = Waveform(np.full(8000, 0.123456789), 8e6)
+        out = dig.capture(wf)
+        assert np.allclose(out.samples, 0.123456789)
+
+    def test_jitter_applied(self):
+        dig = BasebandDigitizer(1e6, bits=None, noise_vrms=0.0, jitter_rms=1e-7)
+        wf = tone(100e3, 1e-3, 8e6)
+        out = dig.capture(wf, rng=np.random.default_rng(0))
+        ref = dig.capture(wf)
+        assert not np.allclose(out.samples, ref.samples)
+
+    def test_too_short_duration_rejected(self):
+        dig = BasebandDigitizer(1e6, bits=None)
+        wf = tone(10e3, 1e-3, 8e6)
+        with pytest.raises(ValueError, match="shorter"):
+            dig.capture(wf, duration=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasebandDigitizer(0.0)
+        with pytest.raises(ValueError):
+            BasebandDigitizer(1e6, bits=0)
+        with pytest.raises(ValueError):
+            BasebandDigitizer(1e6, noise_vrms=-1.0)

@@ -1,0 +1,46 @@
+"""Tests for repro.instruments.rf_source."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.sources import dbm_to_vpeak
+from repro.dsp.spectral import tone_amplitude
+from repro.instruments.rf_source import RFSignalGenerator
+
+
+class TestRFSignalGenerator:
+    def test_ideal_amplitude_phase(self):
+        src = RFSignalGenerator(900e6, power_dbm=10.0)
+        amp, phase = src.realized_amplitude_phase()
+        assert amp == pytest.approx(dbm_to_vpeak(10.0))
+        assert phase == 0.0
+
+    def test_level_error_spreads_amplitude(self):
+        src = RFSignalGenerator(900e6, power_dbm=10.0, level_error_db_rms=0.1)
+        rng = np.random.default_rng(0)
+        amps = [src.realized_amplitude_phase(rng)[0] for _ in range(200)]
+        assert np.std(amps) > 0.0
+        # 0.1 dB rms level error is ~1.2% amplitude spread
+        assert np.std(amps) / np.mean(amps) == pytest.approx(0.0115, rel=0.3)
+
+    def test_generate_produces_carrier(self):
+        src = RFSignalGenerator(1e6, power_dbm=0.0)
+        wf = src.generate(duration=100e-6, sample_rate=16e6)
+        assert tone_amplitude(wf, 1e6) == pytest.approx(dbm_to_vpeak(0.0), rel=0.01)
+
+    def test_generate_rejects_undersampling(self):
+        src = RFSignalGenerator(1e9)
+        with pytest.raises(ValueError, match="represent"):
+            src.generate(1e-6, 1e9)
+
+    def test_phase_noise_perturbs_record(self):
+        src = RFSignalGenerator(1e6, phase_noise_rad_rms=0.05)
+        clean = src.generate(100e-6, 16e6)
+        noisy = src.generate(100e-6, 16e6, rng=np.random.default_rng(0))
+        assert not np.allclose(clean.samples, noisy.samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RFSignalGenerator(-1.0)
+        with pytest.raises(ValueError):
+            RFSignalGenerator(1e6, level_error_db_rms=-0.1)

@@ -1,0 +1,117 @@
+"""Property-style tests of the signature path's physical behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+
+
+def clean_board(**overrides):
+    base = dict(
+        digitizer_noise_vrms=0.0,
+        digitizer_bits=None,
+        include_device_noise=False,
+        mixer1=Mixer(0.5, MixerHarmonics.ideal()),
+        mixer2=Mixer(0.5, MixerHarmonics.ideal()),
+    )
+    base.update(overrides)
+    return SignatureTestBoard(SignaturePathConfig(**base))
+
+
+def linear_device(gain_db=16.0):
+    return BehavioralAmplifier(900e6, gain_db, 2.0, 60.0)  # essentially linear
+
+
+class TestLinearity:
+    @given(scale=st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_signature_scales_with_stimulus_amplitude(self, scale):
+        """For a linear DUT the whole chain is linear in the stimulus."""
+        board = clean_board()
+        rng = np.random.default_rng(3)
+        levels = rng.uniform(-0.1, 0.1, 16)
+        base = PiecewiseLinearStimulus(levels, 5e-6, 1.0)
+        scaled = PiecewiseLinearStimulus(scale * levels, 5e-6, 1.0)
+        s_base = board.signature(linear_device(), base)
+        s_scaled = board.signature(linear_device(), scaled)
+        assert np.allclose(s_scaled, scale * s_base, rtol=1e-6, atol=1e-12)
+
+    @given(extra_gain=st.floats(min_value=-6.0, max_value=6.0))
+    @settings(max_examples=15, deadline=None)
+    def test_signature_scales_with_device_gain(self, extra_gain):
+        board = clean_board()
+        rng = np.random.default_rng(4)
+        stim = PiecewiseLinearStimulus(rng.uniform(-0.05, 0.05, 16), 5e-6, 0.4)
+        s_ref = board.signature(linear_device(16.0), stim)
+        s_dev = board.signature(linear_device(16.0 + extra_gain), stim)
+        expected = 10 ** (extra_gain / 20.0)
+        ratio = np.linalg.norm(s_dev) / np.linalg.norm(s_ref)
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_superposition_for_linear_device(self):
+        board = clean_board()
+        rng = np.random.default_rng(5)
+        la = rng.uniform(-0.05, 0.05, 16)
+        lb = rng.uniform(-0.05, 0.05, 16)
+        device = linear_device()
+        rec_a = board.capture(device, PiecewiseLinearStimulus(la, 5e-6, 1.0))
+        rec_b = board.capture(device, PiecewiseLinearStimulus(lb, 5e-6, 1.0))
+        rec_ab = board.capture(device, PiecewiseLinearStimulus(la + lb, 5e-6, 1.0))
+        assert np.allclose(rec_ab.samples, rec_a.samples + rec_b.samples, atol=1e-9)
+
+
+class TestCompression:
+    def test_nonlinear_device_breaks_scaling(self):
+        """A compressive DUT must show sub-linear signature growth."""
+        board = clean_board()
+        device = BehavioralAmplifier(900e6, 16.0, 2.0, 3.0)
+        rng = np.random.default_rng(6)
+        levels = rng.uniform(-0.35, 0.35, 16)
+        weak = PiecewiseLinearStimulus(0.1 * levels, 5e-6, 1.0)
+        strong = PiecewiseLinearStimulus(levels, 5e-6, 1.0)
+        s_weak = board.signature(device, weak)
+        s_strong = board.signature(device, strong)
+        growth = np.linalg.norm(s_strong) / np.linalg.norm(s_weak)
+        assert growth < 10.0 * 0.97  # visibly below the linear factor of 10
+
+    def test_lower_iip3_compresses_more(self):
+        board = clean_board()
+        rng = np.random.default_rng(7)
+        stim = PiecewiseLinearStimulus(rng.uniform(-0.35, 0.35, 16), 5e-6, 0.4)
+        strong_dut = BehavioralAmplifier(900e6, 16.0, 2.0, 10.0)
+        weak_dut = BehavioralAmplifier(900e6, 16.0, 2.0, -2.0)
+        s_strong = board.signature(strong_dut, stim)
+        s_weak = board.signature(weak_dut, stim)
+        # same small-signal gain; the weak device's signature is smaller
+        assert np.linalg.norm(s_weak) < np.linalg.norm(s_strong)
+
+
+class TestDigitizerEffects:
+    def test_full_scale_clipping_distorts_signature(self):
+        rng = np.random.default_rng(8)
+        stim = PiecewiseLinearStimulus(rng.uniform(-0.3, 0.3, 16), 5e-6, 0.4)
+        device = linear_device()
+        wide = clean_board()
+        clipping = clean_board()
+        clipping._digitizer.full_scale = 0.05  # way below the response peak
+        clipping._digitizer.bits = 12
+        s_wide = wide.signature(device, stim)
+        s_clip = clipping.signature(device, stim)
+        rel = np.linalg.norm(s_clip - s_wide) / np.linalg.norm(s_wide)
+        assert rel > 0.05  # clipping visibly corrupts the signature
+
+    def test_quantization_nearly_transparent_at_12_bits(self):
+        rng = np.random.default_rng(9)
+        stim = PiecewiseLinearStimulus(rng.uniform(-0.3, 0.3, 16), 5e-6, 0.4)
+        device = linear_device()
+        ideal = clean_board()
+        quantized = clean_board(digitizer_bits=12)
+        s_ideal = ideal.signature(device, stim)
+        s_q = quantized.signature(device, stim)
+        rel = np.linalg.norm(s_q - s_ideal) / np.linalg.norm(s_ideal)
+        assert rel < 5e-3

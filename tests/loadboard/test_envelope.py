@@ -1,0 +1,201 @@
+"""Tests for repro.loadboard.envelope (harmonic-envelope algebra)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.waveform import Waveform
+from repro.loadboard.envelope import EnvelopeSignal
+
+FC = 1e6  # carrier for tests
+FS = 100e3  # envelope rate
+N = 64
+
+
+def baseband(samples):
+    return EnvelopeSignal.from_baseband(Waveform(samples, FS), FC)
+
+
+def to_time(env, rate=32e6):
+    """Reconstruct the passband samples of an envelope signal."""
+    return env.to_passband(rate).samples
+
+
+class TestConstruction:
+    def test_from_baseband(self):
+        env = baseband(np.ones(N))
+        assert env.harmonics() == [0]
+        assert np.allclose(env.baseband(), 1.0)
+
+    def test_negative_harmonic_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            EnvelopeSignal({-1: np.ones(4)}, FS, FC)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            EnvelopeSignal({0: np.ones(4), 1: np.ones(5)}, FS, FC)
+
+    def test_e0_coerced_real(self):
+        env = EnvelopeSignal({0: np.ones(4) * (1 + 2j)}, FS, FC)
+        assert np.allclose(env.harmonic(0), 1.0)
+
+    def test_sine_carrier_is_sine(self):
+        env = EnvelopeSignal.sine_carrier(N, FS, FC, amplitude=0.5, phase=0.3)
+        samples = to_time(env)
+        rate = 32e6
+        t = np.arange(len(samples)) / rate
+        expected = 0.5 * np.sin(2 * np.pi * FC * t + 0.3)
+        assert np.allclose(samples, expected, atol=1e-9)
+
+    def test_sine_carrier_offset_too_large(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            EnvelopeSignal.sine_carrier(N, FS, FC, offset_hz=0.6 * FS)
+
+
+class TestLinearOps:
+    def test_add(self):
+        a = baseband(np.ones(N))
+        b = EnvelopeSignal.sine_carrier(N, FS, FC)
+        c = a + b
+        assert set(c.harmonics()) == {0, 1}
+
+    def test_scale(self):
+        env = baseband(np.full(N, 2.0)).scale(3.0)
+        assert np.allclose(env.baseband(), 6.0)
+
+    def test_keep_harmonics(self):
+        a = baseband(np.ones(N)) + EnvelopeSignal.sine_carrier(N, FS, FC)
+        only1 = a.keep_harmonics([1])
+        assert only1.harmonics() == [1]
+
+    def test_keep_harmonics_empty_yields_zero(self):
+        a = baseband(np.ones(N))
+        out = a.keep_harmonics([5])
+        assert np.allclose(out.baseband(), 0.0)
+
+    def test_incompatible_add_rejected(self):
+        a = baseband(np.ones(N))
+        b = EnvelopeSignal({0: np.ones(N)}, FS * 2, FC)
+        with pytest.raises(ValueError, match="compatible"):
+            a + b
+
+
+class TestMultiplication:
+    """The core property: envelope multiply == passband multiply."""
+
+    def test_sine_times_sine(self):
+        # sin(wt) * sin(wt) = (1 - cos(2wt)) / 2
+        s = EnvelopeSignal.sine_carrier(N, FS, FC)
+        sq = s.multiply(s)
+        assert set(sq.harmonics()) == {0, 2}
+        assert np.allclose(sq.baseband(), 0.5)
+        assert np.allclose(sq.harmonic(2), -0.5 + 0j)  # -cos(2wt)/2
+
+    def test_baseband_times_carrier(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=N)
+        prod = baseband(x).multiply(EnvelopeSignal.sine_carrier(N, FS, FC))
+        # x(t) sin(wt): harmonic-1 envelope is -j x(t)
+        assert np.allclose(prod.harmonic(1), -1j * x)
+
+    @staticmethod
+    def _aligned(env, rate=32e6):
+        """Passband samples at instants coinciding with envelope samples.
+
+        ``to_passband`` interpolates envelopes linearly between their
+        sample instants, and a product of interpolants differs from the
+        interpolant of the product *between* instants; at the aligned
+        instants the envelope algebra is exact.
+        """
+        step = int(rate / FS)
+        return env.to_passband(rate).samples[::step]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_multiply_matches_passband(self, seed):
+        rng = np.random.default_rng(seed)
+        a = baseband(rng.normal(size=N)) + EnvelopeSignal.sine_carrier(
+            N, FS, FC, amplitude=rng.uniform(0.2, 1.0), phase=rng.uniform(0, 6.28)
+        )
+        b = baseband(rng.normal(size=N)) + EnvelopeSignal.sine_carrier(
+            N, FS, FC, amplitude=rng.uniform(0.2, 1.0), phase=rng.uniform(0, 6.28)
+        )
+        envelope_product = self._aligned(a.multiply(b))
+        direct_product = self._aligned(a) * self._aligned(b)
+        assert np.allclose(envelope_product, direct_product, atol=1e-9)
+
+    @given(p=st.integers(min_value=2, max_value=3), seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_power_matches_passband(self, p, seed):
+        rng = np.random.default_rng(seed)
+        a = baseband(0.3 * rng.normal(size=N)) + EnvelopeSignal.sine_carrier(
+            N, FS, FC, amplitude=0.5
+        )
+        assert np.allclose(self._aligned(a.power(p)), self._aligned(a) ** p, atol=1e-9)
+
+    def test_polynomial_matches_direct(self):
+        rng = np.random.default_rng(3)
+        a = EnvelopeSignal.sine_carrier(N, FS, FC, amplitude=0.4)
+        y_env = to_time(a.apply_polynomial(6.0, 0.5, -2.0))
+        x = to_time(a)
+        assert np.allclose(y_env, 6 * x + 0.5 * x**2 - 2 * x**3, atol=1e-9)
+
+    def test_truncation_drops_high_harmonics(self):
+        s = EnvelopeSignal.sine_carrier(N, FS, FC)
+        sq = s.multiply(s, max_harmonic=1)
+        assert set(sq.harmonics()) == {0}
+
+
+class TestDiagnostics:
+    def test_peak_estimate_bounds_signal(self):
+        rng = np.random.default_rng(1)
+        env = baseband(rng.normal(size=N)) + EnvelopeSignal.sine_carrier(
+            N, FS, FC, amplitude=0.7
+        )
+        assert np.max(np.abs(to_time(env))) <= env.peak_passband_estimate() + 1e-9
+
+    def test_to_passband_rate_check(self):
+        env = EnvelopeSignal.sine_carrier(N, FS, FC)
+        with pytest.raises(ValueError, match="rate too low"):
+            env.to_passband(1e6)
+
+    def test_baseband_waveform(self):
+        env = baseband(np.arange(N, dtype=float))
+        wf = env.baseband_waveform()
+        assert wf.sample_rate == FS
+        assert np.allclose(wf.samples, np.arange(N))
+
+
+class TestFilterHarmonic:
+    def test_dc_envelope_passes(self):
+        env = EnvelopeSignal({1: np.ones(256, dtype=complex)}, FS, FC)
+        out = env.filter_harmonic(1, 5e3)
+        # steady envelope settles to unity through the one-pole
+        assert abs(out.harmonic(1)[-1]) == pytest.approx(1.0, rel=0.01)
+
+    def test_fast_envelope_attenuated(self):
+        t = np.arange(512) / FS
+        fast = np.exp(2j * np.pi * 20e3 * t)  # modulation at 20 kHz
+        env = EnvelopeSignal({1: fast}, FS, FC)
+        out = env.filter_harmonic(1, 2e3)  # 2 kHz bandwidth
+        tail = out.harmonic(1)[256:]
+        # |H| of a one-pole at 10x its corner is about 1/10
+        assert np.mean(np.abs(tail)) == pytest.approx(0.1, rel=0.3)
+
+    def test_other_harmonics_untouched(self):
+        env = EnvelopeSignal(
+            {0: np.ones(64), 1: np.ones(64, dtype=complex), 2: np.ones(64, dtype=complex)},
+            FS,
+            FC,
+        )
+        out = env.filter_harmonic(1, 1e3)
+        assert np.allclose(out.harmonic(0), env.harmonic(0))
+        assert np.allclose(out.harmonic(2), env.harmonic(2))
+
+    def test_bandwidth_validation(self):
+        env = EnvelopeSignal({1: np.ones(16, dtype=complex)}, FS, FC)
+        with pytest.raises(ValueError):
+            env.filter_harmonic(1, 0.0)
+        with pytest.raises(ValueError):
+            env.filter_harmonic(1, FS)

@@ -1,0 +1,97 @@
+"""Algebraic property tests of the envelope representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.waveform import Waveform
+from repro.loadboard.envelope import EnvelopeSignal
+
+FC = 1e6
+FS = 100e3
+N = 32
+
+
+def random_signal(rng) -> EnvelopeSignal:
+    env = EnvelopeSignal.from_baseband(
+        Waveform(rng.normal(size=N), FS), FC
+    )
+    for h in (1, 2):
+        tone = EnvelopeSignal(
+            {h: rng.normal(size=N) + 1j * rng.normal(size=N)}, FS, FC
+        )
+        env = env + tone
+    return env
+
+
+def aligned(env, rate=32e6):
+    step = int(rate / FS)
+    return env.to_passband(rate).samples[::step]
+
+
+class TestAlgebraicLaws:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_multiplication_commutes(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = random_signal(rng), random_signal(rng)
+        ab = a.multiply(b)
+        ba = b.multiply(a)
+        for h in set(ab.harmonics()) | set(ba.harmonics()):
+            assert np.allclose(ab.harmonic(h), ba.harmonic(h), atol=1e-12)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_multiplication_distributes_over_addition(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = random_signal(rng), random_signal(rng), random_signal(rng)
+        left = a.multiply(b + c)
+        right = a.multiply(b) + a.multiply(c)
+        for h in set(left.harmonics()) | set(right.harmonics()):
+            assert np.allclose(left.harmonic(h), right.harmonic(h), atol=1e-9)
+
+    @given(seed=st.integers(0, 300), k=st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_scaling_commutes_with_multiplication(self, seed, k):
+        rng = np.random.default_rng(seed)
+        a, b = random_signal(rng), random_signal(rng)
+        left = a.scale(k).multiply(b)
+        right = a.multiply(b).scale(k)
+        for h in set(left.harmonics()) | set(right.harmonics()):
+            assert np.allclose(left.harmonic(h), right.harmonic(h), atol=1e-9)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_square_is_nonnegative_at_baseband_mean(self, seed):
+        # the time average of a real signal's square is non-negative and
+        # equals the h=0 mean of its envelope square
+        rng = np.random.default_rng(seed)
+        a = random_signal(rng)
+        sq = a.multiply(a)
+        assert np.mean(sq.baseband()) >= -1e-12
+
+    def test_parseval_between_domains(self):
+        # mean power computed from envelopes matches the full passband
+        # record.  The envelopes must be slow relative to their sample
+        # rate (to_passband interpolates linearly), so use sinusoidal
+        # envelopes instead of white ones.
+        t = np.arange(N) / FS
+        slow = np.cos(2 * np.pi * 2e3 * t)
+        a = EnvelopeSignal(
+            {
+                0: 0.5 * slow.astype(complex),
+                1: (0.8 * slow + 0.3j * np.sin(2 * np.pi * 1e3 * t)),
+                2: 0.2 * slow.astype(complex),
+            },
+            FS,
+            FC,
+        )
+        pb = a.to_passband(32e6).samples
+        power_pb = np.mean(pb**2)
+        # envelope-domain power: E0^2 + sum |E_h|^2 / 2, averaged
+        power_env = np.mean(a.baseband() ** 2)
+        for h in a.harmonics():
+            if h > 0:
+                power_env += np.mean(np.abs(a.harmonic(h)) ** 2) / 2.0
+        assert power_pb == pytest.approx(power_env, rel=0.02)

@@ -1,0 +1,119 @@
+"""Cross-validation: the fast envelope engine against the brute-force
+passband simulator.
+
+This is the framework's central correctness check: both engines simulate
+the identical Figure-2/3 signal chain, one with harmonic-envelope algebra
+at baseband rates, the other by sampling the carrier directly.  Their
+FFT-magnitude signatures must agree for every configuration the
+experiments use (scaled down in carrier frequency to keep the passband
+records tractable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.mixer import Mixer, MixerHarmonics
+from repro.dsp.passband import passband_capture
+from repro.dsp.spectral import fft_magnitude_signature
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+
+
+def scaled_config(**overrides):
+    """The simulation experiment's path, scaled to a 2 MHz carrier."""
+    base = dict(
+        carrier_freq=2e6,
+        carrier_power_dbm=10.0,
+        lo_offset_hz=0.0,
+        path_phase_rad=0.0,
+        lpf_cutoff_hz=50e3,
+        lpf_order=5,
+        digitizer_rate=100e3,
+        digitizer_noise_vrms=0.0,
+        digitizer_bits=None,
+        capture_seconds=1e-3,
+        envelope_oversample=4,
+        dut_coupling="tuned",
+        include_device_noise=False,
+    )
+    base.update(overrides)
+    return SignaturePathConfig(**base)
+
+
+def stimulus(rng, v=0.3):
+    return PiecewiseLinearStimulus(
+        rng.uniform(-v, v, 16), duration=1e-3, v_limit=0.4
+    )
+
+
+def compare(cfg, device, stim, tol):
+    board = SignatureTestBoard(cfg)
+    env_sig = fft_magnitude_signature(board.capture(device, stim))
+    pb_sig = fft_magnitude_signature(
+        passband_capture(device, stim, cfg, passband_rate=96e6)
+    )
+    scale = np.max(env_sig)
+    assert scale > 0
+    assert np.max(np.abs(env_sig - pb_sig)) / scale < tol
+
+
+class TestEngineAgreement:
+    def test_linear_regime(self):
+        rng = np.random.default_rng(0)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 30.0)  # very linear
+        compare(scaled_config(), dev, stimulus(rng, v=0.1), tol=0.02)
+
+    def test_compressed_regime(self):
+        rng = np.random.default_rng(1)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 3.0)
+        compare(scaled_config(), dev, stimulus(rng, v=0.35), tol=0.02)
+
+    def test_with_harmonic_mixers(self):
+        rng = np.random.default_rng(2)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 3.0, iip2_dbm=23.0)
+        cfg = scaled_config(
+            mixer1=Mixer(0.5, MixerHarmonics.paper_model()),
+            mixer2=Mixer(0.5, MixerHarmonics.paper_model()),
+        )
+        compare(cfg, dev, stimulus(rng), tol=0.02)
+
+    def test_with_path_phase(self):
+        rng = np.random.default_rng(3)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 3.0)
+        compare(scaled_config(path_phase_rad=0.7), dev, stimulus(rng), tol=0.02)
+
+    def test_with_lo_offset(self):
+        rng = np.random.default_rng(4)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 3.0)
+        cfg = scaled_config(lo_offset_hz=5e3, path_phase_rad=1.1)
+        compare(cfg, dev, stimulus(rng), tol=0.02)
+
+    def test_wideband_coupling(self):
+        rng = np.random.default_rng(5)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 10.0, iip2_dbm=30.0)
+        cfg = scaled_config(dut_coupling="wideband")
+        compare(cfg, dev, stimulus(rng, v=0.15), tol=0.03)
+
+    def test_with_dut_envelope_bandwidth(self):
+        # a DUT whose modulation bandwidth cuts into the stimulus band:
+        # both engines must apply the same one-pole envelope dynamics
+        rng = np.random.default_rng(8)
+        dev = BehavioralAmplifier(
+            2e6, 16.0, 2.0, 10.0, envelope_bandwidth=8e3
+        )
+        compare(scaled_config(), dev, stimulus(rng, v=0.15), tol=0.03)
+
+    def test_with_fixture_losses(self):
+        rng = np.random.default_rng(7)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, 3.0)
+        cfg = scaled_config(input_loss_db=1.5, output_loss_db=2.0)
+        compare(cfg, dev, stimulus(rng), tol=0.02)
+
+    def test_saturated_device(self):
+        # drives the weak DUT far beyond its fold-back point: the envelope
+        # engine's describing function must match the passband's clipped
+        # polynomial
+        rng = np.random.default_rng(6)
+        dev = BehavioralAmplifier(2e6, 16.0, 2.0, -5.0)
+        compare(scaled_config(), dev, stimulus(rng, v=0.38), tol=0.03)

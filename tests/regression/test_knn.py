@@ -1,0 +1,61 @@
+"""Tests for repro.regression.knn."""
+
+import numpy as np
+import pytest
+
+from repro.regression.knn import KNNRegressor
+
+
+class TestKNN:
+    def test_exact_on_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        model = KNNRegressor(k=5).fit(x, y)
+        # exact matches get all the weight
+        assert np.allclose(model.predict(x), y)
+
+    def test_interpolates_smooth_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = np.sin(2 * x[:, 0]) + x[:, 1]
+        model = KNNRegressor(k=5).fit(x, y)
+        x_test = rng.uniform(-0.8, 0.8, size=(50, 2))
+        y_test = np.sin(2 * x_test[:, 0]) + x_test[:, 1]
+        assert np.std(model.predict(x_test) - y_test) < 0.1
+
+    def test_uniform_weights_average(self):
+        x = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNNRegressor(k=2, weights="uniform").fit(x, y)
+        # nearest two to 0.4 are x=0 and x=1
+        assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weights_favor_closer(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNNRegressor(k=2, weights="distance").fit(x, y)
+        pred = model.predict(np.array([[0.1]]))[0]
+        assert pred < 5.0  # pulled toward the nearby y=0 sample
+
+    def test_k_clipped_to_training_size(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 3.0])
+        model = KNNRegressor(k=10, weights="uniform").fit(x, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(2.0)
+
+    def test_single_sample_predict(self):
+        model = KNNRegressor(k=1).fit(np.array([[0.0], [1.0]]), np.array([5.0, 7.0]))
+        out = model.predict(np.array([0.1]))
+        assert out == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="gaussian")
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.zeros((1, 1)))
+        model = KNNRegressor().fit(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 3)))

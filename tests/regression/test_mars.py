@@ -1,0 +1,69 @@
+"""Tests for repro.regression.mars."""
+
+import numpy as np
+import pytest
+
+from repro.regression.mars import HingeBasis, MARSRegressor
+
+
+class TestHingeBasis:
+    def test_positive_hinge(self):
+        h = HingeBasis(feature=0, knot=1.0, sign=+1)
+        x = np.array([[0.0], [1.0], [3.0]])
+        assert np.allclose(h.evaluate(x), [0.0, 0.0, 2.0])
+
+    def test_negative_hinge(self):
+        h = HingeBasis(feature=0, knot=1.0, sign=-1)
+        x = np.array([[0.0], [1.0], [3.0]])
+        assert np.allclose(h.evaluate(x), [1.0, 0.0, 0.0])
+
+
+class TestMARSRegressor:
+    def test_fits_hinge_target_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(200, 1))
+        y = 3.0 * np.maximum(x[:, 0] - 0.0, 0.0) + 1.0
+        model = MARSRegressor(max_terms=6, n_knots=9).fit(x, y)
+        pred = model.predict(x)
+        assert np.std(pred - y) < 0.1
+
+    def test_beats_mean_on_nonlinear_target(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(150, 2))
+        y = np.abs(x[:, 0]) + 0.5 * x[:, 1]
+        model = MARSRegressor(max_terms=10).fit(x, y)
+        resid = np.std(model.predict(x) - y)
+        assert resid < 0.3 * np.std(y)
+
+    def test_constant_target_stays_constant(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 3))
+        y = np.full(50, 7.0)
+        model = MARSRegressor().fit(x, y)
+        assert np.allclose(model.predict(x), 7.0, atol=1e-6)
+        assert model.n_terms == 0  # GCV blocks useless terms
+
+    def test_max_terms_respected(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(100, 4))
+        y = np.sin(3 * x[:, 0]) + np.cos(3 * x[:, 1])
+        model = MARSRegressor(max_terms=6, min_improvement=0.0).fit(x, y)
+        assert model.n_terms <= 6
+
+    def test_single_sample_predict(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(60, 2))
+        y = x[:, 0]
+        model = MARSRegressor().fit(x, y)
+        out = model.predict(x[0])
+        assert np.ndim(out) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MARSRegressor(max_terms=1)
+        with pytest.raises(ValueError):
+            MARSRegressor(n_knots=0)
+        with pytest.raises(ValueError):
+            MARSRegressor().fit(np.zeros((2, 1)), np.zeros(2))
+        with pytest.raises(RuntimeError):
+            MARSRegressor().predict(np.zeros((1, 1)))

@@ -1,0 +1,80 @@
+"""Tests for repro.regression.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.regression.metrics import bias, mae, r2_score, rmse, std_err
+
+
+class TestBasics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+        assert std_err(y, y) == 0.0
+        assert mae(y, y) == 0.0
+        assert bias(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_constant_offset(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = y + 0.5
+        assert rmse(y, pred) == pytest.approx(0.5)
+        assert bias(y, pred) == pytest.approx(0.5)
+        # std(err) removes the bias: the paper's scatter metric
+        assert std_err(y, pred) == pytest.approx(0.0, abs=1e-12)
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.full(4, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_r2_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.array([3.0, 2.0, 1.0])
+        assert r2_score(y, pred) < 0.0
+
+    def test_constant_target_cases(self):
+        y = np.full(3, 5.0)
+        assert r2_score(y, y) == 0.0
+        assert r2_score(y, y + 1.0) == -np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmse([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            rmse([], [])
+        with pytest.raises(ValueError):
+            rmse(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+VEC = arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=50),
+    elements=st.floats(min_value=-1e3, max_value=1e3),
+)
+
+
+class TestProperties:
+    @given(err=VEC)
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_dominates_bias_and_stderr(self, err):
+        y = np.zeros_like(err)
+        # rmse^2 = bias^2 + std_err^2
+        assert rmse(y, err) ** 2 == pytest.approx(
+            bias(y, err) ** 2 + std_err(y, err) ** 2, rel=1e-6, abs=1e-9
+        )
+
+    @given(err=VEC)
+    @settings(max_examples=50, deadline=None)
+    def test_mae_below_rmse(self, err):
+        y = np.zeros_like(err)
+        assert mae(y, err) <= rmse(y, err) + 1e-9
+
+    @given(err=VEC, scale=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rmse_scales_linearly(self, err, scale):
+        y = np.zeros_like(err)
+        assert rmse(y, scale * err) == pytest.approx(scale * rmse(y, err), rel=1e-9)

@@ -1,0 +1,78 @@
+"""Tests for repro.regression.pca."""
+
+import numpy as np
+import pytest
+
+from repro.regression.pca import PCA
+
+
+def low_rank_data(rng, n=100, d=20, rank=3, noise=0.0):
+    basis = rng.normal(size=(rank, d))
+    coeffs = rng.normal(size=(n, rank)) * np.array([10.0, 3.0, 1.0])[:rank]
+    x = coeffs @ basis
+    if noise:
+        x = x + rng.normal(0, noise, size=x.shape)
+    return x
+
+
+class TestPCA:
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(0)
+        pca = PCA(4).fit(rng.normal(size=(50, 10)))
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(4), atol=1e-9)
+
+    def test_variance_ordering(self):
+        rng = np.random.default_rng(1)
+        pca = PCA().fit(low_rank_data(rng))
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_low_rank_data_fully_explained(self):
+        rng = np.random.default_rng(2)
+        x = low_rank_data(rng, rank=3)
+        pca = PCA(3).fit(x)
+        assert np.sum(pca.explained_variance_ratio()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_reconstruction_exact_for_full_rank(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(30, 5))
+        pca = PCA().fit(x)
+        back = pca.inverse_transform(pca.transform(x))
+        assert np.allclose(back, x, atol=1e-9)
+
+    def test_truncated_reconstruction_error_small_on_low_rank(self):
+        rng = np.random.default_rng(4)
+        x = low_rank_data(rng, rank=2, noise=0.01)
+        pca = PCA(2).fit(x)
+        back = pca.inverse_transform(pca.transform(x))
+        rel = np.linalg.norm(back - x) / np.linalg.norm(x)
+        assert rel < 0.02
+
+    def test_single_sample_transform(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(40, 6))
+        pca = PCA(2).fit(x)
+        row = pca.transform(x[0])
+        assert row.shape == (2,)
+        assert np.allclose(row, pca.transform(x)[0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((2, 3)))
+
+    def test_feature_count_checked(self):
+        pca = PCA(2).fit(np.random.default_rng(6).normal(size=(10, 4)))
+        with pytest.raises(ValueError):
+            pca.transform(np.zeros((3, 5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(2).fit(np.zeros((1, 3)))
+
+    def test_n_components_clipped(self):
+        rng = np.random.default_rng(7)
+        pca = PCA(100).fit(rng.normal(size=(10, 4)))
+        assert pca.components_.shape[0] <= 4

@@ -1,0 +1,66 @@
+"""Tests for repro.regression.scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.regression.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_untouched(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.std(z[:, 1]) == pytest.approx(1.0)
+
+    def test_single_sample_transform(self):
+        x = np.random.default_rng(1).normal(size=(50, 3))
+        sc = StandardScaler().fit(x)
+        row = sc.transform(x[7])
+        assert row.shape == (3,)
+        assert np.allclose(row, sc.transform(x)[7])
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 5))
+        sc = StandardScaler().fit(x)
+        assert np.allclose(sc.inverse_transform(sc.transform(x)), x)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_checked(self):
+        sc = StandardScaler().fit(np.zeros((5, 3)) + np.arange(3))
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((2, 4)))
+
+    def test_fit_requires_2d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    @given(
+        x=arrays(
+            dtype=float,
+            shape=st.tuples(
+                st.integers(min_value=2, max_value=20),
+                st.integers(min_value=1, max_value=5),
+            ),
+            elements=st.floats(min_value=-1e6, max_value=1e6),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, x):
+        sc = StandardScaler().fit(x)
+        back = sc.inverse_transform(sc.transform(x))
+        assert np.allclose(back, x, rtol=1e-6, atol=1e-6)

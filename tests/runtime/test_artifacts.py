@@ -1,0 +1,81 @@
+"""Tests for repro.runtime.artifacts (test-program persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.runtime.artifacts import load_test_program, save_test_program
+from repro.runtime.artifacts import TestProgram as Program
+from repro.runtime.calibration import CalibrationSession
+from repro.runtime.specs import lna_limits
+
+
+@pytest.fixture(scope="module")
+def program():
+    """A small but genuine fitted program."""
+    rng = np.random.default_rng(0)
+    basis = rng.normal(size=(2, 10))
+    u = rng.uniform(0.8, 1.2, size=(40, 2))
+    sigs = u @ basis + rng.normal(0, 1e-3, size=(40, 10))
+    specs = np.column_stack(
+        [16 + 8 * np.log10(u[:, 0]), 2 + 0.3 * u[:, 1], 3 + u[:, 0] - u[:, 1]]
+    )
+    calibration = CalibrationSession().fit(sigs, specs, rng=rng)
+    stimulus = PiecewiseLinearStimulus(rng.uniform(-0.3, 0.3, 16), 5e-6, 0.4)
+    return Program(
+        stimulus=stimulus,
+        calibration=calibration,
+        limits=lna_limits(),
+        metadata={"dut": "unit-test", "rev": "A"},
+    ), sigs
+
+
+class TestRoundtrip:
+    def test_save_load_identical_predictions(self, program, tmp_path):
+        prog, sigs = program
+        path = save_test_program(prog, tmp_path / "prog.rtp")
+        loaded = load_test_program(path)
+        before = prog.calibration.predict_matrix(sigs[:5])
+        after = loaded.calibration.predict_matrix(sigs[:5])
+        assert np.array_equal(before, after)
+
+    def test_stimulus_survives(self, program, tmp_path):
+        prog, _ = program
+        path = save_test_program(prog, tmp_path / "prog.rtp")
+        loaded = load_test_program(path)
+        assert np.array_equal(loaded.stimulus.levels, prog.stimulus.levels)
+        assert loaded.stimulus.duration == prog.stimulus.duration
+
+    def test_metadata_and_limits_survive(self, program, tmp_path):
+        prog, _ = program
+        loaded = load_test_program(save_test_program(prog, tmp_path / "p.rtp"))
+        assert loaded.metadata == {"dut": "unit-test", "rev": "A"}
+        assert set(loaded.limits.limits) == set(prog.limits.limits)
+
+    def test_describe(self, program):
+        prog, _ = program
+        text = prog.describe()
+        assert "stimulus" in text
+        assert "gain_db" in text
+        assert "dut: unit-test" in text
+
+
+class TestValidation:
+    def test_wrong_magic_rejected(self, tmp_path):
+        bad = tmp_path / "not_a_program.rtp"
+        bad.write_bytes(b"hello world, definitely not a program")
+        with pytest.raises(ValueError, match="not a repro test-program"):
+            load_test_program(bad)
+
+    def test_wrong_version_rejected(self, program, tmp_path):
+        prog, _ = program
+        path = save_test_program(prog, tmp_path / "p.rtp")
+        data = bytearray(path.read_bytes())
+        data[len(b"repro-test-program") + 1] = 99  # bump version byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            load_test_program(path)
+
+    def test_save_type_checked(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_test_program("not a program", tmp_path / "p.rtp")

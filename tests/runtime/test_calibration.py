@@ -1,0 +1,93 @@
+"""Tests for repro.runtime.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.device import SpecSet
+from repro.runtime.calibration import (
+    CalibrationSession,
+    default_candidates,
+)
+
+
+_BASIS = np.random.default_rng(99).normal(size=(2, 12))
+
+
+def synthetic_dataset(rng, n=60):
+    """Signatures lying on a fixed 2-D manifold; specs are functions of it.
+
+    The mixing basis is shared across calls so training and validation
+    sets live on the same manifold, as real signatures do.
+    """
+    u = rng.uniform(0.5, 1.5, size=(n, 2))
+    signatures = u @ _BASIS + rng.normal(0, 1e-3, size=(n, _BASIS.shape[1]))
+    specs = np.column_stack(
+        [
+            20.0 * np.log10(u[:, 0]) + 16.0,  # "gain"
+            2.0 + 0.3 * u[:, 1],  # "nf"
+            3.0 + 5.0 * np.log10(u[:, 0] / u[:, 1]),  # "iip3"
+        ]
+    )
+    return signatures, specs
+
+
+class TestDefaultCandidates:
+    def test_contains_model_families(self):
+        zoo = default_candidates(100)
+        names = " ".join(zoo)
+        assert "ridge" in names
+        assert "poly" in names
+        assert "knn" in names
+        assert "mars" in names
+
+    def test_all_constructible(self):
+        for factory in default_candidates(28).values():
+            model = factory()
+            assert hasattr(model, "fit")
+
+
+class TestCalibrationSession:
+    def test_learns_synthetic_mapping(self):
+        rng = np.random.default_rng(0)
+        sig_train, spec_train = synthetic_dataset(rng, n=80)
+        sig_val, spec_val = synthetic_dataset(rng, n=30)
+        model = CalibrationSession().fit(sig_train, spec_train, rng=rng)
+        pred = model.predict_matrix(sig_val)
+        for j in range(3):
+            err = np.std(pred[:, j] - spec_val[:, j])
+            spread = np.std(spec_val[:, j])
+            assert err < 0.2 * spread
+
+    def test_predict_single(self):
+        rng = np.random.default_rng(1)
+        sigs, specs = synthetic_dataset(rng)
+        model = CalibrationSession().fit(sigs, specs, rng=rng)
+        out = model.predict(sigs[0])
+        assert isinstance(out, SpecSet)
+
+    def test_custom_spec_names(self):
+        rng = np.random.default_rng(2)
+        sigs, specs = synthetic_dataset(rng)
+        session = CalibrationSession(spec_names=("gain_db", "iip3_dbm"))
+        model = session.fit(sigs, specs[:, [0, 2]], rng=rng)
+        assert model.predict_matrix(sigs[:5]).shape == (5, 2)
+
+    def test_summary_mentions_chosen_models(self):
+        rng = np.random.default_rng(3)
+        sigs, specs = synthetic_dataset(rng)
+        model = CalibrationSession().fit(sigs, specs, rng=rng)
+        text = model.summary()
+        for name in ("gain_db", "nf_db", "iip3_dbm"):
+            assert name in text
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        session = CalibrationSession()
+        with pytest.raises(ValueError, match="2-D"):
+            session.fit(np.zeros(10), np.zeros((10, 3)), rng=rng)
+        with pytest.raises(ValueError, match="row counts"):
+            session.fit(np.zeros((10, 4)), np.zeros((9, 3)), rng=rng)
+        with pytest.raises(ValueError, match="spec columns"):
+            session.fit(np.zeros((10, 4)), np.zeros((10, 2)), rng=rng)
+        with pytest.raises(ValueError, match="at least 8"):
+            session.fit(np.zeros((5, 4)), np.zeros((5, 3)), rng=rng)

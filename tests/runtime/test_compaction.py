@@ -1,0 +1,88 @@
+"""Tests for repro.runtime.compaction (the "test less" lever)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.compaction import compact_test_set
+
+
+def correlated_lot(rng, n=120):
+    """Three specs where the third is a function of the first two."""
+    gain = rng.normal(16.0, 1.0, n)
+    nf = rng.normal(2.5, 0.2, n)
+    # p1db tracks gain tightly (both ride the same bias current)
+    p1db = gain - 22.0 + rng.normal(0.0, 0.02, n)
+    return np.column_stack([gain, nf, p1db]), ("gain", "nf", "p1db")
+
+
+class TestCompaction:
+    def test_redundant_spec_dropped(self):
+        rng = np.random.default_rng(0)
+        specs, names = correlated_lot(rng)
+        result = compact_test_set(
+            specs,
+            names,
+            max_rmse={"p1db": 0.1, "nf": 0.05},
+            rng=rng,
+        )
+        assert "p1db" in result.dropped
+        assert result.prediction_errors["p1db"] < 0.1
+        assert "gain" in result.kept
+
+    def test_independent_spec_kept(self):
+        rng = np.random.default_rng(1)
+        specs, names = correlated_lot(rng)
+        result = compact_test_set(
+            specs, names, max_rmse={"nf": 0.05, "p1db": 0.1}, rng=rng
+        )
+        # NF is independent noise: not predictable within 0.05
+        assert "nf" in result.kept
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(2)
+        specs, names = correlated_lot(rng)
+        # absurdly tight budget: nothing is droppable
+        result = compact_test_set(
+            specs, names, max_rmse={"p1db": 1e-6, "nf": 1e-6}, rng=rng
+        )
+        assert result.dropped == ()
+
+    def test_no_budget_means_never_dropped(self):
+        rng = np.random.default_rng(3)
+        specs, names = correlated_lot(rng)
+        result = compact_test_set(specs, names, max_rmse={"p1db": 0.1}, rng=rng)
+        assert "gain" in result.kept
+        assert "nf" in result.kept
+
+    def test_time_savings_accounted(self):
+        rng = np.random.default_rng(4)
+        specs, names = correlated_lot(rng)
+        result = compact_test_set(
+            specs,
+            names,
+            max_rmse={"p1db": 0.1},
+            test_times={"gain": 0.18, "nf": 0.4, "p1db": 0.62},
+            rng=rng,
+        )
+        assert result.seconds_saved == pytest.approx(0.62)
+        assert "insertion time saved" in result.summary()
+
+    def test_min_kept(self):
+        rng = np.random.default_rng(5)
+        # two perfectly redundant specs
+        a = rng.normal(0, 1, 100)
+        specs = np.column_stack([a, a + 1e-6 * rng.normal(size=100)])
+        result = compact_test_set(
+            specs, ("x", "y"), max_rmse={"x": 0.1, "y": 0.1}, min_kept=1, rng=rng
+        )
+        assert len(result.kept) == 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            compact_test_set(np.zeros((5, 2)), ("a", "b"), {}, rng=rng)
+        specs, names = correlated_lot(rng)
+        with pytest.raises(KeyError):
+            compact_test_set(specs, names, {"zzz": 0.1}, rng=rng)
+        with pytest.raises(ValueError):
+            compact_test_set(specs, names, {}, min_kept=0, rng=rng)

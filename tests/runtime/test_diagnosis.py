@@ -1,0 +1,171 @@
+"""Tests for repro.runtime.diagnosis (parametric fault diagnosis)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lna import LNA900, lna_parameter_space
+from repro.loadboard.signature_path import SignatureTestBoard, simulation_config
+from repro.runtime.diagnosis import ParameterDiagnosisModel
+from repro.testgen.pwl import StimulusEncoding
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A diagnosis model trained on 90 LNA instances."""
+    rng = np.random.default_rng(71)
+    space = lna_parameter_space()
+    cfg = simulation_config()
+    board = SignatureTestBoard(cfg)
+    stim = StimulusEncoding(16, cfg.capture_seconds, 0.4).decode(
+        rng.uniform(-0.3, 0.3, 16)
+    )
+    points = space.sample(rng, 90)
+    sigs = np.vstack(
+        [board.signature(LNA900(space.to_dict(p)), stim, rng=rng) for p in points]
+    )
+    model = ParameterDiagnosisModel(space).fit(sigs, points, rng=rng)
+    return model, space, board, stim, rng
+
+
+class TestObservability:
+    def test_rb_is_blind(self, fitted):
+        model, *_ = fitted
+        # base resistance barely moves the signature: not diagnosable
+        assert "rb" not in model.observable_parameters()
+        assert model.observability["rb"] < 0.3
+
+    def test_dominant_driver_observable(self, fitted):
+        model, *_ = fitted
+        observable = model.observable_parameters()
+        # the load resistor is the one parameter with its own signature
+        # direction; it must be estimable
+        assert "r_load" in observable
+
+    def test_identifiability_limit(self, fitted):
+        # the tuned-path signature carries ~2 degrees of freedom (a1, a3),
+        # so most of the 10 parameters are individually unidentifiable --
+        # the model must report that honestly rather than hallucinate
+        model, *_ = fitted
+        assert len(model.observable_parameters()) <= 4
+
+    def test_summary(self, fitted):
+        model, *_ = fitted
+        text = model.summary()
+        assert "rb" in text
+        assert "blind" in text
+
+
+class TestDiagnosis:
+    def _drifted_signature(self, fitted, name, step):
+        model, space, board, stim, rng = fitted
+        vec = space.nominal_vector()
+        vec[space.index_of(name)] *= 1.0 + step
+        device = LNA900(space.to_dict(vec))
+        return board.signature(device, stim, rng=rng)
+
+    @pytest.mark.parametrize("name", ["r_load", "r1"])
+    def test_prime_suspect_found(self, fitted, name):
+        model, *_ = fitted
+        if name not in model.observable_parameters():
+            pytest.skip(f"{name} not observable with this stimulus")
+        hits = 0
+        for step in (-0.18, 0.18):
+            sig = self._drifted_signature(fitted, name, step)
+            diag = model.diagnose(sig)
+            if diag.prime_suspect == name:
+                hits += 1
+        assert hits >= 1  # at least one polarity pins the right component
+
+    def test_nominal_device_scores_low(self, fitted):
+        model, space, board, stim, rng = fitted
+        sig = board.signature(LNA900(), stim, rng=rng)
+        diag = model.diagnose(sig)
+        # nominal device: every observable parameter within ~1.5 sigma
+        assert all(abs(s) < 1.5 for s in diag.sigma_scores.values())
+
+    def test_estimate_returns_all_parameters(self, fitted):
+        model, space, board, stim, rng = fitted
+        sig = board.signature(LNA900(), stim, rng=rng)
+        est = model.estimate(sig)
+        assert set(est) == set(space.names())
+
+    def test_sign_of_estimate(self, fitted):
+        model, *_ = fitted
+        observable = model.observable_parameters()
+        if "r_load" not in observable:
+            pytest.skip("r_load not observable")
+        up = self._drifted_signature(fitted, "r_load", 0.18)
+        down = self._drifted_signature(fitted, "r_load", -0.18)
+        assert model.estimate(up)["r_load"] > model.estimate(down)["r_load"]
+
+
+class TestAmbiguityGroups:
+    def test_synthetic_groups(self):
+        from repro.circuits.parameters import ParameterSpace, uniform_percent
+        from repro.runtime.diagnosis import ambiguity_groups
+
+        space = ParameterSpace(
+            [uniform_percent(n, 1.0) for n in ("a", "b", "c", "dead")]
+        )
+        # a and b share a direction; c is independent; dead does nothing
+        d1 = np.array([1.0, 0.0, 0.0, 0.0])
+        a_s = np.column_stack(
+            [d1, -2.0 * d1, np.array([0.0, 1.0, 0.0, 0.0]), np.zeros(4)]
+        )
+        groups = ambiguity_groups(a_s, space)
+        assert ("a", "b") in groups
+        assert ("c",) in groups
+        assert ("dead",) in groups  # the blind group
+
+    def test_lna_bias_resistors_grouped(self):
+        from repro.circuits.lna import LNA900, lna_parameter_space
+        from repro.loadboard.signature_path import simulation_config
+        from repro.runtime.diagnosis import ambiguity_groups
+        from repro.testgen.optimizer import SignatureStimulusOptimizer
+        from repro.testgen.pwl import StimulusEncoding
+
+        space = lna_parameter_space()
+        opt = SignatureStimulusOptimizer(
+            simulation_config(), LNA900, space,
+            StimulusEncoding(16, 5e-6, 0.4), rel_step=0.03,
+        )
+        rng = np.random.default_rng(0)
+        stim = opt.encoding.decode(rng.uniform(-0.3, 0.3, 16))
+        a_s = opt.signature_matrix(stim)
+        groups = ambiguity_groups(a_s, space, collinearity=0.9)
+        # the divider resistors act through the same gm direction
+        together = [g for g in groups if "r1" in g]
+        assert together and "r2" in together[0]
+
+    def test_validation(self):
+        from repro.circuits.parameters import ParameterSpace, uniform_percent
+        from repro.runtime.diagnosis import ambiguity_groups
+
+        space = ParameterSpace([uniform_percent("a", 1.0)])
+        with pytest.raises(ValueError):
+            ambiguity_groups(np.zeros((3, 2)), space)
+        with pytest.raises(ValueError):
+            ambiguity_groups(np.zeros((3, 1)), space, collinearity=0.0)
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        space = lna_parameter_space()
+        model = ParameterDiagnosisModel(space)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(10), np.zeros((10, 10)))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 4)), np.zeros((9, 10)))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 4)), np.zeros((10, 3)))
+
+    def test_unfitted(self):
+        model = ParameterDiagnosisModel(lna_parameter_space())
+        with pytest.raises(RuntimeError):
+            model.estimate(np.zeros(4))
+        with pytest.raises(RuntimeError):
+            model.observable_parameters()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ParameterDiagnosisModel(lna_parameter_space(), observability_threshold=0.0)

@@ -1,0 +1,84 @@
+"""Tests for repro.runtime.economics."""
+
+import pytest
+
+from repro.runtime.economics import FlowEconomics, compare_flows
+from repro.runtime.economics import TesterCostModel as CostModel
+
+
+class TestTesterCostModel:
+    def test_cost_per_second_positive(self):
+        ate = CostModel.conventional_rf_ate()
+        assert ate.cost_per_second > 0
+
+    def test_expensive_tester_costs_more(self):
+        ate = CostModel.conventional_rf_ate()
+        cheap = CostModel.low_cost_tester()
+        assert ate.cost_per_second > 3.0 * cheap.cost_per_second
+
+    def test_utilization_scales_cost(self):
+        full = CostModel("t", 1e6, utilization=1.0)
+        half = CostModel("t", 1e6, utilization=0.5)
+        assert half.cost_per_second == pytest.approx(2.0 * full.cost_per_second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel("t", -1.0)
+        with pytest.raises(ValueError):
+            CostModel("t", 1e6, utilization=0.0)
+        with pytest.raises(ValueError):
+            CostModel("t", 1e6, depreciation_years=0.0)
+
+
+class TestFlowEconomics:
+    def test_throughput(self):
+        flow = FlowEconomics(CostModel.low_cost_tester(), 0.5)
+        assert flow.throughput_per_hour == pytest.approx(7200.0)
+
+    def test_cost_per_device(self):
+        tester = CostModel("t", 1e6, depreciation_years=1.0, utilization=1.0)
+        flow = FlowEconomics(tester, 1.0)
+        assert flow.cost_per_device == pytest.approx(tester.cost_per_second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowEconomics(CostModel.low_cost_tester(), 0.0)
+        with pytest.raises(ValueError):
+            FlowEconomics(CostModel.low_cost_tester(), 1.0, sites=0)
+        with pytest.raises(ValueError):
+            FlowEconomics(CostModel.low_cost_tester(), 1.0, site_cost_fraction=2.0)
+
+
+class TestMultiSite:
+    def test_throughput_scales_with_sites(self):
+        tester = CostModel.low_cost_tester()
+        single = FlowEconomics(tester, 0.1, sites=1)
+        quad = FlowEconomics(tester, 0.1, sites=4)
+        assert quad.throughput_per_hour == pytest.approx(
+            4.0 * single.throughput_per_hour
+        )
+
+    def test_cost_per_device_improves_sublinearly(self):
+        # 4 sites quarter the tester time but add 30% capital:
+        # cost per device falls, but by less than 4x
+        tester = CostModel.low_cost_tester()
+        single = FlowEconomics(tester, 0.1, sites=1)
+        quad = FlowEconomics(tester, 0.1, sites=4, site_cost_fraction=0.1)
+        assert quad.cost_per_device < single.cost_per_device
+        assert quad.cost_per_device > single.cost_per_device / 4.0
+
+
+class TestCompareFlows:
+    def test_paper_scenario(self):
+        # conventional: ~1 s of sequential spec tests; signature: 15 ms
+        cmp = compare_flows(conventional_seconds=1.0, signature_seconds=0.015)
+        assert cmp.time_speedup == pytest.approx(1.0 / 0.015, rel=1e-6)
+        assert cmp.cost_reduction > cmp.time_speedup  # cheaper tester too
+        text = cmp.summary()
+        assert "speedup" in text
+        assert "cost reduction" in text
+
+    def test_default_testers_used(self):
+        cmp = compare_flows(0.8, 0.02)
+        assert cmp.conventional.tester.name == "conventional RF ATE"
+        assert cmp.signature.tester.name == "low-cost signature tester"

@@ -1,0 +1,90 @@
+"""Tests for repro.runtime.monitoring (golden-device drift monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.monitoring import GoldenSignatureMonitor
+
+
+def make_monitor(m=32, sigma=1e-4, **kw):
+    rng = np.random.default_rng(0)
+    reference = rng.uniform(0.05, 0.2, m)
+    return GoldenSignatureMonitor(reference, noise_sigma=sigma, **kw), reference
+
+
+class TestScoring:
+    def test_in_control_on_noise_only(self):
+        monitor, ref = make_monitor()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            state = monitor.check(ref + rng.normal(0, 1e-4, len(ref)))
+            assert state.in_control
+        assert monitor.checks_until_alarm() is None
+
+    def test_raw_score_near_one_for_pure_noise(self):
+        monitor, ref = make_monitor()
+        rng = np.random.default_rng(2)
+        scores = [
+            monitor.check(ref + rng.normal(0, 1e-4, len(ref))).raw_score
+            for _ in range(50)
+        ]
+        assert np.mean(scores) == pytest.approx(1.0, rel=0.1)
+
+    def test_step_drift_alarms(self):
+        monitor, ref = make_monitor()
+        rng = np.random.default_rng(3)
+        # healthy phase
+        for _ in range(5):
+            monitor.check(ref + rng.normal(0, 1e-4, len(ref)))
+        # the source drops 0.1 dB: ~1.2% multiplicative change,
+        # enormous against 1e-4 noise on 0.1-level bins
+        drifted = ref * 10 ** (-0.1 / 20)
+        for _ in range(5):
+            monitor.check(drifted + rng.normal(0, 1e-4, len(ref)))
+        assert not monitor.in_control
+        assert monitor.checks_until_alarm() is not None
+        assert monitor.checks_until_alarm() > 5  # alarmed only after the step
+
+    def test_gradual_drift_eventually_alarms(self):
+        monitor, ref = make_monitor(sigma=1e-3)
+        rng = np.random.default_rng(4)
+        scale = 1.0
+        alarmed = False
+        for _ in range(60):
+            scale *= 0.998  # slow aging
+            state = monitor.check(ref * scale + rng.normal(0, 1e-3, len(ref)))
+            alarmed = alarmed or not state.in_control
+        assert alarmed
+
+    def test_ewma_smooths_single_outlier(self):
+        monitor, ref = make_monitor(smoothing=0.2)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            monitor.check(ref + rng.normal(0, 1e-4, len(ref)))
+        # one mildly wild capture (vibration during the check):
+        # 8 noise-sigmas of offset on every bin
+        state = monitor.check(ref + 8e-4)
+        # raw score breaches the limit but the EWMA keeps the chart calm
+        assert state.raw_score > monitor.control_limit
+        assert state.in_control
+
+
+class TestValidation:
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            GoldenSignatureMonitor(np.zeros(0), 1e-4)
+        with pytest.raises(ValueError):
+            GoldenSignatureMonitor(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            GoldenSignatureMonitor(np.ones(4), 1e-4, smoothing=0.0)
+        with pytest.raises(ValueError):
+            GoldenSignatureMonitor(np.ones(4), 1e-4, control_limit=0.0)
+
+    def test_length_mismatch(self):
+        monitor, _ = make_monitor(m=8)
+        with pytest.raises(ValueError):
+            monitor.check(np.zeros(9))
+
+    def test_in_control_before_checks(self):
+        monitor, _ = make_monitor()
+        assert monitor.in_control

@@ -1,0 +1,90 @@
+"""Tests for repro.runtime.normalization (golden-device normalization)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.runtime.normalization import GoldenDeviceNormalizer
+
+
+class TestNormalizerMath:
+    def test_ratio_definition(self):
+        golden = np.array([2.0, 4.0, 8.0])
+        norm = GoldenDeviceNormalizer(golden)
+        out = norm.normalize(np.array([2.0, 2.0, 2.0]))
+        assert np.allclose(out, [1.0, 0.5, 0.25])
+
+    def test_multiplicative_error_cancels(self):
+        rng = np.random.default_rng(0)
+        golden = rng.uniform(0.1, 1.0, 32)
+        sig = rng.uniform(0.1, 1.0, 32)
+        tester_response = rng.uniform(0.5, 2.0, 32)  # frequency-dependent gain
+        norm_a = GoldenDeviceNormalizer(golden)
+        norm_b = GoldenDeviceNormalizer(golden * tester_response)
+        assert np.allclose(
+            norm_a.normalize(sig), norm_b.normalize(sig * tester_response)
+        )
+
+    def test_empty_bins_use_global_reference(self):
+        golden = np.array([1.0, 0.0, 1e-9])
+        norm = GoldenDeviceNormalizer(golden, floor=1e-3)
+        out = norm.normalize(np.array([0.5, 0.5, 0.5]))
+        # bins 1 and 2 are below the floor: scaled by the peak (1.0)
+        assert np.allclose(out, [0.5, 0.5, 0.5])
+
+    def test_batch(self):
+        golden = np.array([1.0, 2.0])
+        norm = GoldenDeviceNormalizer(golden)
+        batch = norm.normalize_batch(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        assert np.allclose(batch, [[1.0, 1.0], [2.0, 2.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoldenDeviceNormalizer(np.zeros(4))
+        with pytest.raises(ValueError):
+            GoldenDeviceNormalizer(np.ones(4), floor=2.0)
+        norm = GoldenDeviceNormalizer(np.ones(4))
+        with pytest.raises(ValueError):
+            norm.normalize(np.ones(5))
+        with pytest.raises(ValueError):
+            norm.normalize_batch(np.ones((2, 5)))
+
+
+class TestTesterTransfer:
+    """End to end: the same device on two slightly different testers."""
+
+    def _board(self, power_offset_db=0.0, mixer_gain=0.5):
+        from repro.dsp.mixer import Mixer, MixerHarmonics
+
+        cfg = SignaturePathConfig(
+            carrier_power_dbm=10.0 + power_offset_db,
+            digitizer_noise_vrms=0.0,
+            digitizer_bits=None,
+            include_device_noise=False,
+            mixer2=Mixer(mixer_gain, MixerHarmonics.paper_model()),
+        )
+        return SignatureTestBoard(cfg)
+
+    def test_normalization_removes_tester_gain_difference(self):
+        rng = np.random.default_rng(1)
+        stim = PiecewiseLinearStimulus(rng.uniform(-0.1, 0.1, 16), 5e-6, 0.4)
+        golden = BehavioralAmplifier(900e6, 16.0, 2.0, 30.0)
+        dut = BehavioralAmplifier(900e6, 16.8, 2.1, 30.0)
+
+        board_cal = self._board()
+        board_prod = self._board(mixer_gain=0.45)  # -0.9 dB of path gain
+
+        raw_cal = board_cal.signature(dut, stim)
+        raw_prod = board_prod.signature(dut, stim)
+        # without normalization, the tester difference dwarfs device info
+        raw_drift = np.linalg.norm(raw_prod - raw_cal) / np.linalg.norm(raw_cal)
+        assert raw_drift > 0.05
+
+        norm_cal = GoldenDeviceNormalizer.from_board(board_cal, golden, stim)
+        norm_prod = GoldenDeviceNormalizer.from_board(board_prod, golden, stim)
+        n_cal = norm_cal.normalize(raw_cal)
+        n_prod = norm_prod.normalize(raw_prod)
+        norm_drift = np.linalg.norm(n_prod - n_cal) / np.linalg.norm(n_cal)
+        assert norm_drift < 0.01 * raw_drift

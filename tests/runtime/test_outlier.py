@@ -1,0 +1,96 @@
+"""Tests for repro.runtime.outlier."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.outlier import SignatureOutlierScreen
+
+
+def good_signatures(rng, n=100, m=20):
+    """Signatures on a 2-D manifold plus small noise."""
+    basis = np.random.default_rng(7).normal(size=(2, m))
+    u = rng.uniform(0.8, 1.2, size=(n, 2))
+    return u @ basis + rng.normal(0, 1e-3, size=(n, m)), basis
+
+
+class TestFitting:
+    def test_component_autoselection(self):
+        rng = np.random.default_rng(0)
+        sigs, _ = good_signatures(rng)
+        screen = SignatureOutlierScreen().fit(sigs)
+        assert 2 <= screen.n_components <= 8
+
+    def test_explicit_components(self):
+        rng = np.random.default_rng(1)
+        sigs, _ = good_signatures(rng)
+        screen = SignatureOutlierScreen(n_components=3).fit(sigs)
+        assert screen.n_components == 3
+
+    def test_requires_enough_training(self):
+        with pytest.raises(ValueError):
+            SignatureOutlierScreen().fit(np.zeros((4, 5)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SignatureOutlierScreen().score(np.zeros(5))
+
+
+class TestScreening:
+    def test_training_population_mostly_inliers(self):
+        rng = np.random.default_rng(2)
+        sigs, _ = good_signatures(rng, n=200)
+        screen = SignatureOutlierScreen().fit(sigs)
+        flags = screen.flag_batch(sigs)
+        assert flags.mean() < 0.02
+
+    def test_fresh_good_devices_pass(self):
+        rng = np.random.default_rng(3)
+        train, basis = good_signatures(rng, n=150)
+        screen = SignatureOutlierScreen().fit(train)
+        u = rng.uniform(0.8, 1.2, size=(50, 2))
+        fresh = u @ basis + rng.normal(0, 1e-3, size=(50, basis.shape[1]))
+        assert screen.flag_batch(fresh).mean() < 0.1
+
+    def test_off_manifold_signature_flagged(self):
+        # a catastrophic defect has a completely different spectral shape
+        rng = np.random.default_rng(4)
+        train, basis = good_signatures(rng, n=150)
+        screen = SignatureOutlierScreen().fit(train)
+        weird = rng.normal(0.0, 1.0, size=basis.shape[1])
+        score = screen.score(weird)
+        assert score.is_outlier
+        assert score.residual > screen.threshold
+
+    def test_in_subspace_extreme_flagged_by_mahalanobis(self):
+        rng = np.random.default_rng(5)
+        train, basis = good_signatures(rng, n=150)
+        screen = SignatureOutlierScreen().fit(train)
+        # 10x beyond the training range but exactly on the manifold
+        extreme = np.array([10.0, 10.0]) @ basis
+        score = screen.score(extreme)
+        assert score.is_outlier
+        assert score.mahalanobis > screen.threshold
+
+    def test_dead_device_near_zero_signature_flagged(self):
+        rng = np.random.default_rng(6)
+        train, basis = good_signatures(rng, n=150)
+        screen = SignatureOutlierScreen().fit(train)
+        dead = np.zeros(basis.shape[1])
+        assert screen.score(dead).is_outlier
+
+    def test_score_batch_matches_single(self):
+        rng = np.random.default_rng(7)
+        train, _ = good_signatures(rng, n=100)
+        screen = SignatureOutlierScreen().fit(train)
+        batch = screen.score_batch(train[:5])
+        for i in range(5):
+            assert batch[i] == pytest.approx(screen.score(train[i]).score)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignatureOutlierScreen(threshold=0.0)
+        rng = np.random.default_rng(8)
+        train, _ = good_signatures(rng)
+        screen = SignatureOutlierScreen().fit(train)
+        with pytest.raises(ValueError):
+            screen.score(np.zeros((2, 20)))

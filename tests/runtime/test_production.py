@@ -1,0 +1,94 @@
+"""Tests for repro.runtime.production (end-to-end production flow)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.parameters import ParameterSpace, ProcessParameter
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.runtime.calibration import CalibrationSession
+from repro.runtime.production import ProductionRunResult, ProductionTestFlow
+from repro.runtime.specs import lna_limits
+from repro.testgen.pwl import StimulusEncoding
+
+
+@pytest.fixture(scope="module")
+def flow_setup():
+    """A small but complete calibrated production flow."""
+    rng = np.random.default_rng(42)
+    space = ParameterSpace(
+        [
+            ProcessParameter("gain_db", 16.0, 0.08),
+            ProcessParameter("nf_db", 2.2, 0.10),
+            ProcessParameter("iip3_dbm", 3.0, 0.10),
+        ]
+    )
+
+    def factory(params):
+        return BehavioralAmplifier(
+            900e6, params["gain_db"], params["nf_db"], params["iip3_dbm"]
+        )
+
+    config = SignaturePathConfig(
+        digitizer_noise_vrms=1e-3, digitizer_bits=None, include_device_noise=False
+    )
+    board = SignatureTestBoard(config)
+    stim = StimulusEncoding(8, config.capture_seconds, 0.4).decode(
+        np.array([-0.2, -0.1, 0.0, 0.1, 0.2, 0.15, 0.05, -0.15])
+    )
+
+    train_points = space.sample(rng, 40)
+    train_devices = [factory(space.to_dict(p)) for p in train_points]
+    train_specs = np.vstack([d.specs().as_vector() for d in train_devices])
+    train_sigs = np.vstack(
+        [board.signature(d, stim, rng=rng) for d in train_devices]
+    )
+    calibration = CalibrationSession().fit(train_sigs, train_specs, rng=rng)
+    return space, factory, board, stim, calibration
+
+
+class TestProductionFlow:
+    def test_single_device(self, flow_setup):
+        space, factory, board, stim, calibration = flow_setup
+        flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+        device = factory(space.to_dict(space.nominal_vector()))
+        rec = flow.test_device(device, np.random.default_rng(0), device_id=7)
+        assert rec.device_id == 7
+        assert rec.passed is True
+        assert rec.predicted.gain_db == pytest.approx(16.0, abs=0.5)
+        assert rec.test_time == board.config.total_test_time()
+
+    def test_bad_device_fails(self, flow_setup):
+        space, factory, board, stim, calibration = flow_setup
+        flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+        # train distribution is around 16 dB; an 11 dB device must fail
+        dud = factory({"gain_db": 11.0, "nf_db": 2.2, "iip3_dbm": 3.0})
+        rec = flow.test_device(dud, np.random.default_rng(1))
+        assert rec.passed is False
+
+    def test_run_statistics(self, flow_setup):
+        space, factory, board, stim, calibration = flow_setup
+        rng = np.random.default_rng(2)
+        devices = [factory(space.to_dict(p)) for p in space.sample(rng, 10)]
+        flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+        result = flow.run(devices, rng)
+        assert result.n_devices == 10
+        assert 0.0 <= result.yield_fraction <= 1.0
+        assert result.mean_test_time > 0
+        assert result.throughput_per_hour() > 100.0
+        assert result.predicted_matrix().shape == (10, 3)
+
+    def test_no_limits_means_no_verdict(self, flow_setup):
+        space, factory, board, stim, calibration = flow_setup
+        flow = ProductionTestFlow(board, stim, calibration, limits=None)
+        rec = flow.test_device(
+            factory(space.to_dict(space.nominal_vector())), np.random.default_rng(3)
+        )
+        assert rec.passed is None
+
+    def test_empty_run_statistics_raise(self):
+        result = ProductionRunResult()
+        with pytest.raises(ValueError):
+            result.mean_test_time
+        with pytest.raises(ValueError):
+            result.yield_fraction

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sim_defaults(self):
+        args = build_parser().parse_args(["sim"])
+        assert args.seed == 2002
+        assert args.train == 100
+        assert args.stimulus == "ga"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["wat"])
+
+
+class TestCommands:
+    def test_sim_reduced(self, capsys):
+        code = main(
+            ["sim", "--seed", "5", "--train", "20", "--val", "8",
+             "--stimulus", "ramp"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gain_db" in out
+        assert "paper 0.060" in out
+
+    def test_hardware_fast(self, capsys):
+        code = main(
+            ["hardware", "--seed", "3", "--cal", "14", "--val", "8", "--fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gain_db" in out
+        assert "paper 0.16" in out
+
+    def test_phase(self, capsys):
+        code = main(["phase", "--points", "5"])
+        assert code == 0
+        assert "worst-case" in capsys.readouterr().out
+
+    def test_economics(self, capsys):
+        code = main(["economics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_economics_multisite(self, capsys):
+        code = main(["economics", "--sites", "4"])
+        assert code == 0
+        assert "4 sites" in capsys.readouterr().out
+
+    def test_report_fast(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main(["report", str(out_path), "--fast"])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# Reproduction report" in text
+        assert "gain_db" in text
+        assert "Phase robustness" in text
+        assert "Hardware" not in text  # --fast skips it
+
+    def test_program_roundtrip(self, tmp_path, capsys):
+        from repro.runtime.artifacts import load_test_program
+
+        out_path = tmp_path / "lna.rtp"
+        code = main(["program", str(out_path), "--seed", "2002"])
+        assert code == 0
+        program = load_test_program(out_path)
+        assert program.metadata["dut"] == "LNA900"
+        # the saved program predicts sane specs for a nominal device
+        from repro.circuits.lna import LNA900
+        from repro.loadboard.signature_path import (
+            SignatureTestBoard,
+            simulation_config,
+        )
+
+        board = SignatureTestBoard(simulation_config())
+        sig = board.signature(LNA900(), program.stimulus,
+                              rng=np.random.default_rng(0))
+        specs = program.calibration.predict(sig)
+        assert specs.gain_db == pytest.approx(LNA900().gain_db(), abs=0.3)

@@ -1,0 +1,39 @@
+"""Every example and benchmark must at least compile.
+
+The examples are exercised manually (several take tens of seconds), but
+nothing should be able to break their syntax or their imports silently.
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+BENCHMARKS = sorted((REPO / "benchmarks").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", BENCHMARKS, ids=lambda p: p.name)
+def test_benchmark_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_and_docstring(path):
+    source = path.read_text()
+    assert '"""' in source.split("\n", 2)[0] + source, f"{path.name} lacks a docstring"
+    assert "def main(" in source, f"{path.name} lacks a main()"
+    assert '__name__ == "__main__"' in source
+
+
+def test_example_count_matches_readme():
+    readme = (REPO / "README.md").read_text()
+    for path in EXAMPLES:
+        assert path.name in readme, f"{path.name} missing from README examples table"

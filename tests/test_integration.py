@@ -1,0 +1,113 @@
+"""Cross-module integration tests.
+
+Each test exercises a path through several packages, pinning down the
+contracts the experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.circuits.lna import LNA900, lna_parameter_space
+from repro.instruments.ate import ConventionalRFATE
+from repro.instruments.awg import ArbitraryWaveformGenerator
+from repro.loadboard.signature_path import SignatureTestBoard, simulation_config
+from repro.testgen.pwl import StimulusEncoding
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestConventionalATEOnLNA:
+    """The baseline tester must recover the analytic LNA's specs."""
+
+    def test_measured_specs_match_model(self):
+        lna = LNA900()
+        ate = ConventionalRFATE()
+        rng = np.random.default_rng(0)
+        result = ate.test_device(lna, rng)
+        truth = lna.specs()
+        assert result.specs.gain_db == pytest.approx(truth.gain_db, abs=0.2)
+        assert result.specs.nf_db == pytest.approx(truth.nf_db, abs=0.6)
+        assert result.specs.iip3_dbm == pytest.approx(truth.iip3_dbm, abs=0.5)
+
+    def test_process_variation_visible_to_ate(self):
+        space = lna_parameter_space()
+        rng = np.random.default_rng(1)
+        ate = ConventionalRFATE()
+        strong = LNA900(space.to_dict(space.perturbed_vector("r_load", 0.2)))
+        weak = LNA900(space.to_dict(space.perturbed_vector("r_load", -0.2)))
+        g_strong = ate.gain_analyzer.measure_gain_db(strong, rng=rng)
+        g_weak = ate.gain_analyzer.measure_gain_db(weak, rng=rng)
+        assert g_strong > g_weak + 1.0
+
+
+class TestAWGIntoSignaturePath:
+    """The AWG's rendered record must feed the board like the ideal PWL."""
+
+    def test_awg_record_close_to_ideal(self):
+        cfg = simulation_config()
+        cfg.digitizer_noise_vrms = 0.0
+        board = SignatureTestBoard(cfg)
+        lna = LNA900()
+        rng = np.random.default_rng(2)
+        stim = StimulusEncoding(16, cfg.capture_seconds, 0.4).decode(
+            rng.uniform(-0.2, 0.2, 16)
+        )
+        awg = ArbitraryWaveformGenerator(sample_rate=100e6, bits=12, full_scale=0.5)
+        sig_ideal = board.signature(lna, stim)
+        sig_awg = board.signature(lna, awg.play(stim))
+        rel = np.linalg.norm(sig_awg - sig_ideal) / np.linalg.norm(sig_ideal)
+        assert rel < 0.01  # 12-bit quantization is nearly transparent
+
+
+class TestSignatureCarriesSpecInformation:
+    """Figure 4's premise: process moves specs and signature together."""
+
+    def test_signature_distance_correlates_with_spec_distance(self):
+        cfg = simulation_config()
+        cfg.digitizer_noise_vrms = 0.0
+        board = SignatureTestBoard(cfg)
+        space = lna_parameter_space()
+        rng = np.random.default_rng(3)
+        stim = StimulusEncoding(16, cfg.capture_seconds, 0.4).decode(
+            rng.uniform(-0.25, 0.25, 16)
+        )
+        points = space.sample(rng, 25)
+        devices = [LNA900(space.to_dict(p)) for p in points]
+        sigs = np.vstack([board.signature(d, stim) for d in devices])
+        gains = np.array([d.gain_db() for d in devices])
+        ref_sig, ref_gain = sigs[0], gains[0]
+        sig_dist = np.linalg.norm(sigs - ref_sig, axis=1)
+        gain_dist = np.abs(gains - ref_gain)
+        corr = np.corrcoef(sig_dist[1:], gain_dist[1:])[0, 1]
+        assert corr > 0.7
+
+    def test_identical_devices_identical_signatures(self):
+        cfg = simulation_config()
+        cfg.digitizer_noise_vrms = 0.0
+        board = SignatureTestBoard(cfg)
+        stim = StimulusEncoding(16, cfg.capture_seconds, 0.4).decode(
+            np.linspace(-0.2, 0.2, 16)
+        )
+        s1 = board.signature(LNA900(), stim)
+        s2 = board.signature(LNA900(), stim)
+        assert np.array_equal(s1, s2)
+
+
+class TestTestTimeClaim:
+    """Section 4.2: signature test needs 5 ms capture; the conventional
+    insertion needs hundreds of milliseconds of sequential tests."""
+
+    def test_signature_much_faster(self):
+        from repro.loadboard.signature_path import hardware_config
+
+        conventional = ConventionalRFATE().insertion_time()
+        signature = hardware_config().total_test_time()
+        assert conventional / signature > 10.0

@@ -1,0 +1,149 @@
+"""Tests for repro.testgen.genetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testgen.genetic import GAConfig, GeneticAlgorithm
+
+
+def sphere(x):
+    return float(np.sum(x**2))
+
+
+class TestGAConfig:
+    def test_defaults_match_paper(self):
+        assert GAConfig().generations == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=2)
+        with pytest.raises(ValueError):
+            GAConfig(generations=0)
+        with pytest.raises(ValueError):
+            GAConfig(tournament_size=1)
+        with pytest.raises(ValueError):
+            GAConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GAConfig(elite_count=24, population_size=24)
+
+
+class TestConvergence:
+    def test_sphere_improves(self):
+        rng = np.random.default_rng(0)
+        ga = GeneticAlgorithm(
+            sphere,
+            lower=[-5.0] * 4,
+            upper=[5.0] * 4,
+            config=GAConfig(population_size=30, generations=20),
+            rng=rng,
+        )
+        result = ga.run()
+        assert result.best_fitness < 0.5
+        assert result.improvement > 0
+
+    def test_shifted_optimum_found(self):
+        rng = np.random.default_rng(1)
+        target = np.array([1.5, -2.0, 0.5])
+        ga = GeneticAlgorithm(
+            lambda x: float(np.sum((x - target) ** 2)),
+            lower=[-5.0] * 3,
+            upper=[5.0] * 3,
+            config=GAConfig(population_size=40, generations=30),
+            rng=rng,
+        )
+        result = ga.run()
+        assert np.allclose(result.best_gene, target, atol=0.5)
+
+    def test_history_best_monotone_with_elitism(self):
+        rng = np.random.default_rng(2)
+        ga = GeneticAlgorithm(
+            sphere,
+            lower=[-5.0] * 3,
+            upper=[5.0] * 3,
+            config=GAConfig(population_size=20, generations=15, elite_count=2),
+            rng=rng,
+        )
+        result = ga.run()
+        bests = [b for b, _ in result.history]
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_evaluation_count(self):
+        rng = np.random.default_rng(3)
+        cfg = GAConfig(population_size=10, generations=4)
+        ga = GeneticAlgorithm(sphere, [-1.0], [1.0], cfg, rng)
+        result = ga.run()
+        assert result.evaluations == 10 * 5  # initial + 4 generations
+
+
+class TestBounds:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_best_gene_always_within_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        lower = np.array([-1.0, 0.0, 2.0])
+        upper = np.array([1.0, 0.5, 3.0])
+        ga = GeneticAlgorithm(
+            lambda x: -float(np.sum(x)),  # pushes genes to the upper bound
+            lower,
+            upper,
+            GAConfig(population_size=12, generations=5),
+            rng,
+        )
+        result = ga.run()
+        assert np.all(result.best_gene >= lower - 1e-12)
+        assert np.all(result.best_gene <= upper + 1e-12)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(sphere, [0.0, 1.0], [1.0, 0.5])
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(sphere, [0.0], [1.0, 2.0])
+
+
+class TestSeeding:
+    def test_seed_population_used(self):
+        # a seed sitting exactly at the optimum must survive via elitism
+        rng = np.random.default_rng(4)
+        ga = GeneticAlgorithm(
+            sphere,
+            [-5.0] * 3,
+            [5.0] * 3,
+            GAConfig(population_size=10, generations=3, elite_count=1),
+            rng,
+        )
+        seeds = np.zeros((1, 3))
+        result = ga.run(initial_population=seeds)
+        assert result.best_fitness == pytest.approx(0.0, abs=1e-12)
+
+    def test_seed_shape_validation(self):
+        ga = GeneticAlgorithm(sphere, [-1.0] * 3, [1.0] * 3)
+        with pytest.raises(ValueError):
+            ga.run(initial_population=np.zeros((2, 5)))
+
+    def test_seeds_clipped_into_bounds(self):
+        rng = np.random.default_rng(5)
+        ga = GeneticAlgorithm(
+            sphere,
+            [-1.0] * 2,
+            [1.0] * 2,
+            GAConfig(population_size=6, generations=1),
+            rng,
+        )
+        result = ga.run(initial_population=np.array([[10.0, -10.0]]))
+        assert np.all(np.abs(result.best_gene) <= 1.0)
+
+    def test_reproducible_with_same_rng_seed(self):
+        def run(seed):
+            return GeneticAlgorithm(
+                sphere,
+                [-2.0] * 3,
+                [2.0] * 3,
+                GAConfig(population_size=10, generations=5),
+                np.random.default_rng(seed),
+            ).run()
+
+        a, b = run(42), run(42)
+        assert np.array_equal(a.best_gene, b.best_gene)
+        assert a.history == b.history

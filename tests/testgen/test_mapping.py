@@ -1,0 +1,128 @@
+"""Tests for repro.testgen.mapping (Equations 8-9 + rank selection)."""
+
+import numpy as np
+import pytest
+
+from repro.testgen.mapping import LinearSignatureMap
+
+
+class TestExactCase:
+    def test_recovers_exact_transformation(self):
+        # construct A_p = A_true A_s exactly: residuals must vanish
+        rng = np.random.default_rng(0)
+        a_s = rng.normal(size=(8, 5))
+        a_true = rng.normal(size=(3, 8))
+        a_p = a_true @ a_s
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s)
+        assert np.allclose(m.residuals, 0.0, atol=1e-9)
+        # the map reproduces spec perturbations for any process move
+        dx = rng.normal(size=5)
+        assert np.allclose(m.predict_delta(a_s @ dx), a_p @ dx, atol=1e-9)
+
+    def test_unexplainable_spec_has_full_residual(self):
+        # a spec depending only on a parameter the signature ignores
+        a_s = np.array([[1.0, 0.0], [2.0, 0.0]])  # signature blind to x2
+        a_p = np.array([[0.0, 3.0]])  # spec driven by x2 alone
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s)
+        assert m.residuals[0] == pytest.approx(3.0)
+
+    def test_partial_residual(self):
+        a_s = np.array([[1.0, 0.0]])
+        a_p = np.array([[4.0, 3.0]])  # x1 part explainable, x2 part not
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s)
+        assert m.residuals[0] == pytest.approx(3.0)
+
+
+class TestRankSelection:
+    def _noisy_system(self):
+        """A_s with one strong and one very weak direction."""
+        a_s = np.array(
+            [
+                [1.0, 0.0],
+                [1.0, 1e-6],  # second direction barely observable
+            ]
+        )
+        a_p = np.array([[1.0, 1.0]])
+        return a_p, a_s
+
+    def test_full_rank_when_noise_free(self):
+        a_p, a_s = self._noisy_system()
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s, sigma_m=0.0)
+        assert m.rank == 2
+        assert m.residuals[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_truncates_weak_direction_under_noise(self):
+        a_p, a_s = self._noisy_system()
+        # with real measurement noise, inverting the 1e-6 direction would
+        # amplify noise by 1e6: better to eat the residual
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s, sigma_m=0.01)
+        assert m.rank == 1
+        assert m.row_norms[0] < 10.0
+
+    def test_explicit_rank(self):
+        a_p, a_s = self._noisy_system()
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s, rank=1)
+        assert m.rank == 1
+        with pytest.raises(ValueError):
+            LinearSignatureMap.from_sensitivities(a_p, a_s, rank=5)
+
+    def test_auto_rank_minimizes_total_error(self):
+        a_p, a_s = self._noisy_system()
+        sigma = 0.01
+        auto = LinearSignatureMap.from_sensitivities(a_p, a_s, sigma_m=sigma)
+        best = min(
+            LinearSignatureMap.from_sensitivities(a_p, a_s, rank=r)
+            .total_error_variances(sigma)
+            .mean()
+            for r in (1, 2)
+        )
+        assert auto.total_error_variances(sigma).mean() == pytest.approx(best)
+
+    def test_zero_matrix(self):
+        m = LinearSignatureMap.from_sensitivities(
+            np.ones((2, 3)), np.zeros((4, 3))
+        )
+        assert m.rank == 0
+        assert np.allclose(m.matrix, 0.0)
+        assert np.allclose(m.residuals, np.linalg.norm(np.ones((2, 3)), axis=1))
+
+
+class TestPredictDelta:
+    def test_batch_prediction(self):
+        rng = np.random.default_rng(1)
+        a_s = rng.normal(size=(6, 4))
+        a_p = rng.normal(size=(2, 4))
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s)
+        batch = rng.normal(size=(10, 6))
+        out = m.predict_delta(batch)
+        assert out.shape == (10, 2)
+        assert np.allclose(out[3], m.predict_delta(batch[3]))
+
+    def test_dimension_checks(self):
+        m = LinearSignatureMap.from_sensitivities(np.ones((2, 3)), np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            m.predict_delta(np.ones(4))
+        with pytest.raises(ValueError):
+            m.predict_delta(np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            m.predict_delta(np.ones((2, 2, 2)))
+
+
+class TestErrorVariances:
+    def test_equation_10_composition(self):
+        rng = np.random.default_rng(2)
+        a_s = rng.normal(size=(6, 4))
+        a_p = rng.normal(size=(3, 4))
+        m = LinearSignatureMap.from_sensitivities(a_p, a_s)
+        sigma = 0.05
+        var = m.total_error_variances(sigma)
+        assert np.allclose(var, m.residuals**2 + sigma**2 * m.row_norms**2)
+
+    def test_negative_sigma_rejected(self):
+        m = LinearSignatureMap.from_sensitivities(np.ones((1, 2)), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            m.total_error_variances(-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            LinearSignatureMap.from_sensitivities(np.ones((2, 3)), np.ones((4, 5)))

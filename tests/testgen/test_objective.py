@@ -1,0 +1,91 @@
+"""Tests for repro.testgen.objective (Equation 10)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectral import fft_magnitude_signature
+from repro.dsp.waveform import Waveform
+from repro.testgen.objective import (
+    prediction_error_variances,
+    signature_noise_std,
+    signature_test_objective,
+)
+
+
+class TestSignatureNoiseStd:
+    def test_formula(self):
+        assert signature_noise_std(1e-3, 100) == pytest.approx(
+            1e-3 * np.sqrt(2.0 / 100)
+        )
+
+    def test_monte_carlo_agreement(self):
+        # empirical per-bin noise std of the FFT-magnitude signature of a
+        # signal-plus-noise record matches the formula in signal bins
+        rng = np.random.default_rng(0)
+        n = 256
+        fs = 1e6
+        t = np.arange(n) / fs
+        clean = 0.5 * np.sin(2 * np.pi * 62.5e3 * t)  # bin 16, coherent
+        sigma = 5e-3
+        sigs = []
+        for _ in range(400):
+            rec = Waveform(clean + rng.normal(0, sigma, n), fs)
+            sigs.append(fft_magnitude_signature(rec))
+        sigs = np.array(sigs)
+        measured = sigs[:, 16].std()
+        assert measured == pytest.approx(signature_noise_std(sigma, n), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            signature_noise_std(-1.0, 10)
+        with pytest.raises(ValueError):
+            signature_noise_std(1.0, 0)
+
+
+class TestObjective:
+    def _system(self):
+        rng = np.random.default_rng(1)
+        a_s = rng.normal(size=(10, 4))
+        a_p = rng.normal(size=(3, 4))
+        return a_p, a_s
+
+    def test_mean_of_variances(self):
+        a_p, a_s = self._system()
+        var = prediction_error_variances(a_p, a_s, sigma_m=0.01)
+        assert signature_test_objective(a_p, a_s, 0.01) == pytest.approx(var.mean())
+
+    def test_zero_for_perfectly_explained_noise_free(self):
+        rng = np.random.default_rng(2)
+        a_s = rng.normal(size=(6, 4))
+        a_p = rng.normal(size=(3, 6)) @ a_s
+        assert signature_test_objective(a_p, a_s, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_noise_raises_objective(self):
+        a_p, a_s = self._system()
+        f0 = signature_test_objective(a_p, a_s, 0.0)
+        f1 = signature_test_objective(a_p, a_s, 0.1)
+        assert f1 > f0
+
+    def test_more_sensitive_signature_wins(self):
+        # scaling A_s up (stronger signature response per process sigma)
+        # lowers the noise term and therefore the objective
+        a_p, a_s = self._system()
+        weak = signature_test_objective(a_p, a_s, 0.05)
+        strong = signature_test_objective(a_p, 10.0 * a_s, 0.05)
+        assert strong < weak
+
+    def test_spec_scales(self):
+        a_p, a_s = self._system()
+        scaled = prediction_error_variances(
+            a_p, a_s, 0.01, spec_scales=[2.0, 1.0, 1.0]
+        )
+        unscaled = prediction_error_variances(a_p, a_s, 0.01)
+        # halving the first spec's scale divides its variance by ~4
+        assert scaled[0] == pytest.approx(unscaled[0] / 4.0, rel=0.5)
+
+    def test_spec_scales_validation(self):
+        a_p, a_s = self._system()
+        with pytest.raises(ValueError):
+            prediction_error_variances(a_p, a_s, 0.01, spec_scales=[1.0])
+        with pytest.raises(ValueError):
+            prediction_error_variances(a_p, a_s, 0.01, spec_scales=[1.0, -1.0, 1.0])

@@ -1,0 +1,68 @@
+"""Tests for repro.testgen.pwl (stimulus encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testgen.pwl import StimulusEncoding
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        enc = StimulusEncoding(n_breakpoints=8, duration=1e-6, v_limit=0.5)
+        gene = np.linspace(-0.4, 0.4, 8)
+        stim = enc.decode(gene)
+        assert np.allclose(enc.encode(stim), gene)
+
+    def test_decode_validates_length(self):
+        enc = StimulusEncoding(n_breakpoints=8, duration=1e-6)
+        with pytest.raises(ValueError):
+            enc.decode(np.zeros(9))
+
+    def test_encode_validates_breakpoints(self):
+        from repro.dsp.waveform import PiecewiseLinearStimulus
+
+        enc = StimulusEncoding(n_breakpoints=8, duration=1e-6)
+        other = PiecewiseLinearStimulus(np.zeros(4), 1e-6)
+        with pytest.raises(ValueError):
+            enc.encode(other)
+
+    def test_bounds(self):
+        enc = StimulusEncoding(n_breakpoints=4, duration=1e-6, v_limit=0.3)
+        lower, upper = enc.bounds()
+        assert np.all(lower == -0.3)
+        assert np.all(upper == 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StimulusEncoding(n_breakpoints=1, duration=1e-6)
+        with pytest.raises(ValueError):
+            StimulusEncoding(n_breakpoints=8, duration=0.0)
+
+
+class TestSeeds:
+    def test_all_seeds_within_limits(self):
+        enc = StimulusEncoding(n_breakpoints=16, duration=5e-6, v_limit=0.4)
+        seeds = enc.seed_genes(np.random.default_rng(0))
+        assert np.all(np.abs(seeds) <= 0.4 + 1e-12)
+        assert seeds.shape[1] == 16
+
+    def test_amplitude_ladder_present(self):
+        # the first generation must bracket the drive level: peak
+        # amplitudes of the seeds should span a wide range
+        enc = StimulusEncoding(n_breakpoints=16, duration=5e-6, v_limit=0.4)
+        seeds = enc.seed_genes(np.random.default_rng(1))
+        peaks = np.max(np.abs(seeds), axis=1)
+        assert peaks.min() < 0.35 * 0.4
+        assert peaks.max() > 0.8 * 0.4
+
+    @given(n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_gene_length_matches_encoding(self, n):
+        enc = StimulusEncoding(n_breakpoints=n, duration=1e-6, v_limit=1.0)
+        seeds = enc.seed_genes(np.random.default_rng(n))
+        assert seeds.shape[1] == n
+        for gene in seeds:
+            stim = enc.decode(gene)
+            assert stim.n_breakpoints == n

@@ -1,0 +1,92 @@
+"""Tests for repro.testgen.screening (parameter screening, Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.lna import LNA900, lna_parameter_space
+from repro.circuits.parameters import ParameterSpace, ProcessParameter
+from repro.testgen.screening import screen_parameters
+
+
+class TestSyntheticScreening:
+    def _space(self):
+        return ParameterSpace(
+            [
+                ProcessParameter("gain_db", 16.0, 0.10),
+                ProcessParameter("nf_db", 2.5, 0.10),
+                # a knob the device ignores completely
+                ProcessParameter("package_color", 1.0, 0.20),
+            ]
+        )
+
+    @staticmethod
+    def _factory(params):
+        return BehavioralAmplifier(900e6, params["gain_db"], params["nf_db"], 3.0)
+
+    def test_irrelevant_parameter_dropped(self):
+        reduced, report = screen_parameters(self._factory, self._space())
+        assert "package_color" in report.dropped
+        assert "gain_db" in report.kept
+        assert "package_color" not in reduced
+
+    def test_scores_ordered_sensibly(self):
+        _, report = screen_parameters(self._factory, self._space())
+        assert report.scores["gain_db"] > report.scores["package_color"]
+        assert report.scores["package_color"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ranking_descending(self):
+        _, report = screen_parameters(self._factory, self._space())
+        ranking = report.ranking()
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_summary_text(self):
+        _, report = screen_parameters(self._factory, self._space())
+        text = report.summary()
+        assert "package_color" in text
+        assert "drop" in text
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            screen_parameters(self._factory, self._space(), rel_threshold=1.0)
+
+    def test_all_dead_space_rejected(self):
+        space = ParameterSpace([ProcessParameter("package_color", 1.0, 0.2)])
+
+        def factory(params):
+            return BehavioralAmplifier(900e6, 16.0, 2.5, 3.0)
+
+        with pytest.raises(ValueError, match="no parameter"):
+            screen_parameters(factory, space)
+
+
+class TestLNAScreening:
+    def test_lna_keeps_the_paper_parameters(self):
+        # at a modest threshold the LNA keeps its bias/load/NF drivers
+        reduced, report = screen_parameters(
+            LNA900, lna_parameter_space(), rel_threshold=0.02
+        )
+        for name in ("r_load", "re", "r1", "r2", "rb", "ikf"):
+            assert name in report.kept, report.summary()
+
+    def test_vaf_near_the_bottom(self):
+        # the paper's "negligible impact" candidates: in our LNA the Early
+        # voltage barely moves anything
+        _, report = screen_parameters(LNA900, lna_parameter_space())
+        ranking = [name for name, _ in report.ranking()]
+        assert ranking.index("vaf") >= len(ranking) - 2
+
+    def test_curvature_keeps_the_tank_capacitor(self):
+        # the tank sits at resonance: d gain / d c_tank = 0 at nominal,
+        # but one sigma of detuning still costs gain through curvature.
+        # A linear screen would score c_tank ~ 0; ours must not.
+        _, report = screen_parameters(LNA900, lna_parameter_space())
+        assert report.scores["c_tank"] > 5.0 * report.scores["vaf"]
+
+    def test_aggressive_threshold_shrinks_space(self):
+        reduced, report = screen_parameters(
+            LNA900, lna_parameter_space(), rel_threshold=0.2
+        )
+        assert len(reduced) < 10
+        assert len(reduced) >= 3

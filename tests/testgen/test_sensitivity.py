@@ -1,0 +1,88 @@
+"""Tests for repro.testgen.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.parameters import ParameterSpace, uniform_percent
+from repro.testgen.sensitivity import (
+    finite_difference_jacobian,
+    performance_sensitivity,
+    signature_sensitivity,
+)
+
+
+def space2():
+    return ParameterSpace(
+        [uniform_percent("a", 2.0), uniform_percent("b", 10.0)]
+    )
+
+
+class TestFiniteDifference:
+    def test_linear_function_exact(self):
+        space = space2()
+
+        def f(params):
+            # linear in the *fractional* deviations
+            da = params["a"] / 2.0 - 1.0
+            db = params["b"] / 10.0 - 1.0
+            return np.array([3.0 * da + 1.0 * db, -2.0 * db])
+
+        jac, base = finite_difference_jacobian(f, space, rel_step=0.05)
+        assert np.allclose(jac, [[3.0, 1.0], [0.0, -2.0]], atol=1e-9)
+        assert np.allclose(base, 0.0)
+
+    def test_central_cancels_quadratic(self):
+        space = space2()
+
+        def f(params):
+            da = params["a"] / 2.0 - 1.0
+            return np.array([da + 10.0 * da**2])
+
+        fwd, _ = finite_difference_jacobian(f, space, rel_step=0.1, central=False)
+        ctr, _ = finite_difference_jacobian(f, space, rel_step=0.1, central=True)
+        assert abs(fwd[0, 0] - 1.0) > 0.5  # forward bias from curvature
+        assert ctr[0, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_shape(self):
+        space = space2()
+        jac, base = finite_difference_jacobian(
+            lambda p: np.arange(5.0), space, 0.05
+        )
+        assert jac.shape == (5, 2)
+        assert base.shape == (5,)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            finite_difference_jacobian(lambda p: np.zeros(1), space2(), 0.0)
+
+    def test_rejects_non_vector_output(self):
+        with pytest.raises(ValueError, match="1-D"):
+            finite_difference_jacobian(lambda p: np.zeros((2, 2)), space2(), 0.05)
+
+
+class TestDeviceSensitivities:
+    def test_performance_sensitivity_lna_signs(self):
+        from repro.circuits.lna import LNA900, lna_parameter_space
+
+        space = lna_parameter_space()
+        a_p, base = performance_sensitivity(LNA900, space)
+        assert a_p.shape == (3, len(space))
+        # gain rises with the load resistor
+        assert a_p[0, space.index_of("r_load")] > 0
+        # NF rises with base resistance, gain does not care
+        assert a_p[1, space.index_of("rb")] > 0
+        assert a_p[0, space.index_of("rb")] == pytest.approx(0.0, abs=1e-9)
+        # nominal specs returned as baseline
+        assert base[0] == pytest.approx(LNA900().gain_db())
+
+    def test_signature_sensitivity_wraps_jacobian(self):
+        space = space2()
+
+        def sig(params):
+            return np.array([params["a"], params["b"], params["a"] * params["b"]])
+
+        a_s, base = signature_sensitivity(sig, space, rel_step=0.01, central=True)
+        assert a_s.shape == (3, 2)
+        # d(a)/d(da) = nominal a = 2
+        assert a_s[0, 0] == pytest.approx(2.0, rel=1e-6)
+        assert a_s[1, 1] == pytest.approx(10.0, rel=1e-6)
