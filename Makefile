@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples all clean
+.PHONY: install test lint bench examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -19,7 +22,7 @@ examples:
 		$(PYTHON) $$f || exit 1; \
 	done
 
-all: test bench
+all: lint test bench
 
 clean:
 	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info

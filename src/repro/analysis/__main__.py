@@ -1,0 +1,17 @@
+"""``python -m repro.analysis`` entry point."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+__all__: list = []
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro.analysis ... | head`
+        # redirect stdout to devnull so the interpreter's exit flush
+        # does not raise a second time, then report SIGPIPE's code
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -1,0 +1,135 @@
+"""API-surface rules: every public name is declared, no wildcard imports.
+
+A production test library is consumed programmatically; its import
+surface is part of the contract.  Three rules keep that surface
+explicit:
+
+* ``api-missing-all`` -- every library module defines ``__all__``
+  (modules with nothing to export declare ``__all__ = []``).
+* ``api-undeclared-public`` -- every public (non-underscore) top-level
+  ``def`` / ``class`` appears in its module's ``__all__``; anything
+  intentionally internal gets a leading underscore instead.
+* ``api-star-import`` -- no ``from x import *``: wildcard imports defeat
+  both static analysis and the ``__all__`` contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+__all__ = [
+    "MissingAllRule",
+    "UndeclaredPublicRule",
+    "StarImportRule",
+    "API_RULES",
+]
+
+
+def _collect_all(tree: ast.Module) -> Optional[Set[str]]:
+    """Names declared in ``__all__``, or ``None`` if it is never assigned.
+
+    Handles plain assignment plus ``+=`` / ``.extend`` / ``.append``
+    growth, collecting every string literal involved.
+    """
+    names: Optional[Set[str]] = None
+    for stmt in tree.body:
+        target_names: List[ast.expr] = []
+        values: List[Optional[ast.expr]] = []
+        if isinstance(stmt, ast.Assign):
+            target_names = stmt.targets
+            values = [stmt.value]
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            target_names = [stmt.target]
+            values = [stmt.value]
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "__all__"
+                and func.attr in ("extend", "append")
+            ):
+                target_names = [func.value]
+                values = list(stmt.value.args)
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in target_names
+        ):
+            continue
+        if names is None:
+            names = set()
+        for value in values:
+            if value is None:
+                continue
+            for node in ast.walk(value):
+                if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                    names.add(node.value)
+    return names
+
+
+class MissingAllRule(Rule):
+    name = "api-missing-all"
+    description = "library module does not define __all__"
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if _collect_all(module.tree) is None:
+            yield Finding(
+                path=module.path,
+                line=1,
+                col=1,
+                rule=self.name,
+                message=(
+                    "module defines no __all__; declare its public surface "
+                    "(use `__all__ = []` for internal modules)"
+                ),
+            )
+
+
+class UndeclaredPublicRule(Rule):
+    name = "api-undeclared-public"
+    description = "public top-level def/class missing from __all__"
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        declared = _collect_all(module.tree)
+        if declared is None:
+            return  # api-missing-all already covers this module
+        for stmt in module.tree.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            if stmt.name not in declared:
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"public {kind} `{stmt.name}` is not in __all__; add it "
+                    "or rename it with a leading underscore",
+                )
+
+
+class StarImportRule(Rule):
+    name = "api-star-import"
+    description = "wildcard `from x import *`"
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == "*" for alias in node.names
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"wildcard import from `{node.module or '.'}`; import the "
+                    "needed names explicitly",
+                )
+
+
+API_RULES = (MissingAllRule(), UndeclaredPublicRule(), StarImportRule())

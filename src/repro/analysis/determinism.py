@@ -1,0 +1,204 @@
+"""Determinism rules: every Monte-Carlo path must be seed-reproducible.
+
+The calibration map ``A = A_p . A_s^+`` (paper Eq. 3) is fit from
+simulated device populations; if any link in that chain draws from an
+unseeded or global RNG, the map -- and every downstream spec prediction
+-- is irreproducible.  Three rules enforce the repo's RNG discipline:
+
+* ``determinism-unseeded-rng`` -- ``np.random.default_rng()`` with no
+  seed, except as the documented ``rng=None`` fallback idiom::
+
+      rng = rng if rng is not None else np.random.default_rng()
+
+      if rng is None:
+          rng = np.random.default_rng()
+
+  (the fallback keeps library APIs convenient in exploratory use while
+  every experiment / production path passes a seeded generator down).
+* ``determinism-legacy-np-random`` -- any use of the legacy global-state
+  API (``np.random.seed``, ``np.random.normal``, ``np.random.rand``,
+  ``np.random.RandomState``, ...).  Only the ``Generator`` API is
+  allowed; the global stream is cross-module shared state.
+* ``determinism-module-rng`` -- RNG construction at module level.  Even
+  a *seeded* module-level generator is hidden mutable state: its stream
+  position depends on import order and every prior caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+__all__ = [
+    "UnseededRngRule",
+    "LegacyNpRandomRule",
+    "ModuleLevelRngRule",
+    "DETERMINISM_RULES",
+]
+
+#: ``np.random`` attributes that are part of the modern, explicit API.
+ALLOWED_NP_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Constructors whose module-level use creates shared RNG state.
+RNG_CONSTRUCTORS = frozenset({"default_rng", "RandomState", "Generator"})
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute chain (``np.random.default_rng``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_np_random_chain(chain: Optional[str]) -> bool:
+    if chain is None:
+        return False
+    return chain.startswith("np.random.") or chain.startswith("numpy.random.")
+
+
+def _rng_callee_name(node: ast.Call) -> Optional[str]:
+    """Name of the RNG constructor being called, if any."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in RNG_CONSTRUCTORS:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in RNG_CONSTRUCTORS:
+        chain = _attr_chain(func)
+        if chain is None or _is_np_random_chain(chain) or "." not in chain:
+            return func.attr
+    return None
+
+
+def _build_parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _is_none_check(test: ast.AST) -> bool:
+    """True for ``X is None`` / ``X is not None`` comparisons."""
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+def _is_fallback_idiom(
+    call: ast.Call, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    """Is this unseeded call the documented ``rng=None`` fallback?"""
+    node: ast.AST = call
+    while node in parents:
+        parent = parents[node]
+        if isinstance(parent, ast.IfExp) and _is_none_check(parent.test):
+            return True
+        if isinstance(parent, ast.If) and _is_none_check(parent.test):
+            return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            return False
+        node = parent
+    return False
+
+
+class UnseededRngRule(Rule):
+    name = "determinism-unseeded-rng"
+    description = (
+        "np.random.default_rng() with no seed outside the documented "
+        "`rng=None` fallback idiom"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        parents = _build_parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _rng_callee_name(node) != "default_rng":
+                continue
+            if node.args or node.keywords:
+                continue
+            if _is_fallback_idiom(node, parents):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "unseeded np.random.default_rng(); pass a seed (or thread an "
+                "rng parameter with the `rng if rng is not None else "
+                "default_rng()` fallback) so the run is reproducible",
+            )
+
+
+class LegacyNpRandomRule(Rule):
+    name = "determinism-legacy-np-random"
+    description = (
+        "legacy global-state np.random.<name> API (seed/rand/normal/...); "
+        "use np.random.default_rng() generators"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = _attr_chain(node)
+            if not _is_np_random_chain(chain):
+                continue
+            leaf = chain.split(".")[-1]
+            if leaf in ALLOWED_NP_RANDOM_ATTRS:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"legacy global-state RNG `{chain}`; use an explicit "
+                "np.random.Generator (np.random.default_rng(seed)) instead",
+            )
+
+
+class ModuleLevelRngRule(Rule):
+    name = "determinism-module-rng"
+    description = (
+        "RNG constructed at module level (shared mutable stream state, "
+        "even when seeded)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            for node in ast.walk(value):
+                if isinstance(node, ast.Call) and _rng_callee_name(node) is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "module-level RNG state; construct generators inside "
+                        "the function or class that uses them and thread "
+                        "seeds explicitly",
+                    )
+
+
+DETERMINISM_RULES = (UnseededRngRule(), LegacyNpRandomRule(), ModuleLevelRngRule())

@@ -1,0 +1,162 @@
+"""Numerical-hygiene rules for library code.
+
+Signature prediction is a numerical pipeline end to end (filters, SVD,
+regression); three habits that corrupt such pipelines quietly are banned
+from library code (tests are exempt -- ``library_only``):
+
+* ``numerics-inplace-param`` -- writing into an ndarray *parameter*
+  (``x[i] = ...``, ``x += ...``).  Callers hand the framework their
+  signature matrices; mutating them in place turns a pure measurement
+  function into an aliasing hazard.  Copy first (``x = x.copy()`` /
+  ``np.asarray(x, dtype=float)``) or return a new array.
+* ``numerics-float-equality`` -- ``==`` / ``!=`` against a non-zero
+  float literal.  Comparing against exactly-representable ``0.0`` is the
+  accepted sentinel idiom; anything else needs ``math.isclose`` /
+  ``np.isclose`` or an explicit tolerance.
+* ``numerics-bare-assert`` -- ``assert`` in library code.  Asserts
+  vanish under ``python -O``, so a production flow run with
+  optimizations keeps going past the violated invariant; raise
+  ``ValueError`` / ``RuntimeError`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+__all__ = [
+    "InplaceParamRule",
+    "FloatEqualityRule",
+    "BareAssertRule",
+    "NUMERICS_RULES",
+]
+
+
+def _ndarray_params(func: ast.AST) -> Set[str]:
+    """Parameter names annotated as (containing) ``ndarray``."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is None:
+            continue
+        try:
+            annotation = ast.unparse(arg.annotation)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            continue
+        if "ndarray" in annotation or "NDArray" in annotation:
+            names.add(arg.arg)
+    return names
+
+
+def _rebound_names(func: ast.AST) -> Set[str]:
+    """Names rebound by a plain assignment anywhere in the function body.
+
+    ``x = np.asarray(x, dtype=float)`` (or ``x = x.copy()``) detaches the
+    local from the caller's array, so later writes through ``x`` are
+    safe; such parameters are excluded from the in-place check.
+    """
+    rebound: Set[str] = set()
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    rebound.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                rebound.add(stmt.target.id)
+    return rebound
+
+
+class InplaceParamRule(Rule):
+    name = "numerics-inplace-param"
+    description = (
+        "in-place mutation of an ndarray parameter (subscript assignment "
+        "or augmented assignment)"
+    )
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracked = _ndarray_params(func) - _rebound_names(func)
+            if not tracked:
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign,)):
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    written = target
+                    if isinstance(written, ast.Subscript):
+                        written = written.value
+                    elif isinstance(node, ast.Assign):
+                        continue  # plain rebind, not a mutation
+                    if isinstance(written, ast.Name) and written.id in tracked:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"mutates ndarray parameter `{written.id}` in "
+                            "place; copy it first (np.asarray(...).copy()) "
+                            "or return a new array",
+                        )
+
+
+class FloatEqualityRule(Rule):
+    name = "numerics-float-equality"
+    description = (
+        "== / != comparison against a non-zero float literal; use "
+        "math.isclose / np.isclose or an explicit tolerance"
+    )
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                        and side.value != 0.0
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"exact equality against float literal "
+                            f"{side.value!r}; use math.isclose/np.isclose or "
+                            "compare against a tolerance (== 0.0 sentinel "
+                            "checks are allowed)",
+                        )
+                        break
+
+
+class BareAssertRule(Rule):
+    name = "numerics-bare-assert"
+    description = (
+        "assert statement in library code (stripped under python -O); "
+        "raise ValueError/RuntimeError instead"
+    )
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    module,
+                    node,
+                    "assert in library code is stripped under `python -O`; "
+                    "raise an explicit exception for runtime invariants",
+                )
+
+
+NUMERICS_RULES = (InplaceParamRule(), FloatEqualityRule(), BareAssertRule())

@@ -1,0 +1,220 @@
+"""Unit-domain rules: keep dB and linear quantities from silently mixing.
+
+Every spec the paper predicts (gain, NF, IIP3; Eqs. 6-10) lives in the
+log domain, while waveform samples, voltage gains, and noise factors are
+linear.  Adding a dB quantity to a linear one -- or spelling a domain
+crossing as raw ``10*log10`` arithmetic instead of a named converter --
+produces numbers that look plausible and are silently wrong.  Two rules
+guard against that:
+
+* ``units-inline-db-conversion`` -- inline ``10*log10(x)`` /
+  ``20*log10(x)`` / ``10**(x/10)`` / ``10**(x/20)`` arithmetic anywhere
+  except the designated converter module :mod:`repro.dsp.units`.
+* ``units-mixed-domain`` -- ``+``/``-`` between an operand whose name
+  marks it as dB-domain (``gain_db``, ``iip3_dbm``, ...) and one whose
+  name marks it as linear-domain (``vout_vrms``, ``noise_watts``, ...),
+  and ``*``/``/`` between two dB-domain operands (dB quantities add;
+  their product is meaningless).
+
+Domain classification is by naming convention: identifiers are split on
+underscores, a ``db``/``dbm`` token marks the dB domain, and tokens like
+``vrms``/``watts``/``vpeak`` mark the linear domain.  Converter calls
+are classified by what they return (``undb(gain_db)`` is linear), and a
+``<src>_to_<dst>`` function name is classified by its destination
+(``vpeak_to_dbm(...)`` is dB).  Names matching neither convention are
+neutral and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+__all__ = ["InlineDbConversionRule", "MixedDomainRule", "UNITS_RULES"]
+
+#: Module(s) where raw dB arithmetic is the whole point.
+DESIGNATED_CONVERSION_MODULES: Tuple[str, ...] = (
+    os.path.join("repro", "dsp", "units.py"),
+)
+
+#: Name tokens marking a quantity as log-domain.
+DB_TOKENS = frozenset({"db", "dbm", "dbc", "dbv"})
+
+#: Name tokens marking a quantity as linear-domain.
+LINEAR_TOKENS = frozenset(
+    {
+        "vpeak",
+        "vrms",
+        "vpp",
+        "volts",
+        "volt",
+        "vout",
+        "vin",
+        "watts",
+        "milliwatts",
+        "amplitude",
+        "amplitudes",
+        "linear",
+        "ratio",
+        "factor",
+    }
+)
+
+#: Converter functions and the domain of their *return value*.
+CONVERTER_RETURNS = {
+    "db": "db",
+    "db20": "db",
+    "undb": "linear",
+    "undb20": "linear",
+}
+
+_LOG_FACTORS = (10, 10.0, 20, 20.0)
+
+
+def _is_log10_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "log10"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "log10"
+    return False
+
+
+def _is_const(node: ast.AST, values: Tuple[float, ...]) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value in values
+    )
+
+
+class InlineDbConversionRule(Rule):
+    name = "units-inline-db-conversion"
+    description = (
+        "inline 10*log10 / 10**(x/10) dB arithmetic outside repro.dsp.units; "
+        "use db()/undb()/db20()/undb20()/watts_to_dbm()/dbm_to_watts()"
+    )
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        normalized = os.path.normpath(module.path)
+        if any(normalized.endswith(m) for m in DESIGNATED_CONVERSION_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Mult):
+                pairs = ((node.left, node.right), (node.right, node.left))
+                for factor, other in pairs:
+                    if _is_const(factor, _LOG_FACTORS) and _is_log10_call(other):
+                        kind = "db20()" if factor.value in (20, 20.0) else "db()"
+                        yield self.finding(
+                            module,
+                            node,
+                            f"inline linear->dB conversion "
+                            f"`{factor.value:g}*log10(...)`; use "
+                            f"repro.dsp.units.{kind}",
+                        )
+                        break
+            elif isinstance(node.op, ast.Pow):
+                if not _is_const(node.left, (10, 10.0)):
+                    continue
+                exponent = node.right
+                if isinstance(exponent, ast.BinOp) and isinstance(exponent.op, ast.Div):
+                    if _is_const(exponent.right, _LOG_FACTORS):
+                        denom = exponent.right.value
+                        kind = "undb20()" if denom in (20, 20.0) else "undb()"
+                        yield self.finding(
+                            module,
+                            node,
+                            f"inline dB->linear conversion `10**(x/{denom:g})`; "
+                            f"use repro.dsp.units.{kind}",
+                        )
+
+
+def _tokens_of(name: str) -> Tuple[str, ...]:
+    return tuple(t for t in name.lower().split("_") if t)
+
+
+def _domain_of_name(name: str) -> Optional[str]:
+    """Domain implied by an identifier, honoring ``<src>_to_<dst>`` names."""
+    tokens = _tokens_of(name)
+    if "to" in tokens:
+        # a converter-style name describes its destination domain
+        last_to = len(tokens) - 1 - tokens[::-1].index("to")
+        tokens = tokens[last_to + 1:]
+    if any(t in DB_TOKENS for t in tokens):
+        return "db"
+    if any(t in LINEAR_TOKENS for t in tokens):
+        return "linear"
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _domain_of(node: ast.AST) -> Optional[str]:
+    """Best-effort unit domain of an expression, or ``None`` if unknown."""
+    if isinstance(node, ast.Name):
+        return _domain_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return _domain_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name is None:
+            return None
+        if name in CONVERTER_RETURNS:
+            return CONVERTER_RETURNS[name]
+        return _domain_of_name(name)
+    if isinstance(node, ast.UnaryOp):
+        return _domain_of(node.operand)
+    if isinstance(node, ast.Subscript):
+        return _domain_of(node.value)
+    return None
+
+
+class MixedDomainRule(Rule):
+    name = "units-mixed-domain"
+    description = (
+        "arithmetic mixing dB-named and linear-named operands without a "
+        "db()/undb() conversion in between"
+    )
+    library_only = True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            left, right = _domain_of(node.left), _domain_of(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                if {left, right} == {"db", "linear"}:
+                    yield self.finding(
+                        module,
+                        node,
+                        "adds/subtracts a dB-domain operand and a linear-domain "
+                        "operand; convert one side with repro.dsp.units "
+                        "(db/undb/db20/undb20) first",
+                    )
+            elif isinstance(node.op, (ast.Mult, ast.Div)):
+                if left == "db" and right == "db":
+                    yield self.finding(
+                        module,
+                        node,
+                        "multiplies/divides two dB-domain operands; dB "
+                        "quantities compose by addition -- convert to linear "
+                        "with repro.dsp.units.undb()/undb20() first",
+                    )
+
+
+UNITS_RULES = (InlineDbConversionRule(), MixedDomainRule())

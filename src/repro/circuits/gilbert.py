@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.circuits.bjt import THERMAL_VOLTAGE, BJTParameters
 from repro.circuits.device import RFDevice, SpecSet
+from repro.dsp.units import db20
 from repro.circuits.noisefig import factor_to_nf_db
 from repro.circuits.nonlinear import PolynomialNonlinearity, poly_from_specs
 from repro.circuits.parameters import ParameterSpace, uniform_percent
@@ -146,7 +147,7 @@ class GilbertCellMixer(RFDevice):
         """SSB voltage conversion gain, dB."""
         g_m = self._gm / (1.0 + self.loop_gain)
         av = (2.0 / math.pi) * g_m * self.process["r_load"]
-        return 20.0 * math.log10(av)
+        return db20(av)
 
     def nf_db(self) -> float:
         """SSB noise figure, dB."""

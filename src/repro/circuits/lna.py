@@ -46,6 +46,7 @@ from repro.circuits.device import RFDevice, SpecSet
 from repro.circuits.noisefig import factor_to_nf_db
 from repro.circuits.parameters import ParameterSpace, uniform_percent
 from repro.dsp.sources import vpeak_to_dbm
+from repro.dsp.units import db20
 from repro.dsp.waveform import Waveform
 
 __all__ = ["LNADesign", "LNA900", "lna_parameter_space"]
@@ -174,7 +175,7 @@ class LNA900(RFDevice):
     # ------------------------------------------------------------------
     def gain_db(self, frequency: Optional[float] = None) -> float:
         """Power gain at ``frequency`` (matched 50-ohm convention)."""
-        return 20.0 * math.log10(self.voltage_gain(frequency))
+        return db20(self.voltage_gain(frequency))
 
     def nf_db(self) -> float:
         """Noise figure at the design frequency."""

@@ -19,6 +19,7 @@ import math
 from typing import Sequence, Tuple
 
 from repro.dsp.noise import BOLTZMANN, ROOM_TEMPERATURE_K
+from repro.dsp.units import db, undb
 
 __all__ = [
     "nf_db_to_factor",
@@ -36,14 +37,14 @@ _REFERENCE_IMPEDANCE = 50.0
 
 def nf_db_to_factor(nf_db: float) -> float:
     """Noise figure (dB) to noise factor F (linear)."""
-    return 10.0 ** (nf_db / 10.0)
+    return undb(nf_db)
 
 
 def factor_to_nf_db(factor: float) -> float:
     """Noise factor F (linear) to noise figure (dB)."""
     if factor < 1.0:
         raise ValueError(f"noise factor must be >= 1, got {factor}")
-    return 10.0 * math.log10(factor)
+    return db(factor)
 
 
 def friis_cascade_nf_db(stages: Sequence[Tuple[float, float]]) -> float:
@@ -68,13 +69,13 @@ def friis_cascade_nf_db(stages: Sequence[Tuple[float, float]]) -> float:
             total_f = f
         else:
             total_f += (f - 1.0) / cumulative_gain
-        cumulative_gain *= 10.0 ** (gain_db / 10.0)
+        cumulative_gain *= undb(gain_db)
     return factor_to_nf_db(total_f)
 
 
 def enr_db_to_ratio(enr_db: float) -> float:
     """Excess-noise ratio of a noise source, dB to linear."""
-    return 10.0 ** (enr_db / 10.0)
+    return undb(enr_db)
 
 
 def y_factor_nf_db(y: float, enr_db: float) -> float:
@@ -107,7 +108,7 @@ def output_noise_vrms(
     if bandwidth_hz < 0:
         raise ValueError("bandwidth must be non-negative")
     f = nf_db_to_factor(nf_db)
-    g = 10.0 ** (gain_db / 10.0)
+    g = undb(gain_db)
     power = f * g * BOLTZMANN * temperature_k * bandwidth_hz
     return math.sqrt(power * impedance)
 
@@ -130,7 +131,7 @@ def added_output_noise_vrms(
     if bandwidth_hz < 0:
         raise ValueError("bandwidth must be non-negative")
     f = nf_db_to_factor(nf_db)
-    g = 10.0 ** (gain_db / 10.0)
+    g = undb(gain_db)
     power = (f - 1.0) * g * BOLTZMANN * temperature_k * bandwidth_hz
     return math.sqrt(max(power, 0.0) * impedance)
 

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.dsp.sources import dbm_to_vpeak, vpeak_to_dbm
+from repro.dsp.units import db20, undb20
 from repro.dsp.waveform import Waveform
 
 __all__ = [
@@ -63,7 +64,7 @@ def poly_from_specs(
     -------
     ``(a1, a2, a3)`` with ``a3 <= 0`` (compressive).
     """
-    a1 = 10.0 ** (gain_db / 20.0)
+    a1 = undb20(gain_db)
     v_ip3 = dbm_to_vpeak(iip3_dbm)
     a3 = -(4.0 / 3.0) * a1 / (v_ip3**2)
     if iip2_dbm is None:
@@ -108,7 +109,7 @@ def gain_compression_db(a1: float, a3: float, amplitude: float) -> float:
     effective = a1 + 0.75 * a3 * amplitude**2
     if effective <= 0.0:
         return -math.inf
-    return 20.0 * math.log10(effective / a1)
+    return db20(effective / a1)
 
 
 @dataclass(frozen=True)
@@ -152,7 +153,7 @@ class PolynomialNonlinearity:
         """Small-signal power gain in dB (matched convention)."""
         if self.a1 <= 0.0:
             raise ValueError("a1 must be positive for a gain in dB")
-        return 20.0 * math.log10(self.a1)
+        return db20(self.a1)
 
     def iip3_dbm(self) -> float:
         """Input IP3 implied by the coefficients."""

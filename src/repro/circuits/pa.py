@@ -22,6 +22,7 @@ from repro.circuits.nonlinear import (
     poly_from_specs,
 )
 from repro.dsp.sources import dbm_to_vpeak
+from repro.dsp.units import watts_to_dbm
 from repro.dsp.waveform import Waveform
 
 __all__ = ["PowerAmplifier"]
@@ -82,7 +83,7 @@ class PowerAmplifier(RFDevice):
         if sat_out <= 0:
             return -math.inf
         watts = sat_out**2 / (2.0 * 50.0)
-        return 10.0 * math.log10(watts) + 30.0
+        return watts_to_dbm(watts)
 
     def specs(self) -> SpecSet:
         return SpecSet(

@@ -86,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the (slow) hardware experiment",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run signature-lint (domain-aware static analysis) over the tree",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+
     return parser
 
 
@@ -244,6 +253,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args.paths, fmt=args.format)
+
+
 _COMMANDS = {
     "sim": _cmd_sim,
     "hardware": _cmd_hardware,
@@ -251,6 +266,7 @@ _COMMANDS = {
     "economics": _cmd_economics,
     "program": _cmd_program,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

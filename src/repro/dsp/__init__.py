@@ -9,6 +9,9 @@ instruments and experiments are built from:
   application.
 * :mod:`repro.dsp.mixer` -- behavioral RF mixer with harmonic cross products.
 * :mod:`repro.dsp.spectral` -- windows, spectra and FFT-magnitude signatures.
+* :mod:`repro.dsp.units` -- the designated dB <-> linear conversion
+  helpers (all log-domain arithmetic lives here; enforced by
+  :mod:`repro.analysis.units`).
 * :mod:`repro.dsp.noise` -- additive noise, quantization and jitter models.
 * :mod:`repro.dsp.passband` -- brute-force passband simulator used to
   cross-validate the fast envelope engine in
@@ -43,6 +46,14 @@ from repro.dsp.noise import (
     quantize,
     sample_jitter,
 )
+from repro.dsp.units import (
+    db,
+    undb,
+    db20,
+    undb20,
+    watts_to_dbm,
+    dbm_to_watts,
+)
 
 __all__ = [
     "Waveform",
@@ -67,4 +78,10 @@ __all__ = [
     "add_awgn",
     "quantize",
     "sample_jitter",
+    "db",
+    "undb",
+    "db20",
+    "undb20",
+    "watts_to_dbm",
+    "dbm_to_watts",
 ]

@@ -21,9 +21,15 @@ import numpy as np
 
 from repro.circuits.device import RFDevice
 from repro.dsp.filters import ButterworthLowpass
+from repro.dsp.units import undb20
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 
-__all__ = ["bandpass_mask", "passband_capture"]
+__all__ = [
+    "bandpass_mask",
+    "lowpass_mask",
+    "envelope_one_pole",
+    "passband_capture",
+]
 
 
 def bandpass_mask(wf: Waveform, f_center: float, half_width: float) -> Waveform:
@@ -132,7 +138,7 @@ def passband_capture(
 
     if cfg.input_loss_db > 0.0:
         upconverted = Waveform(
-            upconverted.samples * 10.0 ** (-cfg.input_loss_db / 20.0),
+            upconverted.samples * undb20(-cfg.input_loss_db),
             passband_rate,
         )
 
@@ -157,7 +163,7 @@ def passband_capture(
             )
     if cfg.output_loss_db > 0.0:
         dut_out = Waveform(
-            dut_out.samples * 10.0 ** (-cfg.output_loss_db / 20.0), passband_rate
+            dut_out.samples * undb20(-cfg.output_loss_db), passband_rate
         )
 
     phase = cfg.path_phase_rad

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dsp.units import dbm_to_watts, watts_to_dbm
 from repro.dsp.waveform import REFERENCE_IMPEDANCE, Waveform
 
 __all__ = [
@@ -34,7 +35,7 @@ def dbm_to_vpeak(power_dbm: float, impedance: float = REFERENCE_IMPEDANCE) -> fl
     For a sine of peak amplitude ``A`` into ``R`` ohms the mean power is
     ``A^2 / (2 R)``; this inverts that relation.
     """
-    watts = 10.0 ** ((power_dbm - 30.0) / 10.0)
+    watts = dbm_to_watts(power_dbm)
     return math.sqrt(2.0 * watts * impedance)
 
 
@@ -43,7 +44,7 @@ def vpeak_to_dbm(v_peak: float, impedance: float = REFERENCE_IMPEDANCE) -> float
     if v_peak <= 0:
         return -math.inf
     watts = v_peak**2 / (2.0 * impedance)
-    return 10.0 * math.log10(watts) + 30.0
+    return watts_to_dbm(watts)
 
 
 def _n_samples(duration: float, sample_rate: float) -> int:

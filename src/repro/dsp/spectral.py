@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dsp.units import db20, watts_to_dbm
 from repro.dsp.waveform import Waveform
 
 __all__ = [
@@ -106,7 +107,7 @@ class Spectrum:
         if a <= 0.0:
             return -math.inf
         watts = a**2 / (2.0 * impedance)
-        return 10.0 * math.log10(watts) + 30.0
+        return watts_to_dbm(watts)
 
     def noise_floor(self, exclude_bins: int = 0) -> float:
         """Median bin amplitude, a robust noise-floor estimate.
@@ -171,7 +172,7 @@ def fft_magnitude_signature(
             raise ValueError("n_bins must be >= 1")
         mags = mags[:n_bins]
     if log_scale:
-        return 20.0 * np.log10(mags + floor)
+        return db20(mags + floor)
     return mags.copy()
 
 

@@ -17,6 +17,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.dsp.units import watts_to_dbm
+
 __all__ = ["Waveform", "PiecewiseLinearStimulus"]
 
 #: Reference impedance (ohms) used for all power <-> voltage conversions.
@@ -139,7 +141,7 @@ class Waveform:
         watts = self.mean_power_watts(impedance)
         if watts <= 0.0:
             return -math.inf
-        return 10.0 * math.log10(watts) + 30.0
+        return watts_to_dbm(watts)
 
     def energy(self) -> float:
         """Sum of squared samples times dt (volt^2 * seconds)."""

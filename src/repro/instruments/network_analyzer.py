@@ -17,6 +17,7 @@ import numpy as np
 from repro.circuits.device import RFDevice
 from repro.dsp.sources import dbm_to_vpeak, tone
 from repro.dsp.spectral import tone_amplitude
+from repro.dsp.units import db20
 
 __all__ = ["GainAnalyzer"]
 
@@ -72,7 +73,7 @@ class GainAnalyzer:
         # a mixer DUT translates the tone to its IF; amplifiers leave it at f
         f_out = getattr(device, "if_frequency", f)
         out_amplitude = tone_amplitude(response, f_out)
-        gain_db = 20.0 * np.log10(out_amplitude / amplitude)
+        gain_db = db20(out_amplitude / amplitude)
         if rng is not None and self.repeatability_db > 0.0:
             gain_db += rng.normal(0.0, self.repeatability_db)
         return float(gain_db)

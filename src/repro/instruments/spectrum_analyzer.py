@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuits.device import RFDevice
 from repro.dsp.sources import dbm_to_vpeak, tone, two_tone
 from repro.dsp.spectral import amplitude_spectrum
+from repro.dsp.units import db20
 
 __all__ = ["TwoToneIP3Result", "SpectrumAnalyzer"]
 
@@ -148,7 +149,7 @@ class SpectrumAnalyzer:
             stimulus = tone(f, duration, sample_rate, amplitude=amplitude)
             response = device.process_rf(stimulus, rng)
             spec = amplitude_spectrum(response, window_kind="flattop")
-            gains[i] = 20.0 * np.log10(spec.amplitude_at(f, search_bins=2) / amplitude)
+            gains[i] = db20(spec.amplitude_at(f, search_bins=2) / amplitude)
         small_signal = gains[0]
         drop = small_signal - gains
         above = np.nonzero(drop >= 1.0)[0]

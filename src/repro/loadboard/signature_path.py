@@ -27,6 +27,7 @@ from repro.dsp.filters import ButterworthLowpass
 from repro.dsp.mixer import Mixer
 from repro.dsp.sources import dbm_to_vpeak
 from repro.dsp.spectral import fft_magnitude_signature
+from repro.dsp.units import undb20
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 from repro.instruments.digitizer import BasebandDigitizer
 from repro.loadboard.envelope import EnvelopeSignal
@@ -63,7 +64,8 @@ def mix_envelope(
     for (m, n), c in mixer.harmonics.coeffs.items():
         term = rf_pows[m].multiply(lo_pows[n], max_harmonic).scale(c)
         out = term if out is None else out + term
-    assert out is not None  # coeffs table is never empty
+    if out is None:
+        raise ValueError("mixer harmonics table is empty; nothing to mix")
     return out.scale(mixer.conversion_gain)
 
 
@@ -202,7 +204,7 @@ class SignatureTestBoard:
         )
         upconverted = mix_envelope(cfg.mixer1, rf_in, lo1, cfg.max_harmonic)
         if cfg.input_loss_db > 0.0:
-            upconverted = upconverted.scale(10.0 ** (-cfg.input_loss_db / 20.0))
+            upconverted = upconverted.scale(undb20(-cfg.input_loss_db))
 
         from repro.circuits.nonlinear import PolynomialNonlinearity
 
@@ -245,7 +247,7 @@ class SignatureTestBoard:
             dut_out = dut_out.filter_harmonic(1, env_bw)
 
         if cfg.output_loss_db > 0.0:
-            dut_out = dut_out.scale(10.0 ** (-cfg.output_loss_db / 20.0))
+            dut_out = dut_out.scale(undb20(-cfg.output_loss_db))
 
         if cfg.include_device_noise and rng is not None:
             dut_out = self._add_device_noise(dut_out, device, rng)

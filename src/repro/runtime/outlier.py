@@ -92,7 +92,8 @@ class SignatureOutlierScreen:
         return self
 
     def _raw_scores(self, signatures: np.ndarray):
-        assert self._pca is not None
+        if self._pca is None:
+            raise RuntimeError("screen is not fitted; call fit() first")
         z = self._pca.transform(signatures)
         var = np.maximum(self._pca.explained_variance_, 1e-300)
         maha = np.sqrt(np.sum(z**2 / var, axis=1))

@@ -1,0 +1,66 @@
+"""Fixture tests for the API-surface rules (__all__ discipline)."""
+
+import textwrap
+
+from repro.analysis.api import MissingAllRule, StarImportRule, UndeclaredPublicRule
+from repro.analysis.engine import analyze_source
+
+
+def lint(source, rule, path="repro/somewhere.py"):
+    return analyze_source(textwrap.dedent(source), path, [rule])
+
+
+class TestMissingAll:
+    def test_flags_module_without_all(self):
+        findings = lint("def f():\n    return 1\n", MissingAllRule())
+        assert len(findings) == 1
+        assert "__all__" in findings[0].message
+
+    def test_empty_all_satisfies(self):
+        assert lint("__all__ = []\n", MissingAllRule()) == []
+
+    def test_annotated_all_satisfies(self):
+        assert lint("__all__: list = []\n", MissingAllRule()) == []
+
+    def test_test_files_exempt(self):
+        assert lint("def f():\n    return 1\n", MissingAllRule(),
+                    path="tests/test_f.py") == []
+
+
+class TestUndeclaredPublic:
+    def test_flags_public_function_not_in_all(self):
+        src = '__all__ = ["f"]\n\ndef f():\n    pass\n\ndef g():\n    pass\n'
+        findings = lint(src, UndeclaredPublicRule())
+        assert len(findings) == 1
+        assert "`g`" in findings[0].message
+
+    def test_flags_public_class_not_in_all(self):
+        src = "__all__ = []\n\nclass Thing:\n    pass\n"
+        findings = lint(src, UndeclaredPublicRule())
+        assert len(findings) == 1
+        assert "class" in findings[0].message
+
+    def test_private_names_exempt(self):
+        src = "__all__ = []\n\ndef _helper():\n    pass\n\nclass _Impl:\n    pass\n"
+        assert lint(src, UndeclaredPublicRule()) == []
+
+    def test_nested_defs_exempt(self):
+        src = '__all__ = ["f"]\n\ndef f():\n    def inner():\n        pass\n'
+        assert lint(src, UndeclaredPublicRule()) == []
+
+    def test_all_growth_via_extend_counted(self):
+        src = '__all__ = ["f"]\n__all__.extend(["g"])\n\ndef f():\n    pass\n\ndef g():\n    pass\n'
+        assert lint(src, UndeclaredPublicRule()) == []
+
+    def test_module_without_all_left_to_missing_all_rule(self):
+        assert lint("def f():\n    pass\n", UndeclaredPublicRule()) == []
+
+
+class TestStarImport:
+    def test_flags_star_import(self):
+        findings = lint("from numpy import *\n", StarImportRule())
+        assert len(findings) == 1
+        assert "wildcard" in findings[0].message
+
+    def test_explicit_imports_allowed(self):
+        assert lint("from numpy import array, zeros\n", StarImportRule()) == []

@@ -1,0 +1,129 @@
+"""Fixture tests for the determinism (RNG discipline) rules."""
+
+import textwrap
+
+from repro.analysis.determinism import (
+    LegacyNpRandomRule,
+    ModuleLevelRngRule,
+    UnseededRngRule,
+)
+from repro.analysis.engine import analyze_source
+
+
+def lint(source, rule, path="repro/somewhere.py"):
+    return analyze_source(textwrap.dedent(source), path, [rule])
+
+
+class TestUnseededRng:
+    def test_flags_bare_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng()
+                return rng.normal()
+            """,
+            UnseededRngRule(),
+        )
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+    def test_seeded_default_rng_allowed(self):
+        src = "import numpy as np\nrngf = lambda: np.random.default_rng(42)\n"
+        assert lint(src, UnseededRngRule()) == []
+
+    def test_ifexp_fallback_idiom_allowed(self):
+        src = """
+            import numpy as np
+
+            def measure(rng=None):
+                rng = rng if rng is not None else np.random.default_rng()
+                return rng.normal()
+            """
+        assert lint(src, UnseededRngRule()) == []
+
+    def test_statement_fallback_idiom_allowed(self):
+        src = """
+            import numpy as np
+
+            def measure(rng=None):
+                if rng is None:
+                    rng = np.random.default_rng()
+                return rng.normal()
+            """
+        assert lint(src, UnseededRngRule()) == []
+
+    def test_bare_name_import_also_flagged(self):
+        src = """
+            from numpy.random import default_rng
+
+            def sample():
+                return default_rng().normal()
+            """
+        assert len(lint(src, UnseededRngRule())) == 1
+
+    def test_suppression_comment_silences(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng()  "
+            "# repro-lint: disable=determinism-unseeded-rng\n"
+        )
+        assert lint(src, UnseededRngRule()) == []
+
+
+class TestLegacyNpRandom:
+    def test_flags_global_seed_and_draws(self):
+        src = """
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.normal(size=3)
+            y = np.random.rand()
+            """
+        findings = lint(src, LegacyNpRandomRule())
+        assert len(findings) == 3
+        assert all("legacy" in f.message for f in findings)
+
+    def test_flags_random_state(self):
+        assert len(lint(
+            "import numpy as np\nr = np.random.RandomState(7)\n", LegacyNpRandomRule()
+        )) == 1
+
+    def test_generator_api_allowed(self):
+        src = """
+            import numpy as np
+
+            def f(rng: np.random.Generator) -> float:
+                return float(rng.normal())
+
+            def make(seed: int) -> np.random.Generator:
+                return np.random.default_rng(np.random.SeedSequence(seed))
+            """
+        assert lint(src, LegacyNpRandomRule()) == []
+
+    def test_full_numpy_module_path_flagged(self):
+        assert len(lint(
+            "import numpy\nx = numpy.random.uniform()\n", LegacyNpRandomRule()
+        )) == 1
+
+
+class TestModuleLevelRng:
+    def test_flags_module_level_generator_even_when_seeded(self):
+        src = "import numpy as np\nRNG = np.random.default_rng(2002)\n"
+        findings = lint(src, ModuleLevelRngRule())
+        assert len(findings) == 1
+        assert "module-level" in findings[0].message
+
+    def test_function_local_generator_allowed(self):
+        src = """
+            import numpy as np
+
+            def run(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+            """
+        assert lint(src, ModuleLevelRngRule()) == []
+
+    def test_module_level_non_rng_assignment_allowed(self):
+        assert lint("import math\nTWO_PI = 2.0 * math.pi\n", ModuleLevelRngRule()) == []

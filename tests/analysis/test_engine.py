@@ -1,0 +1,109 @@
+"""Tests for the signature-lint engine: suppression, walkers, findings."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import default_rules
+from repro.analysis.engine import (
+    Finding,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.analysis.numerics import BareAssertRule
+
+
+def lint(source, rules, path="lib/module.py"):
+    return analyze_source(textwrap.dedent(source), path, rules)
+
+
+class TestSuppressions:
+    def test_parse_single_rule(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=rule-a\n")
+        assert sup == {1: {"rule-a"}}
+
+    def test_parse_multiple_rules(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=a,b , c\n")
+        assert sup == {1: {"a", "b", "c"}}
+
+    def test_parse_bare_disable_means_all(self):
+        assert parse_suppressions("x = 1  # repro-lint: disable\n") == {1: {"*"}}
+        assert parse_suppressions("x = 1  # repro-lint: disable=all\n") == {1: {"*"}}
+
+    def test_marker_inside_string_is_ignored(self):
+        sup = parse_suppressions('x = "# repro-lint: disable=a"\n')
+        assert sup == {}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("x = 1  # just a comment\n") == {}
+
+    def test_suppression_silences_matching_rule(self):
+        src = "def f():\n    assert True  # repro-lint: disable=numerics-bare-assert\n"
+        assert lint(src, [BareAssertRule()]) == []
+
+    def test_suppression_of_other_rule_does_not_silence(self):
+        src = "def f():\n    assert True  # repro-lint: disable=some-other-rule\n"
+        assert len(lint(src, [BareAssertRule()])) == 1
+
+    def test_bare_disable_silences_everything(self):
+        src = "def f():\n    assert True  # repro-lint: disable\n"
+        assert lint(src, [BareAssertRule()]) == []
+
+
+class TestAnalyzeSource:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint("def f(:\n", default_rules())
+        assert len(findings) == 1
+        assert findings[0].rule == "parse-error"
+
+    def test_library_only_rules_skip_test_files(self):
+        src = "def f():\n    assert True\n"
+        assert lint(src, [BareAssertRule()], path="tests/test_x.py") == []
+        assert lint(src, [BareAssertRule()], path="lib/conftest.py") == []
+        assert len(lint(src, [BareAssertRule()], path="lib/real.py")) == 1
+
+    def test_findings_sorted_by_location(self):
+        src = "def f():\n    assert True\n    assert True\n"
+        findings = lint(src, [BareAssertRule()])
+        assert [f.line for f in findings] == [2, 3]
+
+
+class TestFinding:
+    def test_format(self):
+        f = Finding(path="a.py", line=3, col=5, rule="r", message="m")
+        assert f.format() == "a.py:3:5: r: m"
+
+    def test_to_dict_roundtrips_fields(self):
+        f = Finding(path="a.py", line=3, col=5, rule="r", message="m")
+        assert f.to_dict() == {
+            "path": "a.py", "line": 3, "col": 5, "rule": "r", "message": "m"
+        }
+
+
+class TestWalkers:
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.pyc").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert files == [str(tmp_path / "pkg" / "a.py")]
+
+    def test_iter_python_files_accepts_single_file(self, tmp_path):
+        f = tmp_path / "one.py"
+        f.write_text("x = 1\n")
+        assert list(iter_python_files([str(f)])) == [str(f)]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files(["does/not/exist"]))
+
+    def test_analyze_paths_collects_across_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("def f():\n    assert True\n")
+        (tmp_path / "b.py").write_text("def g():\n    assert True\n")
+        findings = analyze_paths([str(tmp_path)], [BareAssertRule()])
+        assert len(findings) == 2
+        assert findings[0].path.endswith("a.py")

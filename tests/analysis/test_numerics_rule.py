@@ -1,0 +1,98 @@
+"""Fixture tests for the numerical-hygiene rules."""
+
+import textwrap
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.numerics import (
+    BareAssertRule,
+    FloatEqualityRule,
+    InplaceParamRule,
+)
+
+
+def lint(source, rule, path="repro/somewhere.py"):
+    return analyze_source(textwrap.dedent(source), path, [rule])
+
+
+class TestInplaceParam:
+    def test_flags_subscript_write_to_ndarray_param(self):
+        src = """
+            import numpy as np
+
+            def normalize(x: np.ndarray) -> np.ndarray:
+                x[0] = 0.0
+                return x
+            """
+        findings = lint(src, InplaceParamRule())
+        assert len(findings) == 1
+        assert "`x`" in findings[0].message
+
+    def test_flags_augmented_assignment_to_ndarray_param(self):
+        src = """
+            import numpy as np
+
+            def shift(x: np.ndarray, offset: float) -> np.ndarray:
+                x += offset
+                return x
+            """
+        assert len(lint(src, InplaceParamRule())) == 1
+
+    def test_copy_first_is_allowed(self):
+        src = """
+            import numpy as np
+
+            def normalize(x: np.ndarray) -> np.ndarray:
+                x = np.asarray(x, dtype=float).copy()
+                x[0] = 0.0
+                return x
+            """
+        assert lint(src, InplaceParamRule()) == []
+
+    def test_unannotated_params_not_tracked(self):
+        src = "def set_item(d, k, v):\n    d[k] = v\n"
+        assert lint(src, InplaceParamRule()) == []
+
+    def test_local_array_writes_allowed(self):
+        src = """
+            import numpy as np
+
+            def window(n: int) -> np.ndarray:
+                w = np.ones(n)
+                w[0] = 0.5
+                return w
+            """
+        assert lint(src, InplaceParamRule()) == []
+
+
+class TestFloatEquality:
+    def test_flags_equality_with_nonzero_float_literal(self):
+        findings = lint("ok = x == 0.5\n", FloatEqualityRule())
+        assert len(findings) == 1
+        assert "isclose" in findings[0].message
+
+    def test_flags_inequality_too(self):
+        assert len(lint("bad = y != 1.5\n", FloatEqualityRule())) == 1
+
+    def test_zero_sentinel_allowed(self):
+        assert lint("empty = x == 0.0\n", FloatEqualityRule()) == []
+
+    def test_int_literal_allowed(self):
+        assert lint("three = n == 3\n", FloatEqualityRule()) == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert lint("big = x >= 0.5\n", FloatEqualityRule()) == []
+
+
+class TestBareAssert:
+    def test_flags_assert_in_library_code(self):
+        findings = lint("def f(x):\n    assert x > 0\n", BareAssertRule())
+        assert len(findings) == 1
+        assert "python -O" in findings[0].message
+
+    def test_assert_in_test_file_allowed(self):
+        assert lint("def test_f():\n    assert 1 == 1\n", BareAssertRule(),
+                    path="tests/test_f.py") == []
+
+    def test_suppression_comment_silences(self):
+        src = "def f(x):\n    assert x > 0  # repro-lint: disable=numerics-bare-assert\n"
+        assert lint(src, BareAssertRule()) == []

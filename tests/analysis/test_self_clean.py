@@ -1,0 +1,28 @@
+"""Tier-1 gate: the repository's own library code must lint clean.
+
+Any future PR that reintroduces an inline dB conversion, an unseeded
+RNG, an undeclared public name, or a numerics foot-gun fails here with
+the exact file:line:rule it violated.
+"""
+
+import os
+
+import repro
+from repro.analysis import analyze_paths, default_rules
+
+
+def _src_root() -> str:
+    # resolve the installed package location so the gate works from any cwd
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestRepositoryIsLintClean:
+    def test_library_tree_has_no_findings(self):
+        findings = analyze_paths([_src_root()], default_rules())
+        report = "\n".join(f.format() for f in findings)
+        assert findings == [], f"signature-lint findings:\n{report}"
+
+    def test_default_rule_names_are_unique(self):
+        names = [rule.name for rule in default_rules()]
+        assert len(names) == len(set(names))
+        assert all(names), "every rule must have a name"

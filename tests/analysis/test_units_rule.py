@@ -1,0 +1,98 @@
+"""Fixture tests for the unit-domain rules (dB vs. linear mixing)."""
+
+import textwrap
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.units import InlineDbConversionRule, MixedDomainRule
+
+
+def lint(source, rule, path="repro/somewhere.py"):
+    return analyze_source(textwrap.dedent(source), path, [rule])
+
+
+class TestInlineDbConversion:
+    def test_flags_10_log10(self):
+        findings = lint(
+            "import math\ng = 10.0 * math.log10(x)\n", InlineDbConversionRule()
+        )
+        assert len(findings) == 1
+        assert "db()" in findings[0].message
+
+    def test_flags_20_log10_reversed_operands(self):
+        findings = lint(
+            "import numpy as np\ng = np.log10(x) * 20\n", InlineDbConversionRule()
+        )
+        assert len(findings) == 1
+        assert "db20()" in findings[0].message
+
+    def test_flags_pow_over_10(self):
+        findings = lint("lin = 10.0 ** (g / 10.0)\n", InlineDbConversionRule())
+        assert len(findings) == 1
+        assert "undb()" in findings[0].message
+
+    def test_flags_pow_over_20_with_negated_numerator(self):
+        findings = lint(
+            "lin = 10.0 ** (-loss_db / 20.0)\n", InlineDbConversionRule()
+        )
+        assert len(findings) == 1
+        assert "undb20()" in findings[0].message
+
+    def test_designated_module_is_exempt(self):
+        src = "import math\ng = 10.0 * math.log10(x)\n"
+        assert lint(src, InlineDbConversionRule(), path="src/repro/dsp/units.py") == []
+
+    def test_unrelated_multiplication_not_flagged(self):
+        assert lint("y = 10.0 * x\nz = 2.0 ** (x / 10.0)\n", InlineDbConversionRule()) == []
+
+    def test_log10_without_scale_factor_not_flagged(self):
+        # plain log10 (e.g. decades for a Bode axis) is not a dB conversion
+        assert lint("import math\nd = math.log10(f2 / f1)\n", InlineDbConversionRule()) == []
+
+    def test_suppression_comment_silences(self):
+        src = (
+            "import math\n"
+            "g = 10.0 * math.log10(x)  "
+            "# repro-lint: disable=units-inline-db-conversion\n"
+        )
+        assert lint(src, InlineDbConversionRule()) == []
+
+
+class TestMixedDomain:
+    def test_flags_db_plus_linear(self):
+        findings = lint("y = gain_db + vout_vrms\n", MixedDomainRule())
+        assert len(findings) == 1
+        assert "dB-domain" in findings[0].message
+
+    def test_flags_linear_minus_db(self):
+        assert len(lint("y = noise_watts - nf_db\n", MixedDomainRule())) == 1
+
+    def test_flags_product_of_two_db_quantities(self):
+        findings = lint("y = gain_db * loss_db\n", MixedDomainRule())
+        assert len(findings) == 1
+        assert "addition" in findings[0].message
+
+    def test_db_plus_db_allowed(self):
+        assert lint("total_db = gain_db + nf_db - loss_db\n", MixedDomainRule()) == []
+
+    def test_linear_times_linear_allowed(self):
+        assert lint("p = vout_vrms * vout_vrms / ratio\n", MixedDomainRule()) == []
+
+    def test_converted_operand_allowed(self):
+        # undb() moves the dB operand into the linear domain first
+        assert lint("y = undb(gain_db) * vout_vrms\n", MixedDomainRule()) == []
+
+    def test_converter_style_names_classified_by_destination(self):
+        # vpeak_to_dbm(...) returns a dB quantity; adding dB is fine
+        assert lint("y = vpeak_to_dbm(v) + gain_db\n", MixedDomainRule()) == []
+        # ...but adding it to a voltage is mixing
+        assert len(lint("y = vpeak_to_dbm(v) + vout_vrms\n", MixedDomainRule())) == 1
+
+    def test_neutral_names_never_flagged(self):
+        assert lint("y = alpha + beta * gamma\n", MixedDomainRule()) == []
+
+    def test_attribute_operands_classified(self):
+        assert len(lint("y = cfg.input_loss_db + wf.amplitude\n", MixedDomainRule())) == 1
+
+    def test_suppression_comment_silences(self):
+        src = "y = gain_db + vout_vrms  # repro-lint: disable=units-mixed-domain\n"
+        assert lint(src, MixedDomainRule()) == []

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.analysis.cli import main as lint_main
 from repro.cli import build_parser, main
 
 
@@ -88,3 +91,75 @@ class TestCommands:
                               rng=np.random.default_rng(0))
         specs = program.calibration.predict(sig)
         assert specs.gain_db == pytest.approx(LNA900().gain_db(), abs=0.3)
+
+
+BAD_MODULE = (
+    "import math\n"
+    "__all__ = []\n"
+    "def _gain(x):\n"
+    "    return 20.0 * math.log10(x)\n"
+)
+
+CLEAN_MODULE = "__all__ = []\nX = 1\n"
+
+
+class TestLintCLI:
+    """signature-lint via both `python -m repro.analysis` and `repro lint`."""
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_MODULE)
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:4" in out
+        assert "units-inline-db-conversion" in out
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_MODULE)
+        assert lint_main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "units-inline-db-conversion"
+        assert payload["findings"][0]["line"] == 4
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_name_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        assert lint_main([str(tmp_path), "--select", "no-such-rule"]) == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_select_and_ignore_filter_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_MODULE)
+        assert lint_main([str(bad), "--ignore", "units-inline-db-conversion"]) == 0
+        capsys.readouterr()
+        assert lint_main([str(bad), "--select", "units-inline-db-conversion"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "units-inline-db-conversion",
+            "determinism-unseeded-rng",
+            "api-missing-all",
+            "numerics-bare-assert",
+        ):
+            assert name in out
+
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_MODULE)
+        assert main(["lint", str(bad)]) == 1
+        assert "units-inline-db-conversion" in capsys.readouterr().out
+        capsys.readouterr()
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        assert main(["lint", str(tmp_path / "ok.py"), "--format", "json"]) == 0
