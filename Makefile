@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples all clean
+# linted exactly like CI (.github/workflows/ci.yml runs `make lint`)
+LINT_PATHS ?= src/ tests/ benchmarks/
+BENCH_JSON ?= bench.json
+
+.PHONY: install test lint bench bench-json examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,15 +15,19 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc \
+		--benchmark-json=$(BENCH_JSON)
+
 examples:
 	@for f in examples/*.py; do \
 		echo "=== $$f"; \
-		$(PYTHON) $$f || exit 1; \
+		PYTHONPATH=src $(PYTHON) $$f || exit 1; \
 	done
 
 all: lint test bench

@@ -32,6 +32,8 @@ from repro import (
     lna_parameter_space,
     simulation_config,
 )
+from repro.parallel import ProcessExecutor
+from repro.runtime.calibration import measure_signatures
 from repro.runtime.specs import lna_limits
 
 
@@ -70,9 +72,7 @@ def main():
     train_specs = np.vstack(
         [ate.test_device(d, rng).specs.as_vector() for d in train_devices]
     )
-    train_sigs = np.vstack(
-        [board.signature(d, stimulus, rng=rng) for d in train_devices]
-    )
+    train_sigs = measure_signatures(board, stimulus, train_devices, rng)
     calibration = CalibrationSession().fit(train_sigs, train_specs, rng=rng)
     print(calibration.summary())
 
@@ -84,7 +84,10 @@ def main():
     limits = lna_limits(gain_min_db=14.0, nf_max_db=3.3, iip3_min_dbm=-1.0)
     flow = ProductionTestFlow(board, stimulus, calibration, limits=limits)
     lot = [LNA900(space.to_dict(p)) for p in space.sample(rng, n_lot)]
-    run = flow.run(lot, rng)
+    # multi-DUT batch across a process pool (docs/parallelism.md);
+    # bit-identical to executor=None, just faster on multi-core floors
+    with ProcessExecutor() as executor:
+        run = flow.run(lot, rng, executor=executor)
     print(f"  yield: {run.yield_fraction:.1%}  "
           f"({int(run.yield_fraction * n_lot)} of {n_lot} pass)")
     print(f"  test time per device: {run.mean_test_time * 1e3:.1f} ms  "

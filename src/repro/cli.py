@@ -41,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="ga",
         help="'ga' optimizes with the genetic algorithm; others are baselines",
     )
+    p_sim.add_argument(
+        "--executor",
+        default=None,
+        metavar="BACKEND",
+        help="batch backend: serial (default), thread, process, or e.g. "
+        "process:4 -- results are bit-identical across backends",
+    )
 
     p_hw = sub.add_parser(
         "hardware", help="run the simulated RF2401 bench experiment (Figs. 12-13)"
@@ -103,7 +110,11 @@ def _cmd_sim(args: argparse.Namespace) -> int:
 
     stimulus = None if args.stimulus == "ga" else args.stimulus
     result = run_simulation_experiment(
-        seed=args.seed, n_train=args.train, n_val=args.val, stimulus=stimulus
+        seed=args.seed,
+        n_train=args.train,
+        n_val=args.val,
+        stimulus=stimulus,
+        executor=args.executor,
     )
     print(result.summary())
     return 0

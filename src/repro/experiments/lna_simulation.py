@@ -30,7 +30,12 @@ from repro.loadboard.signature_path import (
     simulation_config,
 )
 from repro.regression.metrics import r2_score, rmse, std_err
-from repro.runtime.calibration import CalibrationModel, CalibrationSession
+from repro.runtime.calibration import (
+    CalibrationModel,
+    CalibrationSession,
+    measure_signatures,
+)
+from repro.runtime.executor import Executor, get_executor
 from repro.testgen.genetic import GAConfig
 from repro.testgen.optimizer import OptimizationResult, SignatureStimulusOptimizer
 from repro.testgen.pwl import StimulusEncoding
@@ -90,6 +95,7 @@ def run_simulation_experiment(
     board_config: Optional[SignaturePathConfig] = None,
     noise_vrms: Optional[float] = None,
     use_cache: bool = True,
+    executor: Optional[Union[Executor, str]] = None,
 ) -> SimulationExperimentResult:
     """Run (or fetch from cache) the full simulation experiment.
 
@@ -113,6 +119,11 @@ def run_simulation_experiment(
         Override the digitizer measurement noise (ablations).
     use_cache:
         Reuse results across benchmark processes within one session.
+    executor:
+        Batch backend (:mod:`repro.parallel`) for the GA fitness
+        evaluations and the Monte-Carlo signature captures; ``None`` =
+        serial.  Results are bit-identical across backends, so the
+        executor is deliberately *not* part of the cache key.
     """
     cache_key = (
         seed,
@@ -149,6 +160,7 @@ def run_simulation_experiment(
             encoding=encoding,
             ga_config=ga_config if ga_config is not None else GAConfig(),
             rel_step=0.03,
+            executor=get_executor(executor),
         )
         optimization = optimizer.optimize(rng)
         stim = optimization.stimulus
@@ -168,10 +180,8 @@ def run_simulation_experiment(
     train_specs = np.vstack([d.specs().as_vector() for d in train_devices])
     val_specs = np.vstack([d.specs().as_vector() for d in val_devices])
 
-    train_sigs = np.vstack(
-        [board.signature(d, stim, rng=rng) for d in train_devices]
-    )
-    val_sigs = np.vstack([board.signature(d, stim, rng=rng) for d in val_devices])
+    train_sigs = measure_signatures(board, stim, train_devices, rng, executor=executor)
+    val_sigs = measure_signatures(board, stim, val_devices, rng, executor=executor)
 
     # ------------------------------------------------------------------
     # calibration + validation (Figures 8-10)

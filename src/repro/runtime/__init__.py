@@ -9,10 +9,26 @@
   accounting.
 * :mod:`repro.runtime.economics` -- test-time and test-cost comparison of
   the conventional and signature flows.
+* :mod:`repro.runtime.executor` -- pluggable serial / thread / process
+  batch backends with deterministic per-task RNG streams (re-exported as
+  :mod:`repro.parallel`).
 """
 
 from repro.runtime.specs import SpecificationLimit, SpecificationLimits
-from repro.runtime.calibration import CalibrationModel, CalibrationSession
+from repro.runtime.calibration import (
+    CalibrationModel,
+    CalibrationSession,
+    measure_signatures,
+)
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    spawn_generators,
+    spawn_seeds,
+)
 from repro.runtime.production import (
     DeviceTestRecord,
     ProductionRunResult,
@@ -45,6 +61,14 @@ __all__ = [
     "SpecificationLimits",
     "CalibrationModel",
     "CalibrationSession",
+    "measure_signatures",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "spawn_generators",
+    "spawn_seeds",
     "DeviceTestRecord",
     "ProductionRunResult",
     "ProductionTestFlow",

@@ -16,7 +16,8 @@ floor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,8 +30,69 @@ from repro.regression.pca import PCA
 from repro.regression.pipeline import Pipeline
 from repro.regression.polynomial import PolynomialRidge
 from repro.regression.scaling import StandardScaler
+from repro.runtime.executor import Executor, get_executor, spawn_seeds
 
-__all__ = ["CalibrationModel", "CalibrationSession", "default_candidates"]
+__all__ = [
+    "CalibrationModel",
+    "CalibrationSession",
+    "default_candidates",
+    "measure_signatures",
+]
+
+
+def _capture_task(board, stimulus, n_bins, task) -> np.ndarray:
+    """One pickled signature capture (module-level for ProcessExecutor)."""
+    device, seed = task
+    return board.signature(
+        device, stimulus, rng=np.random.default_rng(seed), n_bins=n_bins
+    )
+
+
+def measure_signatures(
+    board,
+    stimulus,
+    devices: Sequence,
+    rng: np.random.Generator,
+    *,
+    n_bins: Optional[int] = None,
+    executor: Optional[Union[Executor, str]] = None,
+    chunksize: Optional[int] = None,
+) -> np.ndarray:
+    """Capture one signature per device as an (N, m) matrix.
+
+    The Monte-Carlo measurement loop behind every training / validation
+    set (Figure 5's left box).  Each device's measurement noise comes
+    from its own RNG stream spawned from ``rng`` (one 64-bit draw
+    consumed), so the matrix is bit-identical for any ``executor``
+    backend -- serial, thread, or process -- and any worker count.
+
+    Parameters
+    ----------
+    board:
+        :class:`~repro.loadboard.signature_path.SignatureTestBoard` (or
+        anything with its ``signature`` method).
+    stimulus:
+        Stimulus applied to every device.
+    devices:
+        Device instances, one row per device in this order.
+    rng:
+        Master generator for the batch's measurement noise.
+    n_bins:
+        Signature truncation forwarded to ``board.signature``.
+    executor:
+        Batch backend (:mod:`repro.parallel`): an Executor instance, a
+        backend name like ``"process"``, or ``None`` for serial.
+    chunksize:
+        Devices shipped per worker task (pooled backends only).
+    """
+    devices = list(devices)
+    seeds = spawn_seeds(rng, len(devices))
+    rows = get_executor(executor).map_tasks(
+        partial(_capture_task, board, stimulus, n_bins),
+        list(zip(devices, seeds)),
+        chunksize=chunksize,
+    )
+    return np.vstack(rows) if rows else np.empty((0, 0))
 
 
 def default_candidates(n_train: int) -> Dict[str, Callable[[], Pipeline]]:

@@ -13,6 +13,7 @@ and throughput statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -21,9 +22,16 @@ from repro.circuits.device import RFDevice, SpecSet
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 from repro.loadboard.signature_path import SignatureTestBoard
 from repro.runtime.calibration import CalibrationModel
+from repro.runtime.executor import Executor, get_executor, spawn_seeds
 from repro.runtime.specs import SpecificationLimits
 
 __all__ = ["DeviceTestRecord", "ProductionRunResult", "ProductionTestFlow"]
+
+
+def _insertion_task(flow: "ProductionTestFlow", task) -> "DeviceTestRecord":
+    """One pickled production insertion (module-level for ProcessExecutor)."""
+    device_id, device, seed = task
+    return flow.test_device(device, np.random.default_rng(seed), device_id=device_id)
 
 
 @dataclass(frozen=True)
@@ -117,9 +125,35 @@ class ProductionTestFlow:
         self,
         devices: Sequence[RFDevice],
         rng: np.random.Generator,
+        *,
+        executor: Optional[Union[Executor, str]] = None,
+        chunksize: Optional[int] = None,
     ) -> ProductionRunResult:
-        """Test a lot of devices."""
-        result = ProductionRunResult()
-        for i, device in enumerate(devices):
-            result.records.append(self.test_device(device, rng, device_id=i))
-        return result
+        """Test a lot of devices, optionally across a worker pool.
+
+        Each device gets its own RNG stream spawned from ``rng`` (one
+        64-bit draw is consumed), so the per-device records -- kept in
+        input order -- are bit-identical for any ``executor`` backend,
+        worker count, or ``chunksize``.
+
+        Parameters
+        ----------
+        devices:
+            The lot, tested as ``device_id`` 0..N-1 in the given order.
+        rng:
+            Master generator for the lot's measurement noise.
+        executor:
+            Batch backend (:mod:`repro.parallel`): an
+            :class:`~repro.runtime.executor.Executor`, a backend name
+            like ``"process"`` / ``"process:4"``, or ``None`` for
+            serial.
+        chunksize:
+            Devices shipped per worker task (pooled backends only).
+        """
+        devices = list(devices)
+        seeds = spawn_seeds(rng, len(devices))
+        tasks = list(zip(range(len(devices)), devices, seeds))
+        records = get_executor(executor).map_tasks(
+            partial(_insertion_task, self), tasks, chunksize=chunksize
+        )
+        return ProductionRunResult(records=list(records))

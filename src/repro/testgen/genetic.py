@@ -19,6 +19,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.executor import Executor, SerialExecutor
+
 __all__ = ["GAConfig", "GAResult", "GeneticAlgorithm"]
 
 
@@ -88,6 +90,12 @@ class GeneticAlgorithm:
         Hyperparameters.
     rng:
         Random generator controlling all stochastic choices.
+    executor:
+        Batch backend evaluating each generation's fitnesses
+        (:class:`repro.parallel.ProcessExecutor` et al.); ``None`` keeps
+        the classic serial loop.  Because ``fitness`` is required to be
+        deterministic and results are order-preserving, every backend
+        yields the same :class:`GAResult` bit for bit.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class GeneticAlgorithm:
         upper: Sequence[float],
         config: GAConfig = GAConfig(),
         rng: Optional[np.random.Generator] = None,
+        executor: Optional[Executor] = None,
     ):
         self.fitness = fitness
         self.lower = np.asarray(lower, dtype=float)
@@ -107,6 +116,7 @@ class GeneticAlgorithm:
             raise ValueError("each lower bound must be below its upper bound")
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.executor = executor if executor is not None else SerialExecutor()
         self._range = self.upper - self.lower
 
     # ------------------------------------------------------------------
@@ -164,7 +174,8 @@ class GeneticAlgorithm:
         def evaluate(pop: np.ndarray) -> np.ndarray:
             nonlocal evaluations
             evaluations += len(pop)
-            return np.array([self.fitness(g) for g in pop])
+            values = self.executor.map_tasks(self.fitness, list(pop))
+            return np.array([float(v) for v in values])
 
         fitnesses = evaluate(population)
         history: List[Tuple[float, float]] = [

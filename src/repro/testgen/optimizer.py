@@ -23,6 +23,7 @@ from repro.circuits.device import RFDevice
 from repro.circuits.parameters import ParameterSpace
 from repro.dsp.waveform import PiecewiseLinearStimulus
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.runtime.executor import Executor
 from repro.testgen.genetic import GAConfig, GAResult, GeneticAlgorithm
 from repro.testgen.mapping import LinearSignatureMap
 from repro.testgen.objective import signature_noise_std, signature_test_objective
@@ -86,6 +87,11 @@ class SignatureStimulusOptimizer:
     ga_config:
         Genetic-algorithm settings (defaults: 5 generations, as in the
         paper).
+    executor:
+        Batch backend (:mod:`repro.parallel`) evaluating each GA
+        generation's objective values concurrently; ``None`` = serial.
+        The objective is deterministic (noise-free finite differences),
+        so the optimized stimulus is backend-independent.
     """
 
     def __init__(
@@ -99,6 +105,7 @@ class SignatureStimulusOptimizer:
         rel_step: float = 0.05,
         spec_scales: Optional[Sequence[float]] = None,
         ga_config: GAConfig = GAConfig(),
+        executor: Optional[Executor] = None,
     ):
         self.board = SignatureTestBoard(board_config)
         self.device_factory = device_factory
@@ -108,6 +115,7 @@ class SignatureStimulusOptimizer:
         self.rel_step = rel_step
         self.spec_scales = spec_scales
         self.ga_config = ga_config
+        self.executor = executor
         if sigma_m is None:
             n_capture = int(
                 round(board_config.capture_seconds * board_config.digitizer_rate)
@@ -235,7 +243,8 @@ class SignatureStimulusOptimizer:
         """Run the GA and package the winning stimulus with diagnostics."""
         lower, upper = self.encoding.bounds()
         ga = GeneticAlgorithm(
-            self.objective, lower, upper, config=self.ga_config, rng=rng
+            self.objective, lower, upper, config=self.ga_config, rng=rng,
+            executor=self.executor,
         )
         seeds = self.encoding.seed_genes(rng)
         result = ga.run(initial_population=seeds)

@@ -16,9 +16,26 @@ def _src_root() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
+def _repo_dirs():
+    # tests/ and benchmarks/ live next to this file's parent, not in the
+    # installed package; only lint them when running from a checkout
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    return [
+        d
+        for d in (os.path.join(repo_root, "tests"), os.path.join(repo_root, "benchmarks"))
+        if os.path.isdir(d)
+    ]
+
+
 class TestRepositoryIsLintClean:
     def test_library_tree_has_no_findings(self):
         findings = analyze_paths([_src_root()], default_rules())
+        report = "\n".join(f.format() for f in findings)
+        assert findings == [], f"signature-lint findings:\n{report}"
+
+    def test_tests_and_benchmarks_have_no_findings(self):
+        # same sweep CI's `make lint` runs over the non-library trees
+        findings = analyze_paths(_repo_dirs(), default_rules())
         report = "\n".join(f.format() for f in findings)
         assert findings == [], f"signature-lint findings:\n{report}"
 

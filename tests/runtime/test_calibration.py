@@ -10,7 +10,9 @@ from repro.runtime.calibration import (
 )
 
 
-_BASIS = np.random.default_rng(99).normal(size=(2, 12))
+def _basis():
+    """Fixed 2-D mixing basis, identical on every call (seeded)."""
+    return np.random.default_rng(99).normal(size=(2, 12))
 
 
 def synthetic_dataset(rng, n=60):
@@ -19,8 +21,9 @@ def synthetic_dataset(rng, n=60):
     The mixing basis is shared across calls so training and validation
     sets live on the same manifold, as real signatures do.
     """
+    basis = _basis()
     u = rng.uniform(0.5, 1.5, size=(n, 2))
-    signatures = u @ _BASIS + rng.normal(0, 1e-3, size=(n, _BASIS.shape[1]))
+    signatures = u @ basis + rng.normal(0, 1e-3, size=(n, basis.shape[1]))
     specs = np.column_stack(
         [
             20.0 * np.log10(u[:, 0]) + 16.0,  # "gain"

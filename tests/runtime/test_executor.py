@@ -1,0 +1,243 @@
+"""Cross-backend determinism suite for the parallel execution engine.
+
+The executor contract (docs/parallelism.md): serial, thread, and
+process backends return *bit-identical* results for the same master
+seed, because batch call sites derive one independent RNG stream per
+task via ``SeedSequence.spawn`` and results are kept in input order.
+This suite locks that contract for the three wired hot paths -- GA
+fitness evaluation, the production flow, and Monte-Carlo training-set
+capture -- plus the executor primitives themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.circuits.parameters import ParameterSpace, ProcessParameter
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_cpus,
+    default_chunksize,
+    get_executor,
+    spawn_generators,
+    spawn_seeds,
+)
+from repro.runtime.calibration import CalibrationSession, measure_signatures
+from repro.runtime.production import ProductionTestFlow
+from repro.runtime.specs import lna_limits
+from repro.testgen.genetic import GAConfig, GeneticAlgorithm
+from repro.testgen.pwl import StimulusEncoding
+
+#: force >1 worker so the pooled code paths actually run on 1-CPU boxes
+BACKENDS = {
+    "serial": lambda: SerialExecutor(),
+    "thread": lambda: ThreadExecutor(max_workers=4),
+    "process": lambda: ProcessExecutor(max_workers=4),
+}
+
+
+def _square(x):
+    return x * x
+
+
+def _rosenbrock(gene):
+    return float(
+        np.sum(100.0 * (gene[1:] - gene[:-1] ** 2) ** 2 + (1.0 - gene[:-1]) ** 2)
+    )
+
+
+class TestExecutorPrimitives:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_order_preserved(self, backend):
+        with BACKENDS[backend]() as ex:
+            assert ex.map_tasks(_square, range(37)) == [i * i for i in range(37)]
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_empty_batch(self, backend):
+        with BACKENDS[backend]() as ex:
+            assert ex.map_tasks(_square, []) == []
+
+    @pytest.mark.parametrize("chunksize", [None, 1, 5, 100])
+    def test_chunksize_never_changes_results(self, chunksize):
+        with ProcessExecutor(max_workers=2) as ex:
+            out = ex.map_tasks(_square, range(23), chunksize=chunksize)
+        assert out == [i * i for i in range(23)]
+
+    def test_default_chunksize_bounds(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(3, 4) == 1
+        assert default_chunksize(64, 4) == 4
+        assert default_chunksize(1000, 1) == 250
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                out = ex.map_tasks(lambda x: x + 1, range(8))
+            assert out == list(range(1, 9))
+            # the executor stays serial (and usable) for its lifetime
+            assert ex.map_tasks(_square, [3]) == [9]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            SerialExecutor().map_tasks(lambda x: 1 // x, [1, 0])
+
+
+class TestGetExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    def test_instance_passthrough(self):
+        ex = ThreadExecutor(max_workers=2)
+        assert get_executor(ex) is ex
+
+    def test_names_and_worker_suffix(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        ex = get_executor("process:3")
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 3
+        assert get_executor("process", max_workers=2).max_workers == 2
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            get_executor("cluster")
+        with pytest.raises(ValueError):
+            get_executor("process:3", max_workers=2)
+        with pytest.raises(ValueError):
+            get_executor(SerialExecutor(), max_workers=2)
+        with pytest.raises(ValueError):
+            get_executor("serial:4")
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+
+class TestSpawnStreams:
+    def test_same_seed_same_streams(self):
+        a = [g.standard_normal(4) for g in spawn_generators(123, 5)]
+        b = [g.standard_normal(4) for g in spawn_generators(123, 5)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_streams_are_independent(self):
+        a, b = spawn_generators(123, 2)
+        assert not np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_generator_source_is_deterministic_and_consumes_one_draw(self):
+        r1, r2 = np.random.default_rng(7), np.random.default_rng(7)
+        s1 = [s.generate_state(2).tolist() for s in spawn_seeds(r1, 3)]
+        s2 = [s.generate_state(2).tolist() for s in spawn_seeds(r2, 3)]
+        assert s1 == s2
+        # both generators advanced identically (exactly one draw)
+        assert r1.integers(0, 2**63) == r2.integers(0, 2**63)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestGACrossBackend:
+    def _run(self, executor):
+        return GeneticAlgorithm(
+            _rosenbrock,
+            lower=[-2.0] * 4,
+            upper=[2.0] * 4,
+            config=GAConfig(population_size=12, generations=4),
+            rng=np.random.default_rng(2002),
+            executor=executor,
+        ).run()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_serial_bit_for_bit(self, backend):
+        ref = self._run(SerialExecutor())
+        with BACKENDS[backend]() as ex:
+            out = self._run(ex)
+        assert np.array_equal(ref.best_gene, out.best_gene)
+        assert ref.best_fitness == out.best_fitness
+        assert ref.history == out.history
+        assert ref.evaluations == out.evaluations
+
+
+@pytest.fixture(scope="module")
+def small_flow():
+    """A compact calibrated production flow plus a device lot."""
+    rng = np.random.default_rng(77)
+    space = ParameterSpace(
+        [
+            ProcessParameter("gain_db", 16.0, 0.08),
+            ProcessParameter("nf_db", 2.2, 0.10),
+            ProcessParameter("iip3_dbm", 3.0, 0.10),
+        ]
+    )
+
+    def factory(params):
+        return BehavioralAmplifier(
+            900e6, params["gain_db"], params["nf_db"], params["iip3_dbm"]
+        )
+
+    config = SignaturePathConfig(
+        digitizer_noise_vrms=1e-3, digitizer_bits=None, include_device_noise=False
+    )
+    board = SignatureTestBoard(config)
+    stim = StimulusEncoding(8, config.capture_seconds, 0.4).decode(
+        np.array([-0.2, -0.1, 0.0, 0.1, 0.2, 0.15, 0.05, -0.15])
+    )
+    train_devices = [factory(space.to_dict(p)) for p in space.sample(rng, 30)]
+    train_specs = np.vstack([d.specs().as_vector() for d in train_devices])
+    train_sigs = measure_signatures(board, stim, train_devices, rng)
+    calibration = CalibrationSession().fit(train_sigs, train_specs, rng=rng)
+    flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+    lot = [factory(space.to_dict(p)) for p in space.sample(rng, 16)]
+    return board, stim, flow, lot
+
+
+class TestProductionCrossBackend:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_records_identical_to_serial(self, small_flow, backend):
+        _, _, flow, lot = small_flow
+        ref = flow.run(lot, np.random.default_rng(5), executor=SerialExecutor())
+        with BACKENDS[backend]() as ex:
+            out = flow.run(lot, np.random.default_rng(5), executor=ex)
+        assert [r.device_id for r in out.records] == list(range(len(lot)))
+        for a, b in zip(ref.records, out.records):
+            assert a.device_id == b.device_id
+            assert np.array_equal(a.signature, b.signature)
+            assert np.array_equal(a.predicted.as_vector(), b.predicted.as_vector())
+            assert a.passed == b.passed
+            assert a.test_time == b.test_time
+
+    def test_backend_name_spec_accepted(self, small_flow):
+        _, _, flow, lot = small_flow
+        ref = flow.run(lot, np.random.default_rng(6))
+        out = flow.run(lot, np.random.default_rng(6), executor="process:2",
+                       chunksize=3)
+        assert np.array_equal(ref.predicted_matrix(), out.predicted_matrix())
+
+    def test_same_seed_reproducible(self, small_flow):
+        _, _, flow, lot = small_flow
+        a = flow.run(lot, np.random.default_rng(9))
+        b = flow.run(lot, np.random.default_rng(9))
+        assert np.array_equal(a.predicted_matrix(), b.predicted_matrix())
+
+
+class TestTrainingSetCrossBackend:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_signature_matrix_identical_to_serial(self, small_flow, backend):
+        board, stim, _, lot = small_flow
+        ref = measure_signatures(board, stim, lot, np.random.default_rng(3))
+        with BACKENDS[backend]() as ex:
+            out = measure_signatures(
+                board, stim, lot, np.random.default_rng(3),
+                executor=ex, chunksize=5,
+            )
+        assert np.array_equal(ref, out)
+
+    def test_empty_device_list(self, small_flow):
+        board, stim, _, _ = small_flow
+        out = measure_signatures(board, stim, [], np.random.default_rng(0))
+        assert out.size == 0
