@@ -6,7 +6,7 @@ PYTHON ?= python
 LINT_PATHS ?= src/ tests/ benchmarks/
 BENCH_JSON ?= bench.json
 
-.PHONY: install test lint bench bench-json examples all clean
+.PHONY: install test lint bench bench-json bench-check examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,11 @@ bench:
 bench-json:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc \
 		--benchmark-json=$(BENCH_JSON)
+
+# re-run the capture hot-path benchmark and fail if the normalized
+# batched/per-device ratio regressed >20% vs the committed baseline
+bench-check:
+	$(PYTHON) benchmarks/check_capture_regression.py
 
 examples:
 	@for f in examples/*.py; do \

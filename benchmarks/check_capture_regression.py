@@ -1,0 +1,87 @@
+"""Regression gate for the batched capture engine (``make bench-check``).
+
+Re-runs ``test_bench_capture_hotpath`` and compares the *normalized*
+batched capture time -- ``batched_seconds / per_device_seconds``, which
+cancels machine speed -- against the committed
+``benchmarks/results/capture_hotpath.json``.  Fails if the fresh ratio
+is more than ``TOLERANCE`` worse than the committed one, so a change
+that quietly erodes the vectorization win cannot land on a faster
+runner unnoticed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+__all__ = []
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+RESULTS = os.path.join(HERE, "results", "capture_hotpath.json")
+RESULTS_REL = os.path.relpath(RESULTS, REPO)
+BENCH = os.path.join(HERE, "test_bench_capture_hotpath.py")
+#: fresh normalized ratio may be at most 20% worse than the baseline
+TOLERANCE = 0.20
+
+
+def _committed_baseline():
+    """The committed results JSON (pre-rerun snapshot).
+
+    Prefers ``git show HEAD:...`` so a stale working tree cannot mask a
+    regression; falls back to the on-disk file outside a git checkout.
+    """
+    try:
+        blob = subprocess.run(
+            ["git", "show", "HEAD:" + RESULTS_REL.replace(os.sep, "/")],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(blob), "HEAD:" + RESULTS_REL
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+        with open(RESULTS) as fh:
+            return json.load(fh), RESULTS_REL
+
+
+def _main():
+    baseline, source = _committed_baseline()
+    base_ratio = baseline["batched_over_per_device_ratio"]
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO, "src"), env.get("PYTHONPATH")) if p
+    )
+    rerun = subprocess.run(
+        [sys.executable, "-m", "pytest", BENCH, "--benchmark-only", "-q"],
+        cwd=REPO,
+        env=env,
+    )
+    if rerun.returncode != 0:
+        print("bench-check: benchmark run failed", file=sys.stderr)
+        return rerun.returncode
+
+    with open(RESULTS) as fh:
+        fresh = json.load(fh)
+    fresh_ratio = fresh["batched_over_per_device_ratio"]
+    limit = base_ratio * (1.0 + TOLERANCE)
+
+    print(
+        "bench-check: batched/per-device ratio "
+        f"{fresh_ratio:.4f} vs baseline {base_ratio:.4f} ({source}), "
+        f"limit {limit:.4f} (+{TOLERANCE:.0%})"
+    )
+    if fresh_ratio > limit:
+        print(
+            "bench-check: FAIL -- batched capture regressed "
+            f"{fresh_ratio / base_ratio - 1.0:+.1%} vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

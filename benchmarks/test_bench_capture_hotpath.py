@@ -1,0 +1,132 @@
+"""Batched capture engine: the vectorization + plan-cache claim, measured.
+
+Runs the same 64-device lot three ways and records the wall-clock
+numbers as JSON under ``benchmarks/results/``:
+
+* one-device-at-a-time with the plan cache cleared before every capture
+  -- the pre-batching signature path, which recomputed the
+  device-independent front half per capture;
+* one-device-at-a-time with a warm plan cache;
+* one ``signature_batch`` call over the whole lot.
+
+All three are checked bit-identical (the batching contract); the
+speedup gate compares the batched engine against the per-capture path
+it replaced.
+
+The committed ``capture_hotpath.json`` is the regression baseline: CI
+re-runs this benchmark and fails if the *normalized* batched capture
+time (batched / per-device, which cancels machine speed) regresses by
+more than 20% against the committed ratio (``make bench-check``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignatureTestBoard, simulation_config
+from repro.parallel import spawn_generators
+
+N_DEVICES = 64
+LOT_SEED = 2002
+SPEEDUP_TARGET = 3.0
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "capture_hotpath.json"
+)
+
+
+def _lot():
+    rng = np.random.default_rng(42)
+    return [
+        BehavioralAmplifier(
+            900e6,
+            16.0 + rng.normal(0.0, 0.5),
+            2.0 + abs(rng.normal(0.0, 0.2)),
+            10.0 + rng.normal(0.0, 1.0),
+        )
+        for _ in range(N_DEVICES)
+    ]
+
+
+def _best_of(fn, repeats=7):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_capture_hotpath(benchmark, report):
+    board = SignatureTestBoard(simulation_config())
+    lot = _lot()
+    stim = PiecewiseLinearStimulus(
+        np.random.default_rng(9).uniform(-0.25, 0.25, 16), 5e-6, 0.4
+    )
+
+    def per_device_uncached():
+        gens = spawn_generators(np.random.default_rng(LOT_SEED), len(lot))
+        rows = []
+        for device, gen in zip(lot, gens):
+            # the pre-batching engine rebuilt the stimulus front half
+            # (mixers, LO envelopes, drive powers) on every capture
+            board.clear_plan_cache()
+            rows.append(board.signature(device, stim, rng=gen))
+        return np.vstack(rows)
+
+    def per_device_warm():
+        gens = spawn_generators(np.random.default_rng(LOT_SEED), len(lot))
+        return np.vstack(
+            [board.signature(d, stim, rng=g) for d, g in zip(lot, gens)]
+        )
+
+    def batched():
+        return board.signature_batch(
+            lot, stim, rng=np.random.default_rng(LOT_SEED)
+        )
+
+    uncached_s, uncached_sigs = _best_of(per_device_uncached)
+    warm_s, warm_sigs = _best_of(per_device_warm)
+    batched_s, batched_sigs = _best_of(batched)
+
+    # the batching contract, end to end on the real lot
+    assert np.array_equal(uncached_sigs, batched_sigs)
+    assert np.array_equal(warm_sigs, batched_sigs)
+
+    speedup = uncached_s / batched_s
+    warm_speedup = warm_s / batched_s
+    payload = {
+        "benchmark": "capture_hotpath",
+        "n_devices": N_DEVICES,
+        "per_device_seconds": uncached_s,
+        "per_device_warm_cache_seconds": warm_s,
+        "batched_seconds": batched_s,
+        "speedup": speedup,
+        "warm_cache_speedup": warm_speedup,
+        "batched_over_per_device_ratio": batched_s / uncached_s,
+        "speedup_target": SPEEDUP_TARGET,
+        "unix_time": time.time(),
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    with report("Batched capture -- 64-device signature lot") as p:
+        p(f"per-device, cold plans:    {uncached_s * 1e3:8.1f} ms")
+        p(f"per-device, warm plans:    {warm_s * 1e3:8.1f} ms "
+          f"({warm_speedup:.2f}x)")
+        p(f"signature_batch:           {batched_s * 1e3:8.1f} ms "
+          f"({speedup:.2f}x)")
+        p(f"recorded: {os.path.relpath(RESULTS_PATH)}")
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"batched capture only reached {speedup:.2f}x over the per-device "
+        f"loop (target {SPEEDUP_TARGET}x)"
+    )
+
+    benchmark(batched)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
@@ -205,9 +206,27 @@ class PolynomialNonlinearity:
 
         The signature-path engine evaluates the describing function on
         long envelope records; interpolating a precomputed table is much
-        cheaper than per-sample quadrature.
+        cheaper than per-sample quadrature.  Tables are memoized on the
+        coefficient triple, so repeated captures of the same device (the
+        optimizer's finite-difference loop, Monte-Carlo lots) skip the
+        quadrature entirely.  The returned arrays are shared and marked
+        read-only; copy before mutating.
         """
         if max_amplitude <= 0:
             raise ValueError("max_amplitude must be positive")
-        grid = np.linspace(0.0, max_amplitude, n_points)
-        return grid, self.describing_function(grid)
+        return _describing_gain_table(
+            self.a1, self.a2, self.a3, float(max_amplitude), int(n_points)
+        )
+
+
+@lru_cache(maxsize=1024)
+def _describing_gain_table(
+    a1: float, a2: float, a3: float, max_amplitude: float, n_points: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized describing-gain table (see ``describing_gain_table``)."""
+    poly = PolynomialNonlinearity(a1, a2, a3)
+    grid = np.linspace(0.0, max_amplitude, n_points)
+    table = poly.describing_function(grid)
+    grid.setflags(write=False)
+    table.setflags(write=False)
+    return grid, table

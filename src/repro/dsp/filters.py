@@ -189,11 +189,21 @@ class ButterworthLowpass:
             raise ValueError(
                 f"waveform rate {wf.sample_rate} != filter rate {self.sample_rate}"
             )
-        spec = np.fft.rfft(wf.samples)
-        freqs = np.fft.rfftfreq(len(wf), d=wf.dt)
+        return Waveform(self.apply_fft_matrix(wf.samples), wf.sample_rate, wf.t0)
+
+    def apply_fft_matrix(self, samples: np.ndarray) -> np.ndarray:
+        """Zero-phase filtering of a ``(..., n)`` batch along the last axis.
+
+        One ``rfft`` / ``irfft`` pair over the whole batch; row ``i`` of
+        the result is bit-identical to ``apply_fft`` on row ``i`` alone
+        (samples are assumed to be at the filter's ``sample_rate``).
+        """
+        samples = np.asarray(samples, dtype=float)
+        n = samples.shape[-1]
+        spec = np.fft.rfft(samples, axis=-1)
+        freqs = np.fft.rfftfreq(n, d=1.0 / self.sample_rate)
         mag = np.abs(self.frequency_response(freqs))
-        out = np.fft.irfft(spec * mag, n=len(wf))
-        return Waveform(out, wf.sample_rate, wf.t0)
+        return np.fft.irfft(spec * mag, n=n, axis=-1)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

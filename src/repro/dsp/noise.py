@@ -25,6 +25,7 @@ __all__ = [
     "thermal_noise_vrms",
     "add_awgn",
     "quantize",
+    "quantize_array",
     "sample_jitter",
 ]
 
@@ -66,11 +67,12 @@ def add_awgn(wf: Waveform, sigma: float, rng: Optional[np.random.Generator] = No
     )
 
 
-def quantize(wf: Waveform, bits: int, full_scale: float) -> Waveform:
-    """Uniform mid-tread quantization to ``bits`` bits over +/- full_scale.
+def quantize_array(samples: np.ndarray, bits: int, full_scale: float) -> np.ndarray:
+    """Uniform mid-tread quantization of a sample array (any shape).
 
     Samples outside the full-scale range clip, which is how real data
-    converters behave.
+    converters behave.  Elementwise, so batched ``(batch, n)`` records
+    quantize bit-identically to quantizing each row alone.
     """
     if bits < 1:
         raise ValueError("bits must be >= 1")
@@ -78,9 +80,13 @@ def quantize(wf: Waveform, bits: int, full_scale: float) -> Waveform:
         raise ValueError("full_scale must be positive")
     levels = 2**bits
     lsb = 2.0 * full_scale / levels
-    clipped = np.clip(wf.samples, -full_scale, full_scale - lsb)
-    quantized = np.round(clipped / lsb) * lsb
-    return Waveform(quantized, wf.sample_rate, wf.t0)
+    clipped = np.clip(samples, -full_scale, full_scale - lsb)
+    return np.round(clipped / lsb) * lsb
+
+
+def quantize(wf: Waveform, bits: int, full_scale: float) -> Waveform:
+    """Uniform mid-tread quantization to ``bits`` bits over +/- full_scale."""
+    return Waveform(quantize_array(wf.samples, bits, full_scale), wf.sample_rate, wf.t0)
 
 
 def sample_jitter(

@@ -21,6 +21,7 @@ __all__ = [
     "Spectrum",
     "amplitude_spectrum",
     "fft_magnitude_signature",
+    "fft_magnitude_signature_matrix",
     "tone_amplitude",
     "tone_power_dbm",
 ]
@@ -174,6 +175,40 @@ def fft_magnitude_signature(
     if log_scale:
         return db20(mags + floor)
     return mags.copy()
+
+
+def fft_magnitude_signature_matrix(
+    samples: np.ndarray,
+    n_bins: int | None = None,
+    window_kind: str = "rect",
+    log_scale: bool = False,
+    floor: float = 1e-12,
+) -> np.ndarray:
+    """Batched :func:`fft_magnitude_signature` over ``(..., n)`` records.
+
+    One ``rfft`` call over the whole batch; row ``i`` of the result is
+    bit-identical to :func:`fft_magnitude_signature` on a waveform holding
+    row ``i`` alone (the sample rate only affects bin *frequencies*, never
+    the magnitude signature, so it is not needed here).
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = samples.shape[-1]
+    if n < 2:
+        raise ValueError("need at least 2 samples for a spectrum")
+    w = window(window_kind, n)
+    coherent_gain = float(np.mean(w))
+    spec = np.fft.rfft(samples * w, axis=-1)
+    amps = np.abs(spec) * 2.0 / (n * coherent_gain)
+    amps[..., 0] /= 2.0  # DC bin is not doubled
+    if n % 2 == 0 and amps.shape[-1] > 1:
+        amps[..., -1] /= 2.0  # Nyquist bin is not doubled either
+    if n_bins is not None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        amps = amps[..., :n_bins]
+    if log_scale:
+        return db20(amps + floor)
+    return amps
 
 
 def tone_amplitude(wf: Waveform, frequency: float, window_kind: str = "flattop") -> float:

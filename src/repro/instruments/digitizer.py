@@ -9,11 +9,11 @@ optional sampling-clock jitter.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.dsp.noise import add_awgn, quantize, sample_jitter
+from repro.dsp.noise import add_awgn, quantize, quantize_array, sample_jitter
 from repro.dsp.waveform import Waveform
 
 __all__ = ["BasebandDigitizer"]
@@ -87,6 +87,66 @@ class BasebandDigitizer:
         if self.bits is not None:
             out = quantize(out, self.bits, self.full_scale)
         return out
+
+    def capture_matrix(
+        self,
+        samples: np.ndarray,
+        sample_rate: float,
+        duration: Optional[float] = None,
+        rngs: Optional[Sequence[Optional[np.random.Generator]]] = None,
+        t0: float = 0.0,
+    ) -> np.ndarray:
+        """Digitize a ``(batch, n)`` matrix of records, one row per device.
+
+        Applies the same jitter / resample / truncate / noise / quantize
+        chain as :meth:`capture`, with ``rngs[i]`` supplying row ``i``'s
+        measurement noise.  Row ``i`` of the result is bit-identical to
+        ``capture(Waveform(samples[i], sample_rate, t0), duration,
+        rngs[i])`` -- the vectorized steps are elementwise along the last
+        axis, and the per-row RNG draws happen in the same order as the
+        serial path.
+        """
+        mat = np.asarray(samples, dtype=float)
+        if mat.ndim != 2:
+            raise ValueError("samples must be a (batch, n) matrix")
+        n_rows, n = mat.shape
+        if rngs is None:
+            rngs = [None] * n_rows
+        if len(rngs) != n_rows:
+            raise ValueError("need one rng (or None) per batch row")
+        t = t0 + np.arange(n) / sample_rate
+        if self.jitter_rms > 0.0 and n:
+            jittered_rows = np.array(mat, copy=True)
+            for i, rng in enumerate(rngs):
+                if rng is not None:
+                    inst = t + rng.normal(0.0, self.jitter_rms, size=n)
+                    inst = np.clip(inst, t[0], t[-1])
+                    jittered_rows[i] = np.interp(inst, t, mat[i])
+            mat = jittered_rows
+        if sample_rate != self.sample_rate:
+            n_new = max(1, int(round(n / sample_rate * self.sample_rate)))
+            new_t = t0 + np.arange(n_new) / self.sample_rate
+            resampled = np.empty((n_rows, n_new))
+            for i in range(n_rows):
+                resampled[i] = np.interp(new_t, t, mat[i])
+            mat = resampled
+        if duration is not None:
+            n_keep = int(round(duration * self.sample_rate))
+            if n_keep < 1:
+                raise ValueError("capture duration shorter than one sample")
+            if n_keep < mat.shape[-1]:
+                mat = mat[:, :n_keep]
+        if self.noise_vrms > 0.0:
+            noisy = np.array(mat, copy=True)
+            for i, rng in enumerate(rngs):
+                if rng is not None:
+                    noisy[i] = mat[i] + rng.normal(
+                        0.0, self.noise_vrms, size=mat.shape[-1]
+                    )
+            mat = noisy
+        if self.bits is not None:
+            mat = quantize_array(mat, self.bits, self.full_scale)
+        return mat
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         bits = "ideal" if self.bits is None else f"{self.bits}-bit"

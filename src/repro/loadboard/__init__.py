@@ -12,8 +12,9 @@ response back to a baseband signature.  Two simulation engines exist:
   ``tests/loadboard/test_envelope_vs_passband.py``).
 """
 
-from repro.loadboard.envelope import EnvelopeSignal
+from repro.loadboard.envelope import EnvelopeSignal, one_pole_lowpass
 from repro.loadboard.signature_path import (
+    CapturePlan,
     SignaturePathConfig,
     SignatureTestBoard,
     simulation_config,
@@ -21,9 +22,11 @@ from repro.loadboard.signature_path import (
 )
 
 __all__ = [
+    "CapturePlan",
     "EnvelopeSignal",
     "SignaturePathConfig",
     "SignatureTestBoard",
+    "one_pole_lowpass",
     "simulation_config",
     "hardware_config",
 ]

@@ -12,27 +12,48 @@ Implements the configurations of Figures 2 and 3 of the paper:
 The simulation runs in the harmonic-envelope domain
 (:mod:`repro.loadboard.envelope`), which reproduces the passband physics
 exactly for the cubic mixers/DUT while sampling only at baseband rates.
+
+Batched capture
+---------------
+Everything upstream of the DUT -- the rendered stimulus, the first LO,
+the mixer-1 upconversion and its harmonic powers, and (for a fixed path
+phase) the second LO -- depends only on ``(stimulus, config)``, never on
+the device.  :class:`CapturePlan` precomputes that front half once and
+:meth:`SignatureTestBoard.capture_batch` /
+:meth:`SignatureTestBoard.signature_batch` run the device-dependent back
+half as single ``(batch, n)`` NumPy operations over a whole device lot.
+Per-device RNG streams are spawned exactly like the executor layer's
+(:func:`repro.runtime.executor.spawn_generators`), and every vectorized
+step is elementwise along the record axis, so batched results are
+bit-identical to the one-device-at-a-time path -- :meth:`capture` itself
+is a batch of one.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits.device import RFDevice
 from repro.circuits.noisefig import added_output_noise_vrms
+from repro.circuits.nonlinear import PolynomialNonlinearity
 from repro.dsp.filters import ButterworthLowpass
 from repro.dsp.mixer import Mixer
 from repro.dsp.sources import dbm_to_vpeak
-from repro.dsp.spectral import fft_magnitude_signature
+from repro.dsp.spectral import (
+    fft_magnitude_signature,
+    fft_magnitude_signature_matrix,
+)
 from repro.dsp.units import undb20
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 from repro.instruments.digitizer import BasebandDigitizer
-from repro.loadboard.envelope import EnvelopeSignal
+from repro.loadboard.envelope import EnvelopeSignal, one_pole_lowpass
 
 __all__ = [
+    "CapturePlan",
     "SignaturePathConfig",
     "SignatureTestBoard",
     "mix_envelope",
@@ -40,26 +61,34 @@ __all__ = [
     "hardware_config",
 ]
 
+RngList = Sequence[Optional[np.random.Generator]]
+
 
 def mix_envelope(
     mixer: Mixer,
     rf: EnvelopeSignal,
     lo: EnvelopeSignal,
     max_harmonic: int = 12,
+    lo_powers: Optional[Dict[int, EnvelopeSignal]] = None,
 ) -> EnvelopeSignal:
     """Apply a behavioral mixer's cross-product table in the envelope domain.
 
     Same model as :meth:`repro.dsp.mixer.Mixer.mix`, but operating on
     :class:`EnvelopeSignal` operands:  ``out = g * sum c_mn rf^m lo^n``.
+
+    ``lo_powers`` memoizes the LO power chain ``{1: lo, 2: lo^2, ...}``
+    across calls that reuse the same LO (the cached capture plan passes
+    its own dict); missing powers are computed and stored into it.
     """
     max_m = max(m for m, _ in mixer.harmonics.coeffs)
     max_n = max(n for _, n in mixer.harmonics.coeffs)
     rf_pows = {1: rf}
-    lo_pows = {1: lo}
+    lo_pows = lo_powers if lo_powers is not None else {1: lo}
     for p in range(2, max_m + 1):
         rf_pows[p] = rf_pows[p - 1].multiply(rf, max_harmonic)
     for p in range(2, max_n + 1):
-        lo_pows[p] = lo_pows[p - 1].multiply(lo, max_harmonic)
+        if p not in lo_pows:
+            lo_pows[p] = lo_pows[p - 1].multiply(lo, max_harmonic)
     out: Optional[EnvelopeSignal] = None
     for (m, n), c in mixer.harmonics.coeffs.items():
         term = rf_pows[m].multiply(lo_pows[n], max_harmonic).scale(c)
@@ -133,6 +162,43 @@ class SignaturePathConfig:
         return self.setup_time + self.capture_seconds
 
 
+@dataclass
+class CapturePlan:
+    """The device-independent front half of a signature capture.
+
+    Everything here depends only on ``(stimulus, config)``: the stimulus
+    record rendered at the engine rate, the mixer-1 upconversion (with
+    fixture input loss applied), the coupled DUT drive and its cached
+    derived quantities, and -- when the path phase is fixed -- the second
+    LO envelope.  A batch of N devices reuses one plan instead of paying
+    the front half N times.
+    """
+
+    #: stimulus rendered at the engine rate, padded/truncated to the capture
+    record: Waveform
+    #: mixer-1 output after fixture input loss
+    upconverted: EnvelopeSignal
+    #: the drive the DUT sees (carrier band only for tuned coupling)
+    dut_in: EnvelopeSignal
+    #: peak drive estimate used for overdrive bookkeeping
+    peak: float
+    #: tuned coupling: carrier-band drive envelope and its magnitude
+    u1: Optional[np.ndarray] = None
+    amps: Optional[np.ndarray] = None
+    #: wideband coupling: cached powers of the drive for the cubic DUT
+    dut_in_sq: Optional[EnvelopeSignal] = None
+    dut_in_cube: Optional[EnvelopeSignal] = None
+    #: second LO at the fixed path phase (None when the phase is random)
+    lo2: Optional[EnvelopeSignal] = None
+    #: memoized LO2 power chain for mixer 2 (mutated by ``mix_envelope``)
+    lo2_pows: Optional[Dict[int, EnvelopeSignal]] = None
+
+    @property
+    def n(self) -> int:
+        """Engine-rate record length."""
+        return len(self.record)
+
+
 class SignatureTestBoard:
     """Simulates one capture through the load board of Figure 2/3.
 
@@ -141,6 +207,9 @@ class SignatureTestBoard:
     Ratios approaching 1 mean the cubic model is leaving its physical
     validity range; the stimulus optimizer penalizes such drive levels.
     """
+
+    #: distinct (stimulus, config) plans kept per board (LRU)
+    _plan_cache_size = 8
 
     def __init__(self, config: SignaturePathConfig):
         self.config = config
@@ -153,7 +222,18 @@ class SignatureTestBoard:
             noise_vrms=config.digitizer_noise_vrms,
         )
         #: peak DUT drive / saturation amplitude of the last capture
+        #: (the batch maximum for a batched capture)
         self.last_overdrive_ratio: float = 0.0
+        #: per-device overdrive ratios of the last (batched) capture
+        self.last_overdrive_ratios: np.ndarray = np.zeros(0)
+        self._plan_cache: "OrderedDict[tuple, CapturePlan]" = OrderedDict()
+
+    def __getstate__(self):
+        # the plan cache can hold megabytes of envelopes; rebuilding it
+        # in a worker is cheaper than pickling it across every task
+        state = self.__dict__.copy()
+        state["_plan_cache"] = OrderedDict()
+        return state
 
     # ------------------------------------------------------------------
     # stimulus handling
@@ -181,20 +261,39 @@ class SignatureTestBoard:
         return wf
 
     # ------------------------------------------------------------------
-    # the full path
+    # the cached device-independent front half
     # ------------------------------------------------------------------
-    def capture(
-        self,
-        device: RFDevice,
-        stimulus: Union[Waveform, PiecewiseLinearStimulus],
-        rng: Optional[np.random.Generator] = None,
-    ) -> Waveform:
-        """One signature acquisition: the digitized baseband response."""
-        cfg = self.config
-        x = self._stimulus_record(stimulus)
-        n = len(x)
+    def capture_plan(
+        self, stimulus: Union[Waveform, PiecewiseLinearStimulus]
+    ) -> CapturePlan:
+        """The (cached) device-independent front half for this stimulus.
 
-        rf_in = EnvelopeSignal.from_baseband(x, cfg.carrier_freq)
+        Keyed on the rendered record's bytes, so value-equal stimuli of
+        any type (PWL, multitone, raw waveform) share one plan.  An LRU
+        of :attr:`_plan_cache_size` plans is kept per board -- enough for
+        a finite-difference star (nominal plus per-parameter steps uses
+        one plan each) while bounding memory.
+        """
+        record = self._stimulus_record(stimulus)
+        key = (record.sample_rate, record.t0, record.samples.tobytes())
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(record)
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(key)
+        return plan
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached capture plans (each rebuilds on next use)."""
+        self._plan_cache.clear()
+
+    def _build_plan(self, record: Waveform) -> CapturePlan:
+        cfg = self.config
+        n = len(record)
+        rf_in = EnvelopeSignal.from_baseband(record, cfg.carrier_freq)
         lo1 = EnvelopeSignal.sine_carrier(
             n,
             cfg.engine_rate,
@@ -206,101 +305,284 @@ class SignatureTestBoard:
         if cfg.input_loss_db > 0.0:
             upconverted = upconverted.scale(undb20(-cfg.input_loss_db))
 
-        from repro.circuits.nonlinear import PolynomialNonlinearity
+        u1 = amps = None
+        dut_in_sq = dut_in_cube = None
+        if cfg.dut_coupling == "tuned":
+            dut_in = upconverted.keep_harmonics([1])
+            u1 = dut_in.harmonic(1)
+            amps = np.abs(u1)
+            peak = float(amps.max()) if len(amps) else 0.0
+        else:
+            dut_in = upconverted
+            peak = dut_in.peak_passband_estimate()
+            dut_in_sq = dut_in.power(2, cfg.max_harmonic)
+            dut_in_cube = dut_in_sq.multiply(dut_in, cfg.max_harmonic)
 
-        a1, a2, a3 = device.envelope_poly()
-        poly = PolynomialNonlinearity(a1, a2, a3)
-        sat = poly.saturation_amplitude
+        lo2 = None
+        if not cfg.random_path_phase:
+            lo2 = EnvelopeSignal.sine_carrier(
+                n,
+                cfg.engine_rate,
+                cfg.carrier_freq,
+                amplitude=cfg.carrier_amplitude,
+                phase=cfg.path_phase_rad,
+                offset_hz=cfg.lo_offset_hz,
+            )
+        return CapturePlan(
+            record=record,
+            upconverted=upconverted,
+            dut_in=dut_in,
+            peak=peak,
+            u1=u1,
+            amps=amps,
+            dut_in_sq=dut_in_sq,
+            dut_in_cube=dut_in_cube,
+            lo2=lo2,
+            lo2_pows={1: lo2} if lo2 is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # the device-dependent back half (vectorized over the batch)
+    # ------------------------------------------------------------------
+    def _dut_response_batch(
+        self, plan: CapturePlan, devices: Sequence[RFDevice]
+    ) -> EnvelopeSignal:
+        """DUT outputs for a batch: one ``(batch, n)`` envelope signal.
+
+        Row ``i`` is bit-identical to pushing ``plan.dut_in`` through
+        device ``i`` alone; also updates the overdrive bookkeeping.
+        """
+        cfg = self.config
+        polys = [PolynomialNonlinearity(*d.envelope_poly()) for d in devices]
+        peak = plan.peak
+        ratios = [
+            peak / p.saturation_amplitude
+            if np.isfinite(p.saturation_amplitude)
+            else 0.0
+            for p in polys
+        ]
+        self.last_overdrive_ratios = np.asarray(ratios)
+        self.last_overdrive_ratio = float(max(ratios)) if ratios else 0.0
 
         if cfg.dut_coupling == "tuned":
             # Narrowband DUT: only the carrier band reaches the
             # nonlinearity, so the describing function of the *saturating*
             # transfer is exact -- physical gain compression at any drive,
-            # without the raw cubic's fold-back.
-            dut_in = upconverted.keep_harmonics([1])
-            u1 = dut_in.harmonic(1)
-            amps = np.abs(u1)
-            peak = float(amps.max()) if len(amps) else 0.0
-            self.last_overdrive_ratio = peak / sat if np.isfinite(sat) else 0.0
+            # without the raw cubic's fold-back.  The per-device gain
+            # tables interpolate the shared |u1| record; the whole batch
+            # then multiplies u1 in one operation.
+            gain = np.empty((len(polys), plan.amps.shape[-1]))
             if peak > 0.0:
-                grid, table = poly.describing_gain_table(1.01 * peak)
-                gain = np.interp(amps, grid, table)
+                for i, poly in enumerate(polys):
+                    grid, table = poly.describing_gain_table(1.01 * peak)
+                    gain[i] = np.interp(plan.amps, grid, table)
             else:
-                gain = np.full_like(amps, a1, dtype=float)
-            dut_out = EnvelopeSignal(
-                {1: gain * u1}, dut_in.sample_rate, dut_in.carrier_freq
+                for i, poly in enumerate(polys):
+                    gain[i] = np.full_like(plan.amps, poly.a1, dtype=float)
+            return EnvelopeSignal(
+                {1: gain * plan.u1},
+                plan.dut_in.sample_rate,
+                plan.dut_in.carrier_freq,
             )
-        else:
-            # Wideband DUT: every product reaches the polynomial.  Only
-            # valid below the fold-back point; the optimizer's drive
-            # penalty keeps stimuli inside that range.
-            dut_in = upconverted
-            peak = dut_in.peak_passband_estimate()
-            self.last_overdrive_ratio = peak / sat if np.isfinite(sat) else 0.0
-            dut_out = dut_in.apply_polynomial(a1, a2, a3, cfg.max_harmonic)
+
+        # Wideband DUT: every product reaches the polynomial.  Only
+        # valid below the fold-back point; the optimizer's drive
+        # penalty keeps stimuli inside that range.  The drive powers
+        # come precomputed from the plan; per-device coefficients enter
+        # as (batch, 1) columns.
+        a1_col = np.array([p.a1 for p in polys])[:, None]
+        a2s = np.array([p.a2 for p in polys])
+        a3s = np.array([p.a3 for p in polys])
+        out = plan.dut_in.scale(a1_col)
+        if np.any(a2s != 0.0):
+            out = out + plan.dut_in_sq.scale(a2s[:, None])
+        if np.any(a3s != 0.0):
+            out = out + plan.dut_in_cube.scale(a3s[:, None])
+        return out
+
+    def _resolve_rngs(
+        self,
+        rng: Optional[np.random.Generator],
+        rngs: Optional[RngList],
+        n_devices: int,
+    ) -> List[Optional[np.random.Generator]]:
+        """Per-device generators: explicit list, spawned from ``rng``, or None."""
+        if rngs is not None:
+            if rng is not None:
+                raise ValueError("pass either rng or rngs, not both")
+            rngs = list(rngs)
+            if len(rngs) != n_devices:
+                raise ValueError("need one rng (or None) per device")
+            return rngs
+        if rng is None:
+            return [None] * n_devices
+        # local import: repro.runtime's package __init__ imports modules
+        # that import this one
+        from repro.runtime.executor import spawn_generators
+
+        return spawn_generators(rng, n_devices)
+
+    def _capture_batch_matrix(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator],
+        rngs: Optional[RngList],
+    ) -> np.ndarray:
+        """Digitized records for a device batch as a ``(batch, n)`` matrix."""
+        cfg = self.config
+        gens = self._resolve_rngs(rng, rngs, len(devices))
+        plan = self.capture_plan(stimulus)
+        n = plan.n
+        dut_out = self._dut_response_batch(plan, devices)
 
         # DUT envelope dynamics: a finite modulation bandwidth low-passes
         # the carrier-band envelope (tuned coupling only -- a wideband DUT
         # with memory is outside this model's scope)
-        env_bw = getattr(device, "envelope_bandwidth", None)
-        if env_bw is not None and cfg.dut_coupling == "tuned":
-            dut_out = dut_out.filter_harmonic(1, env_bw)
+        bws = [getattr(d, "envelope_bandwidth", None) for d in devices]
+        if cfg.dut_coupling == "tuned" and any(bw is not None for bw in bws):
+            env1 = dut_out.harmonic(1)
+            filtered_env = np.array(env1, copy=True)
+            groups: Dict[float, List[int]] = {}
+            for i, bw in enumerate(bws):
+                if bw is not None:
+                    groups.setdefault(bw, []).append(i)
+            for bw, idx in groups.items():
+                filtered_env[idx] = one_pole_lowpass(
+                    env1[idx], dut_out.sample_rate, bw
+                )
+            envs = dict(dut_out.envelopes)
+            envs[1] = filtered_env
+            dut_out = EnvelopeSignal(envs, dut_out.sample_rate, dut_out.carrier_freq)
 
         if cfg.output_loss_db > 0.0:
             dut_out = dut_out.scale(undb20(-cfg.output_loss_db))
 
-        if cfg.include_device_noise and rng is not None:
-            dut_out = self._add_device_noise(dut_out, device, rng)
+        if cfg.include_device_noise and any(g is not None for g in gens):
+            dut_out = self._add_device_noise_batch(dut_out, devices, gens)
 
-        phase = cfg.path_phase_rad
         if cfg.random_path_phase:
-            if rng is None:
+            if any(g is None for g in gens):
                 raise ValueError("random_path_phase requires an rng")
-            phase = phase + rng.uniform(0.0, 2.0 * np.pi)
-        lo2 = EnvelopeSignal.sine_carrier(
-            n,
-            cfg.engine_rate,
-            cfg.carrier_freq,
-            amplitude=cfg.carrier_amplitude,
-            phase=phase,
-            offset_hz=cfg.lo_offset_hz,
+            phases = np.array(
+                [cfg.path_phase_rad + g.uniform(0.0, 2.0 * np.pi) for g in gens]
+            )
+            lo2 = EnvelopeSignal.sine_carrier(
+                n,
+                cfg.engine_rate,
+                cfg.carrier_freq,
+                amplitude=cfg.carrier_amplitude,
+                phase=phases[:, None],
+                offset_hz=cfg.lo_offset_hz,
+            )
+            lo2_pows = None
+        else:
+            lo2 = plan.lo2
+            lo2_pows = plan.lo2_pows
+        downconverted = mix_envelope(
+            cfg.mixer2, dut_out, lo2, cfg.max_harmonic, lo_powers=lo2_pows
         )
-        downconverted = mix_envelope(cfg.mixer2, dut_out, lo2, cfg.max_harmonic)
 
-        baseband = downconverted.keep_harmonics([0]).baseband_waveform()
-        filtered = self._lpf.apply_fft(baseband)
-        return self._digitizer.capture(filtered, cfg.capture_seconds, rng)
+        baseband = downconverted.keep_harmonics([0]).baseband()
+        filtered = self._lpf.apply_fft_matrix(baseband)
+        return self._digitizer.capture_matrix(
+            filtered, cfg.engine_rate, cfg.capture_seconds, gens
+        )
 
-    def _add_device_noise(
+    def _add_device_noise_batch(
         self,
         dut_out: EnvelopeSignal,
-        device: RFDevice,
-        rng: np.random.Generator,
+        devices: Sequence[RFDevice],
+        gens: RngList,
     ) -> EnvelopeSignal:
-        """Inject the DUT's added thermal noise on the carrier band.
+        """Inject each DUT's added thermal noise on the carrier band.
 
         The complex envelope of bandpass noise occupying ``engine_rate``
         hertz around the carrier has independent gaussian quadratures of
         standard deviation equal to the real noise RMS in that band.
+        Each row draws from its own generator, in the same (re, im) order
+        as a one-device capture.
         """
-        specs = device.specs()
-        sigma = added_output_noise_vrms(
-            specs.gain_db, specs.nf_db, self.config.engine_rate
-        )
-        if sigma <= 0.0:
+        sigmas = []
+        for device, g in zip(devices, gens):
+            if g is None:
+                sigmas.append(0.0)
+                continue
+            specs = device.specs()
+            sigmas.append(
+                added_output_noise_vrms(
+                    specs.gain_db, specs.nf_db, self.config.engine_rate
+                )
+            )
+        if not any(s > 0.0 for s in sigmas):
             return dut_out
         n = dut_out.n
-        noise_env = sigma * (rng.normal(size=n) + 1j * rng.normal(size=n))
-        noisy = EnvelopeSignal(
-            {1: dut_out.harmonic(1) + noise_env},
-            dut_out.sample_rate,
-            dut_out.carrier_freq,
-        )
+        h1 = dut_out.harmonic(1)
+        noisy = np.array(h1, copy=True)
+        for i, (sigma, g) in enumerate(zip(sigmas, gens)):
+            if sigma > 0.0 and g is not None:
+                noise_env = sigma * (g.normal(size=n) + 1j * g.normal(size=n))
+                noisy[i] = h1[i] + noise_env
+        envs: Dict[int, np.ndarray] = {1: noisy}
         # carry the other harmonics through untouched
         for h in dut_out.harmonics():
             if h != 1:
-                noisy.envelopes[h] = dut_out.harmonic(h)
-        return noisy
+                envs[h] = dut_out.envelopes[h]
+        return EnvelopeSignal(envs, dut_out.sample_rate, dut_out.carrier_freq)
+
+    # ------------------------------------------------------------------
+    # the full path
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        device: RFDevice,
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Waveform:
+        """One signature acquisition: the digitized baseband response.
+
+        Implemented as a batch of one, so a lone capture and row ``i`` of
+        a batched capture run the exact same code path.
+        """
+        return self.capture_batch([device], stimulus, rngs=[rng])[0]
+
+    def capture_batch(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+        *,
+        rngs: Optional[RngList] = None,
+    ) -> List[Waveform]:
+        """One signature acquisition per device, vectorized over the batch.
+
+        Parameters
+        ----------
+        devices:
+            The device batch; results are returned in this order.
+        rng:
+            Master generator: one independent stream per device is
+            spawned exactly like
+            :func:`repro.runtime.executor.spawn_generators`, so the
+            records equal a per-device loop over those streams.  ``None``
+            disables measurement noise (noise-free captures).
+        rngs:
+            Alternatively, explicit per-device generators (entries may be
+            ``None``); mutually exclusive with ``rng``.
+
+        Returns
+        -------
+        One digitized :class:`~repro.dsp.waveform.Waveform` per device,
+        bit-identical to calling :meth:`capture` per device with the same
+        per-device generators.
+        """
+        devices = list(devices)
+        if not devices:
+            return []
+        mat = self._capture_batch_matrix(devices, stimulus, rng, rngs)
+        return [
+            Waveform(row, self._digitizer.sample_rate, 0.0) for row in mat
+        ]
 
     # ------------------------------------------------------------------
     # signature extraction (Figure 3: FFT magnitude)
@@ -317,6 +599,31 @@ class SignatureTestBoard:
         record = self.capture(device, stimulus, rng)
         return fft_magnitude_signature(
             record, n_bins=n_bins, log_scale=log_scale
+        )
+
+    def signature_batch(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+        n_bins: Optional[int] = None,
+        log_scale: bool = False,
+        *,
+        rngs: Optional[RngList] = None,
+    ) -> np.ndarray:
+        """FFT-magnitude signatures for a device batch, shape ``(batch, m)``.
+
+        Row ``i`` is bit-identical (``np.array_equal``) to
+        ``signature(devices[i], stimulus, rng=stream_i, ...)`` where
+        ``stream_i`` is the i-th generator spawned from ``rng`` (see
+        :meth:`capture_batch`).
+        """
+        devices = list(devices)
+        if not devices:
+            return np.empty((0, 0))
+        mat = self._capture_batch_matrix(devices, stimulus, rng, rngs)
+        return fft_magnitude_signature_matrix(
+            mat, n_bins=n_bins, log_scale=log_scale
         )
 
     def time_signature(

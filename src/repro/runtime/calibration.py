@@ -30,7 +30,12 @@ from repro.regression.pca import PCA
 from repro.regression.pipeline import Pipeline
 from repro.regression.polynomial import PolynomialRidge
 from repro.regression.scaling import StandardScaler
-from repro.runtime.executor import Executor, get_executor, spawn_seeds
+from repro.runtime.executor import (
+    Executor,
+    default_chunksize,
+    get_executor,
+    spawn_seeds,
+)
 
 __all__ = [
     "CalibrationModel",
@@ -46,6 +51,27 @@ def _capture_task(board, stimulus, n_bins, task) -> np.ndarray:
     return board.signature(
         device, stimulus, rng=np.random.default_rng(seed), n_bins=n_bins
     )
+
+
+def _capture_batch_task(board, stimulus, n_bins, task) -> np.ndarray:
+    """One pickled batched capture over a device chunk."""
+    devices, seeds = task
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    return board.signature_batch(devices, stimulus, rngs=rngs, n_bins=n_bins)
+
+
+def _chunk_bounds(n: int, executor, chunksize: Optional[int]):
+    """``(start, stop)`` bounds for dispatching ``n`` devices in batches.
+
+    Serial backends get the whole lot as one batch (maximum
+    vectorization); pooled backends split it so every worker stays busy.
+    Per-device RNG seeding makes the results independent of the split.
+    """
+    workers = getattr(executor, "workers", 1)
+    if chunksize is None:
+        chunksize = n if workers <= 1 else default_chunksize(n, workers)
+    chunksize = max(1, chunksize)
+    return [(i, min(i + chunksize, n)) for i in range(0, n, chunksize)]
 
 
 def measure_signatures(
@@ -64,7 +90,10 @@ def measure_signatures(
     set (Figure 5's left box).  Each device's measurement noise comes
     from its own RNG stream spawned from ``rng`` (one 64-bit draw
     consumed), so the matrix is bit-identical for any ``executor``
-    backend -- serial, thread, or process -- and any worker count.
+    backend -- serial, thread, or process -- any worker count, and any
+    ``chunksize``.  Boards exposing ``signature_batch`` are measured in
+    vectorized device chunks (the whole lot at once on a serial
+    backend); others fall back to one capture per device.
 
     Parameters
     ----------
@@ -87,7 +116,21 @@ def measure_signatures(
     """
     devices = list(devices)
     seeds = spawn_seeds(rng, len(devices))
-    rows = get_executor(executor).map_tasks(
+    ex = get_executor(executor)
+    if hasattr(board, "signature_batch"):
+        # vectorized path: ship device *chunks*, one batched capture per
+        # task; per-device seeds keep the result independent of chunking
+        tasks = [
+            (devices[a:b], seeds[a:b])
+            for a, b in _chunk_bounds(len(devices), ex, chunksize)
+        ]
+        blocks = ex.map_tasks(
+            partial(_capture_batch_task, board, stimulus, n_bins),
+            tasks,
+            chunksize=1,
+        )
+        return np.vstack(blocks) if blocks else np.empty((0, 0))
+    rows = ex.map_tasks(
         partial(_capture_task, board, stimulus, n_bins),
         list(zip(devices, seeds)),
         chunksize=chunksize,

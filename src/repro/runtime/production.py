@@ -21,7 +21,7 @@ import numpy as np
 from repro.circuits.device import RFDevice, SpecSet
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 from repro.loadboard.signature_path import SignatureTestBoard
-from repro.runtime.calibration import CalibrationModel
+from repro.runtime.calibration import CalibrationModel, _chunk_bounds
 from repro.runtime.executor import Executor, get_executor, spawn_seeds
 from repro.runtime.specs import SpecificationLimits
 
@@ -32,6 +32,33 @@ def _insertion_task(flow: "ProductionTestFlow", task) -> "DeviceTestRecord":
     """One pickled production insertion (module-level for ProcessExecutor)."""
     device_id, device, seed = task
     return flow.test_device(device, np.random.default_rng(seed), device_id=device_id)
+
+
+def _insertion_batch_task(
+    flow: "ProductionTestFlow", task
+) -> List["DeviceTestRecord"]:
+    """One pickled batched insertion over a device chunk."""
+    ids, devices, seeds = task
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    signatures = flow.board.signature_batch(
+        devices, flow.stimulus, rngs=rngs, n_bins=flow.signature_bins
+    )
+    test_time = flow.board.config.total_test_time()
+    records = []
+    for device_id, signature in zip(ids, signatures):
+        signature = signature.copy()  # detach the row from the batch matrix
+        predicted = flow.calibration.predict(signature)
+        passed = flow.limits.check(predicted) if flow.limits is not None else None
+        records.append(
+            DeviceTestRecord(
+                device_id=device_id,
+                predicted=predicted,
+                passed=passed,
+                test_time=test_time,
+                signature=signature,
+            )
+        )
+    return records
 
 
 @dataclass(frozen=True)
@@ -134,7 +161,10 @@ class ProductionTestFlow:
         Each device gets its own RNG stream spawned from ``rng`` (one
         64-bit draw is consumed), so the per-device records -- kept in
         input order -- are bit-identical for any ``executor`` backend,
-        worker count, or ``chunksize``.
+        worker count, or ``chunksize``.  Boards exposing
+        ``signature_batch`` are captured in vectorized device chunks
+        (the whole lot at once on a serial backend); spec prediction
+        stays per-device either way.
 
         Parameters
         ----------
@@ -152,8 +182,21 @@ class ProductionTestFlow:
         """
         devices = list(devices)
         seeds = spawn_seeds(rng, len(devices))
+        ex = get_executor(executor)
+        if hasattr(self.board, "signature_batch"):
+            ids = list(range(len(devices)))
+            tasks = [
+                (ids[a:b], devices[a:b], seeds[a:b])
+                for a, b in _chunk_bounds(len(devices), ex, chunksize)
+            ]
+            blocks = ex.map_tasks(
+                partial(_insertion_batch_task, self), tasks, chunksize=1
+            )
+            return ProductionRunResult(
+                records=[record for block in blocks for record in block]
+            )
         tasks = list(zip(range(len(devices)), devices, seeds))
-        records = get_executor(executor).map_tasks(
+        records = ex.map_tasks(
             partial(_insertion_task, self), tasks, chunksize=chunksize
         )
         return ProductionRunResult(records=list(records))

@@ -166,17 +166,37 @@ class SignatureStimulusOptimizer:
 
         return fn
 
+    def signature_batch_function(
+        self, stimulus: PiecewiseLinearStimulus
+    ) -> Callable[[List[Dict[str, float]]], np.ndarray]:
+        """Noise-free signatures of many device instances in one capture.
+
+        Row ``i`` is bit-identical to :meth:`signature_function` on the
+        i-th parameter dict -- the batched board path shares every
+        operation with the one-device path.
+        """
+
+        def fn(param_dicts: List[Dict[str, float]]) -> np.ndarray:
+            devices = [self.device_factory(p) for p in param_dicts]
+            return self.board.signature_batch(
+                devices, stimulus, rng=None, n_bins=self.signature_bins
+            )
+
+        return fn
+
     def signature_matrix(self, stimulus: PiecewiseLinearStimulus) -> np.ndarray:
         """``A_s`` in process-sigma units for a candidate stimulus.
 
         Central differences: the signature path is mildly nonlinear over
         the process range (compression, FFT magnitudes), and forward
         differences leak enough curvature into ``A_s`` to contaminate its
-        singular directions.
+        singular directions.  The whole difference star runs as one
+        batched capture -- this is the GA fitness loop's hot path.
         """
         a_s, _ = signature_sensitivity(
             self.signature_function(stimulus), self.space, self.rel_step,
             central=True,
+            batch_func=self.signature_batch_function(stimulus),
         )
         return a_s * self.space.fractional_std_vector()[None, :]
 

@@ -10,7 +10,7 @@ wildly different physical units share a common scale.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ __all__ = [
 ]
 
 VectorFunction = Callable[[Dict[str, float]], np.ndarray]
+BatchVectorFunction = Callable[[List[Dict[str, float]]], np.ndarray]
 
 
 def finite_difference_jacobian(
@@ -30,6 +31,7 @@ def finite_difference_jacobian(
     space: ParameterSpace,
     rel_step: float = 0.05,
     central: bool = False,
+    batch_func: Optional[BatchVectorFunction] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Jacobian of ``func`` w.r.t. normalized process deviations.
 
@@ -44,6 +46,13 @@ def finite_difference_jacobian(
         Fractional perturbation of each parameter.
     central:
         Use central differences (2x the evaluations, 2nd-order accurate).
+    batch_func:
+        Optional vectorized evaluator: maps a *list* of parameter dicts
+        to a matrix with one output row per dict.  When given, the whole
+        finite-difference star (nominal plus every perturbed point) is
+        evaluated in one call -- e.g. one batched load-board capture --
+        and ``func`` is not called.  Rows must equal ``func`` on the same
+        dicts for the Jacobian to be unchanged.
 
     Returns
     -------
@@ -53,6 +62,8 @@ def finite_difference_jacobian(
     """
     if not (0.0 < rel_step < 0.5):
         raise ValueError("rel_step should be a small positive fraction")
+    if batch_func is not None:
+        return _batched_jacobian(batch_func, space, rel_step, central)
     baseline = np.asarray(func(space.to_dict(space.nominal_vector())), dtype=float)
     if baseline.ndim != 1:
         raise ValueError("func must return a 1-D vector")
@@ -66,6 +77,34 @@ def finite_difference_jacobian(
                 func(space.to_dict(space.perturbed_vector(name, -rel_step))),
                 dtype=float,
             )
+            jac[:, j] = (plus - minus) / (2.0 * rel_step)
+        else:
+            jac[:, j] = (plus - baseline) / rel_step
+    return jac, baseline
+
+
+def _batched_jacobian(
+    batch_func: BatchVectorFunction,
+    space: ParameterSpace,
+    rel_step: float,
+    central: bool,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-shot finite differences: the whole star in a single evaluation."""
+    points = [space.to_dict(space.nominal_vector())]
+    for name in space.names():
+        points.append(space.to_dict(space.perturbed_vector(name, rel_step)))
+        if central:
+            points.append(space.to_dict(space.perturbed_vector(name, -rel_step)))
+    outs = np.asarray(batch_func(points), dtype=float)
+    if outs.ndim != 2 or len(outs) != len(points):
+        raise ValueError("batch_func must return one output row per point")
+    baseline = outs[0].copy()
+    jac = np.empty((outs.shape[1], len(space)))
+    stride = 2 if central else 1
+    for j in range(len(space)):
+        plus = outs[1 + stride * j]
+        if central:
+            minus = outs[2 + stride * j]
             jac[:, j] = (plus - minus) / (2.0 * rel_step)
         else:
             jac[:, j] = (plus - baseline) / rel_step
@@ -96,12 +135,18 @@ def signature_sensitivity(
     space: ParameterSpace,
     rel_step: float = 0.05,
     central: bool = False,
+    batch_func: Optional[BatchVectorFunction] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The matrix ``A_s`` of Equation 7 (signature vs process).
 
     ``signature_fn`` maps a parameter dict to the *noise-free* signature
     vector for the stimulus under evaluation.  Forward differences are the
     default: the GA calls this inside its fitness loop, and forward
-    differencing halves the cost.  Returns ``(A_s, nominal_signature)``.
+    differencing halves the cost.  ``batch_func`` (one signature matrix
+    for a list of parameter dicts, e.g. a batched load-board capture)
+    evaluates the whole difference star in one call.  Returns
+    ``(A_s, nominal_signature)``.
     """
-    return finite_difference_jacobian(signature_fn, space, rel_step, central)
+    return finite_difference_jacobian(
+        signature_fn, space, rel_step, central, batch_func=batch_func
+    )
