@@ -4,9 +4,13 @@ PYTHON ?= python
 
 # linted exactly like CI (.github/workflows/ci.yml runs `make lint`)
 LINT_PATHS ?= src/ tests/ benchmarks/
+# text for local runs; CI passes LINT_FORMAT=github for inline annotations
+LINT_FORMAT ?= text
+# incremental result cache; warm re-runs only re-analyze edited files
+LINT_CACHE ?= .lint-cache
 BENCH_JSON ?= bench.json
 
-.PHONY: install test lint bench bench-json bench-check examples all clean
+.PHONY: install test lint lint-stats bench bench-json bench-check examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,7 +19,14 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS)
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--format $(LINT_FORMAT) --cache-dir $(LINT_CACHE)
+
+# findings-per-rule markdown table (CI appends it to the job summary);
+# reporting stats never fails the build -- `lint` is the gate
+lint-stats:
+	@PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--cache-dir $(LINT_CACHE) --stats | sed -n '/^| rule/,$$p'
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -38,5 +49,5 @@ examples:
 all: lint test bench
 
 clean:
-	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	rm -rf .pytest_cache .hypothesis .lint-cache build *.egg-info src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -15,20 +15,38 @@ failure modes --
 * :mod:`repro.analysis.numerics` -- in-place ndarray-parameter mutation,
   float ``==``, ``assert`` in library code.
 
+On top of the per-file rules sit *project-level* rules that resolve
+imports and call edges across the whole repository
+(:mod:`repro.analysis.project`):
+
+* :mod:`repro.analysis.dataflow` -- ``units-domain-flow``: a value in
+  one unit domain (log / linear / frequency) flowing across a call edge
+  into a parameter that expects another;
+* :mod:`repro.analysis.parallel` -- ``par-unpicklable-task``,
+  ``par-captured-rng``, ``par-global-mutation`` for callables reachable
+  from ``map_tasks`` dispatch sites;
+* :mod:`repro.analysis.contracts` -- ``batch-shape-mismatch`` for
+  ``*_batch`` / ``*_matrix`` sibling APIs fed the wrong-shaped value.
+
 Run it with ``python -m repro.analysis [paths]`` (or ``python -m repro
 lint``); suppress a finding in place with a ``# repro-lint:
-disable=<rule>`` comment.  ``tests/analysis/test_self_clean.py`` keeps
-the repository itself lint-clean.
+disable=<rule>`` comment (``lint-unknown-suppression`` flags typos in
+those comments).  :func:`analyze_project` adds an mtime-keyed result
+cache so warm re-runs only re-parse edited files.
+``tests/analysis/test_self_clean.py`` keeps the repository itself
+lint-clean.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.analysis.driver import ProjectReport, analyze_project
 from repro.analysis.engine import (
     Finding,
     ModuleSource,
     Rule,
+    UnknownSuppressionRule,
     analyze_file,
     analyze_paths,
     analyze_source,
@@ -39,9 +57,12 @@ from repro.analysis.engine import (
 __all__ = [
     "Finding",
     "ModuleSource",
+    "ProjectReport",
     "Rule",
+    "UnknownSuppressionRule",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "iter_python_files",
     "parse_suppressions",
@@ -52,8 +73,21 @@ __all__ = [
 def default_rules() -> List[Rule]:
     """Fresh instances of every built-in rule, in reporting order."""
     from repro.analysis.api import API_RULES
+    from repro.analysis.contracts import CONTRACT_RULES
+    from repro.analysis.dataflow import DATAFLOW_RULES
     from repro.analysis.determinism import DETERMINISM_RULES
     from repro.analysis.numerics import NUMERICS_RULES
+    from repro.analysis.parallel import PARALLEL_RULES
     from repro.analysis.units import UNITS_RULES
 
-    return [*UNITS_RULES, *DETERMINISM_RULES, *API_RULES, *NUMERICS_RULES]
+    rules: List[Rule] = [
+        *UNITS_RULES,
+        *DETERMINISM_RULES,
+        *API_RULES,
+        *NUMERICS_RULES,
+        *DATAFLOW_RULES,
+        *PARALLEL_RULES,
+        *CONTRACT_RULES,
+    ]
+    rules.append(UnknownSuppressionRule(rule.name for rule in rules))
+    return rules

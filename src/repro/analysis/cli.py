@@ -4,6 +4,9 @@ Usage::
 
     python -m repro.analysis [paths ...]
     python -m repro.analysis src --format json
+    python -m repro.analysis src --format github   # CI annotations
+    python -m repro.analysis src --cache-dir .lint-cache
+    python -m repro.analysis src --stats           # findings-per-rule table
     python -m repro.analysis --list-rules
     python -m repro lint src          # same engine via the main CLI
 
@@ -18,9 +21,10 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.engine import Rule, analyze_paths
+from repro.analysis.driver import ProjectReport, analyze_project
+from repro.analysis.engine import Rule
 
-__all__ = ["build_parser", "run_lint", "main"]
+__all__ = ["build_parser", "format_stats", "run_lint", "main"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -38,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.analysis",
         description=(
             "signature-lint: domain-aware static analysis for the repro "
-            "library (unit-domain, determinism, API-surface, and numerics "
+            "library (unit-domain, determinism, API-surface, numerics, "
+            "cross-module dataflow, parallel-safety, and batch-contract "
             "rules)"
         ),
     )
@@ -50,9 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format (default: text; github emits workflow-command "
+            "annotations for CI)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -65,6 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RULES",
         help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "incremental-result cache directory; unchanged files are "
+            "served from it and only edited files re-analyzed"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and re-analyze every file",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a findings-per-rule markdown table to the report",
     )
     parser.add_argument(
         "--list-rules",
@@ -96,37 +123,77 @@ def _filter_rules(
     return chosen
 
 
+def _github_escape(text: str) -> str:
+    """Escape message data for a GitHub workflow command."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_stats(report: ProjectReport) -> str:
+    """Findings-per-rule markdown table (``make lint-stats`` / job summary)."""
+    lines = ["| rule | findings |", "| --- | ---: |"]
+    counts = report.rule_counts()
+    for rule_name, count in counts.items():
+        lines.append(f"| `{rule_name}` | {count} |")
+    lines.append(f"| **total** | **{len(report.findings)}** |")
+    lines.append("")
+    lines.append(
+        f"{report.files} files ({report.analyzed} analyzed, "
+        f"{report.cached} from cache)"
+    )
+    return "\n".join(lines)
+
+
 def run_lint(
     paths: Sequence[str],
     fmt: str = "text",
     select: Optional[str] = None,
     ignore: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    cache_dir: Optional[str] = None,
+    stats: bool = False,
 ) -> int:
     """Analyze ``paths`` and print a report; returns the exit code."""
     all_rules = list(rules) if rules is not None else _default_rules()
     try:
         chosen = _filter_rules(all_rules, select, ignore)
-        findings = analyze_paths(paths, chosen)
+        report = analyze_project(paths, rules=chosen, cache_dir=cache_dir)
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    findings = report.findings
     if fmt == "json":
         print(
             json.dumps(
                 {
                     "version": 1,
                     "count": len(findings),
+                    "files": report.files,
+                    "analyzed": report.analyzed,
+                    "cached": report.cached,
                     "findings": [f.to_dict() for f in findings],
                 },
                 indent=2,
             )
         )
+    elif fmt == "github":
+        for finding in findings:
+            print(
+                f"::error file={finding.path},line={finding.line},"
+                f"col={finding.col},title={finding.rule}::"
+                f"{_github_escape(finding.message)}"
+            )
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"signature-lint: {len(findings)} {noun}")
     else:
         for finding in findings:
             print(finding.format())
         noun = "finding" if len(findings) == 1 else "findings"
         print(f"signature-lint: {len(findings)} {noun}")
+    if stats:
+        print()
+        print(format_stats(report))
     return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 
@@ -138,5 +205,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.name}: {rule.description}")
         return EXIT_CLEAN
     return run_lint(
-        args.paths, fmt=args.format, select=args.select, ignore=args.ignore
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        stats=args.stats,
     )

@@ -1,0 +1,152 @@
+"""Batch-contract rules: keep ``(batch, n)`` and per-device worlds apart.
+
+PR 3 vectorized the signature path: every per-device API
+(``capture``/``signature``/``predict``) grew a ``*_batch`` / ``*_matrix``
+sibling operating on a whole device lot as one 2-D NumPy program.  The
+two worlds are bit-identical by construction -- but only when each is
+fed its own shape.  Handing ``signature_batch`` one device, or
+``signature`` a device *list*, often still runs (NumPy broadcasting is
+forgiving) and produces a silently transposed or broadcast-mangled
+matrix downstream.
+
+``batch-shape-mismatch`` discovers the sibling pairs *from the project
+symbol table* (a function or method ``<base>_batch``/``<base>_matrix``
+defined next to ``<base>`` in the same class or module) and checks the
+primary data argument at every resolved call site:
+
+* a batch API called with a value inferred single-item shaped
+  (``device``, ``xs[i]``, a singular-named variable), or
+* a per-device sibling called with a value inferred batch shaped
+  (``devices``, a list/comprehension, a ``*_batch``/``vstack`` result,
+  a slice).
+
+Shape inference is by naming convention and local assignment tracking
+(:mod:`repro.analysis.project`); values the inference cannot classify
+are never flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.project import (
+    ArgSummary,
+    CallSummary,
+    ModuleSummary,
+    ProjectIndex,
+    ProjectRule,
+)
+
+__all__ = ["BatchShapeRule", "CONTRACT_RULES", "sibling_pairs"]
+
+_BATCH_SUFFIXES = ("_batch", "_matrix")
+
+
+def sibling_pairs(index: ProjectIndex) -> Dict[str, str]:
+    """Map qualified name -> role for every batch/per-item sibling pair.
+
+    For ``repro.x.Board.capture_batch`` defined alongside
+    ``repro.x.Board.capture``, the batch side maps to ``"batch"`` and the
+    per-item side to ``"item"``.  Functions with no sibling are left out:
+    a lone ``*_matrix`` helper has no per-item twin whose contract could
+    be confused with.
+    """
+    roles: Dict[str, str] = {}
+    for qualname in index.functions:
+        for suffix in _BATCH_SUFFIXES:
+            if not qualname.endswith(suffix):
+                continue
+            base = qualname[: -len(suffix)]
+            if base in index.functions:
+                roles[qualname] = "batch"
+                roles[base] = "item"
+    return roles
+
+
+class BatchShapeRule(ProjectRule):
+    name = "batch-shape-mismatch"
+    description = (
+        "batch API (*_batch/*_matrix) fed a single-item value, or its "
+        "per-device sibling fed a batch-shaped value"
+    )
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        roles = sibling_pairs(index)
+        if not roles:
+            return
+        for summary in index.summaries:
+            for func in summary.functions:
+                for call in func.calls:
+                    yield from self._check_call(index, summary, call, roles)
+
+    def _primary_arg(
+        self, index: ProjectIndex, qualname: str, call: CallSummary
+    ) -> Optional[Tuple[str, ArgSummary]]:
+        """(param name, argument) bound to the callee's first data param."""
+        _, target = index.functions[qualname]
+        params: List[str] = list(target.params)
+        if target.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if not params:
+            return None
+        first = params[0]
+        if call.args:
+            return first, call.args[0]
+        if first in call.kwargs:
+            return first, call.kwargs[first]
+        return None
+
+    def _check_call(
+        self,
+        index: ProjectIndex,
+        summary: ModuleSummary,
+        call: CallSummary,
+        roles: Dict[str, str],
+    ) -> Iterator[Finding]:
+        resolved = index.resolve_callee(summary, call)
+        if resolved is None or resolved not in roles:
+            return
+        bound = self._primary_arg(index, resolved, call)
+        if bound is None:
+            return
+        param, arg = bound
+        role = roles[resolved]
+        if role == "batch" and arg.shape == "item":
+            yield Finding(
+                path=summary.path,
+                line=call.line,
+                col=call.col,
+                rule=self.name,
+                message=(
+                    f"batch API `{resolved}` receives single-item "
+                    f"`{arg.text or param}` for `{param}`; wrap it in a "
+                    f"list (`[{arg.text or param}]`) or call the per-item "
+                    "sibling"
+                ),
+            )
+        elif role == "item" and arg.shape == "batch":
+            sibling = next(
+                (
+                    q
+                    for q in roles
+                    if roles[q] == "batch" and q.startswith(resolved + "_")
+                ),
+                None,
+            )
+            hint = f"use `{sibling}`" if sibling else "use the *_batch sibling"
+            yield Finding(
+                path=summary.path,
+                line=call.line,
+                col=call.col,
+                rule=self.name,
+                message=(
+                    f"per-item API `{resolved}` receives batch-shaped "
+                    f"`{arg.text or param}` for `{param}`; {hint} for whole "
+                    "lots"
+                ),
+            )
+
+
+CONTRACT_RULES = (BatchShapeRule(),)

@@ -1,0 +1,127 @@
+"""Interprocedural unit-domain dataflow: the ``units-domain-flow`` rule.
+
+The per-file ``units-mixed-domain`` rule catches ``gain_db + vout_vrms``
+inside one expression; it cannot see a linear value flowing *across a
+call edge* into a parameter another module expects in dB.  That is
+exactly how calibration maps rot: ``predict_gain(undb(g))`` type-checks,
+runs, and silently shifts every predicted spec (paper Eqs. 6-10).
+
+This rule walks every call site in the :class:`ProjectIndex`, resolves
+the callee (imports, local defs, unique method names, dataclass
+constructors), and compares each argument's inferred domain against the
+parameter's.  Domains come from:
+
+* parameter / variable *names* (``*_db``, ``*_dbm``, ``*_hz``,
+  ``*_watts``, ``vrms``/``amplitude``/``ratio`` linear tokens),
+* :mod:`repro.dsp.units` converter calls (``undb(x)`` returns linear and
+  pins ``x`` to dB),
+* docstring tags (``lint-domains: x=db, return=linear``) and string
+  annotations (``x: "db"``),
+* return-domain propagation through call edges (fixpoint over the
+  whole project).
+
+Only *cross-group* flows are flagged (log = db/dbm, lin = linear/watts,
+freq = hz): dB into dBm is ordinary RF bookkeeping, linear into watts is
+fine, but a log-domain value bound to a linear-domain parameter (or a
+frequency into either) is a bug every time the inference is right.
+Arguments or parameters with no inferable domain are never flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.project import (
+    ArgSummary,
+    CallSummary,
+    ModuleSummary,
+    ProjectIndex,
+    ProjectRule,
+    domain_group,
+)
+
+__all__ = ["DomainFlowRule", "DATAFLOW_RULES"]
+
+
+class DomainFlowRule(ProjectRule):
+    name = "units-domain-flow"
+    description = (
+        "call argument whose inferred unit domain (db/dbm vs linear/watts "
+        "vs hz) conflicts with the callee parameter's domain"
+    )
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for summary in index.summaries:
+            for func in summary.functions:
+                for call in func.calls:
+                    yield from self._check_call(index, summary, call)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _callee_params(
+        self, index: ProjectIndex, summary: ModuleSummary, call: CallSummary
+    ) -> Optional[Tuple[str, List[str], Dict[str, str]]]:
+        """(display name, positional params, param domains) of the callee."""
+        resolved = index.resolve_callee(summary, call)
+        if resolved is None:
+            return None
+        if resolved in index.functions:
+            _, target = index.functions[resolved]
+            params = list(target.params)
+            if target.is_method and params and params[0] in ("self", "cls"):
+                params = params[1:]
+            return resolved, params, dict(target.param_domains)
+        if resolved in index.classes:
+            _, cls = index.classes[resolved]
+            return resolved, list(cls.init_params), dict(cls.param_domains)
+        return None
+
+    def _check_call(
+        self, index: ProjectIndex, summary: ModuleSummary, call: CallSummary
+    ) -> Iterator[Finding]:
+        target = self._callee_params(index, summary, call)
+        if target is None:
+            return
+        qualname, params, param_domains = target
+        if not param_domains:
+            return
+
+        bound: List[Tuple[str, ArgSummary]] = []
+        for position, arg in enumerate(call.args):
+            if position < len(params):
+                bound.append((params[position], arg))
+        for keyword, arg in call.kwargs.items():
+            if keyword in params:
+                bound.append((keyword, arg))
+
+        for param, arg in bound:
+            expected = param_domains.get(param)
+            if expected is None:
+                continue
+            actual = index.arg_domain(summary, arg)
+            if actual is None:
+                continue
+            expected_group = domain_group(expected)
+            actual_group = domain_group(actual)
+            if (
+                expected_group is None
+                or actual_group is None
+                or expected_group == actual_group
+            ):
+                continue
+            yield Finding(
+                path=summary.path,
+                line=call.line,
+                col=call.col,
+                rule=self.name,
+                message=(
+                    f"`{arg.text or param}` flows as {actual}-domain into "
+                    f"parameter `{param}` of `{qualname}`, which expects "
+                    f"{expected}; convert with repro.dsp.units first"
+                ),
+            )
+
+
+DATAFLOW_RULES = (DomainFlowRule(),)

@@ -31,6 +31,7 @@ __all__ = [
     "Finding",
     "Rule",
     "ModuleSource",
+    "UnknownSuppressionRule",
     "parse_suppressions",
     "analyze_source",
     "analyze_file",
@@ -48,6 +49,9 @@ SKIP_DIRS = frozenset(
 
 #: Rule name used for findings produced by unparseable files.
 PARSE_ERROR_RULE = "parse-error"
+
+#: Rule name used for disable comments that name a nonexistent rule.
+UNKNOWN_SUPPRESSION_RULE = "lint-unknown-suppression"
 
 
 @dataclass(frozen=True, order=True)
@@ -176,6 +180,45 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     except tokenize.TokenizeError:
         pass
     return suppressions
+
+
+class UnknownSuppressionRule(Rule):
+    """Flags ``disable=`` comments naming a rule that does not exist.
+
+    A typo in a suppression comment (``disable=units-mixed-domian``)
+    silences nothing and hides the author's intent; worse, a rule rename
+    leaves stale suppressions behind.  This engine-level rule is
+    constructed with the full registry of known rule names (every
+    default rule plus the engine pseudo-rules) and reports any
+    suppression naming anything else.
+    """
+
+    name = UNKNOWN_SUPPRESSION_RULE
+    description = (
+        "a `# repro-lint: disable=...` comment names a rule that does "
+        "not exist (typo or stale suppression)"
+    )
+
+    def __init__(self, known_rules: Iterable[str]):
+        self.known_rules: Set[str] = set(known_rules) | {
+            "*",
+            PARSE_ERROR_RULE,
+            UNKNOWN_SUPPRESSION_RULE,
+        }
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for line in sorted(module.suppressions):
+            for rule_name in sorted(module.suppressions[line] - self.known_rules):
+                yield Finding(
+                    path=module.path,
+                    line=line,
+                    col=1,
+                    rule=self.name,
+                    message=(
+                        f"suppression names unknown rule `{rule_name}`; "
+                        "see --list-rules for valid names"
+                    ),
+                )
 
 
 def analyze_source(

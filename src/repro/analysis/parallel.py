@@ -1,0 +1,217 @@
+"""Parallel-safety rules for executor-dispatched task graphs.
+
+``repro.parallel``'s determinism contract (docs/parallelism.md) says
+tasks must be pure, picklable, and draw randomness only from per-task
+streams spawned with ``SeedSequence.spawn``.  Nothing enforced that
+contract until now: a lambda handed to ``map_tasks`` works on the
+serial/thread backends and only explodes (or silently degrades to
+serial) under ``ProcessExecutor``; a closure-captured ``Generator``
+produces *different* results per backend and worker count -- the
+irreproducibility failure mode the redundant-measurement literature
+(PAPERS.md) exists to catch; a task mutating module globals races under
+threads and silently diverges per process.
+
+Three rules run over the project call graph, rooted at every
+``map_tasks`` dispatch site (the task callable argument, unwrapped
+through ``functools.partial``):
+
+* ``par-unpicklable-task`` -- the dispatched callable is a lambda or a
+  function defined inside another function: unpicklable, so the process
+  backend can never run it.
+* ``par-captured-rng`` -- the dispatched callable closes over an RNG
+  from the enclosing scope, an RNG is baked into its ``partial``, or a
+  function reachable from it reads a module-level RNG.  One shared
+  stream across tasks breaks the bit-identical-on-every-backend
+  guarantee; spawn per-task streams with
+  :func:`repro.runtime.executor.spawn_seeds` and ship *seeds* in the
+  item list instead.
+* ``par-global-mutation`` -- a function reachable from a dispatch site
+  writes module-level state (``global`` assignment, or
+  subscript/attribute/mutator-method writes on a module-level object).
+  Worker processes each mutate their own copy; threads race on one.
+
+RNG identification is by construction (``default_rng``/``Generator``/
+``spawn_generators`` assignments) and by the repo's naming convention
+(``rng``, ``*_rng``).  Callables the resolver cannot pin down (bound
+methods on unknown receivers, ambiguous names) are skipped, never
+guessed at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding
+from repro.analysis.project import (
+    ArgSummary,
+    CallSummary,
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+    ProjectRule,
+)
+
+__all__ = [
+    "UnpicklableTaskRule",
+    "CapturedRngRule",
+    "GlobalMutationRule",
+    "PARALLEL_RULES",
+    "iter_dispatch_sites",
+]
+
+#: method / function names whose first argument is an executor task
+DISPATCH_ATTRS = frozenset({"map_tasks"})
+
+
+def iter_dispatch_sites(
+    index: ProjectIndex,
+) -> Iterator[Tuple[ModuleSummary, FunctionSummary, CallSummary, ArgSummary]]:
+    """Every ``map_tasks(task, items)`` call site with its task argument."""
+    for summary in index.summaries:
+        for func in summary.functions:
+            for call in func.calls:
+                if call.attr not in DISPATCH_ATTRS or not call.args:
+                    continue
+                yield summary, func, call, call.args[0]
+
+
+def _dispatch_roots(
+    index: ProjectIndex,
+) -> List[Tuple[ModuleSummary, CallSummary, str]]:
+    """Resolved task callables: (dispatching module, site, qualified root)."""
+    roots: List[Tuple[ModuleSummary, CallSummary, str]] = []
+    for summary, func, call, task in iter_dispatch_sites(index):
+        target: Optional[str] = None
+        if task.kind == "partial" and task.partial_target is not None:
+            target = index.resolve_callee(
+                summary,
+                CallSummary(
+                    task.partial_target,
+                    task.partial_target.split(".")[-1],
+                    call.line,
+                    call.col,
+                ),
+            )
+        elif task.kind in ("name", "localfunc"):
+            target = index.resolve_callee(
+                summary, CallSummary(task.text, task.text.split(".")[-1],
+                                     call.line, call.col)
+            )
+        if target is not None and target in index.functions:
+            roots.append((summary, call, target))
+    return roots
+
+
+class UnpicklableTaskRule(ProjectRule):
+    name = "par-unpicklable-task"
+    description = (
+        "lambda or locally-defined function dispatched through map_tasks; "
+        "the process backend cannot pickle it"
+    )
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for summary, func, call, task in iter_dispatch_sites(index):
+            if task.kind in ("lambda", "localfunc", "partial-local"):
+                what = (
+                    "a lambda"
+                    if task.kind == "lambda"
+                    else f"locally-defined `{task.text}`"
+                )
+                yield Finding(
+                    path=summary.path,
+                    line=call.line,
+                    col=call.col,
+                    rule=self.name,
+                    message=(
+                        f"dispatches {what} through map_tasks; ProcessExecutor "
+                        "cannot pickle it -- use a module-level function "
+                        "(optionally functools.partial over one)"
+                    ),
+                )
+
+
+class CapturedRngRule(ProjectRule):
+    name = "par-captured-rng"
+    description = (
+        "RNG generator captured by / shipped with an executor task; "
+        "spawn per-task streams with spawn_seeds instead"
+    )
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        # (a) the dispatched callable itself captures or receives an RNG
+        for summary, func, call, task in iter_dispatch_sites(index):
+            if task.captures_rng:
+                yield Finding(
+                    path=summary.path,
+                    line=call.line,
+                    col=call.col,
+                    rule=self.name,
+                    message=(
+                        "executor task captures or is bound to a single RNG "
+                        "generator; all tasks would share (a copy of) one "
+                        "stream -- derive per-task streams with "
+                        "repro.runtime.executor.spawn_seeds and ship seeds "
+                        "in the item list"
+                    ),
+                )
+        # (b) anything reachable from a dispatch root reads a module-level RNG
+        reachable = index.reachable_from(
+            root for _, _, root in _dispatch_roots(index)
+        )
+        seen: Set[Tuple[str, int]] = set()
+        for qualname in sorted(reachable):
+            summary, func = index.functions[qualname]
+            for name, line, col in func.rng_global_reads:
+                if (summary.path, line) in seen:
+                    continue
+                seen.add((summary.path, line))
+                yield Finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    rule=self.name,
+                    message=(
+                        f"`{func.qualname}` is dispatched through map_tasks "
+                        f"but reads module-level RNG `{name}`; every task "
+                        "shares its stream -- thread per-task generators "
+                        "explicitly"
+                    ),
+                )
+
+
+class GlobalMutationRule(ProjectRule):
+    name = "par-global-mutation"
+    description = (
+        "function reachable from a map_tasks dispatch mutates module-level "
+        "state (races under threads, silently diverges across processes)"
+    )
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        reachable = index.reachable_from(
+            root for _, _, root in _dispatch_roots(index)
+        )
+        seen: Set[Tuple[str, int]] = set()
+        for qualname in sorted(reachable):
+            summary, func = index.functions[qualname]
+            for name, line, col, how in func.global_writes:
+                if (summary.path, line) in seen:
+                    continue
+                seen.add((summary.path, line))
+                yield Finding(
+                    path=summary.path,
+                    line=line,
+                    col=col,
+                    rule=self.name,
+                    message=(
+                        f"`{func.qualname}` mutates module-level `{name}` "
+                        f"({how}) and is reachable from a map_tasks dispatch; "
+                        "workers race on it under threads and diverge per "
+                        "process -- pass state through task items/results"
+                    ),
+                )
+
+
+PARALLEL_RULES = (UnpicklableTaskRule(), CapturedRngRule(), GlobalMutationRule())

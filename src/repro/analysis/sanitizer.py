@@ -1,0 +1,47 @@
+"""Runtime floating-point sanitizer: make NaN/Inf *births* loud.
+
+Static rules catch domain mixing they can see; they cannot catch a
+``log10(0)`` fed by data.  The signature pipeline is exactly the kind of
+code where a NaN born in one stage (a zero-power bin, a degenerate
+covariance) propagates silently through the calibration solve and
+surfaces three modules later as a slightly-wrong spec prediction --
+the worst possible failure mode for a framework whose whole claim is
+that the cheap signature can be *trusted* in place of real
+measurements.
+
+:func:`fp_sanitizer` turns NumPy's ``invalid`` and ``divide`` warnings
+into :class:`FloatingPointError` at the operation that created the
+non-finite value.  The test suite runs every test under it (an autouse
+fixture in ``tests/conftest.py``); tests exercising intentional
+non-finite arithmetic opt out with ``@pytest.mark.allow_nonfinite``.
+
+Library code with a *legitimate* non-finite (``watts_to_dbm(0.0)``
+returning ``-inf`` as a documented sentinel) scopes its own
+``np.errstate`` locally, so it stays quiet under the sanitizer without
+the caller giving up coverage.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["fp_sanitizer", "SANITIZER_MARKER"]
+
+#: pytest marker name used to opt a test out of the sanitizer.
+SANITIZER_MARKER = "allow_nonfinite"
+
+
+@contextmanager
+def fp_sanitizer() -> Iterator[None]:
+    """Raise :class:`FloatingPointError` where NaN/Inf are created.
+
+    ``invalid`` (0/0, inf-inf, sqrt/log of a negative) and ``divide``
+    (x/0, log of 0) raise; ``overflow`` and ``underflow`` keep NumPy's
+    defaults -- overflow to inf in intermediate magnitudes is ordinary
+    in envelope simulation and is not, by itself, a propagating bug.
+    """
+    with np.errstate(invalid="raise", divide="raise"):
+        yield

@@ -100,7 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
-    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "github"), default="text"
+    )
+    p_lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental lint-result cache directory",
+    )
+    p_lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a findings-per-rule table to the report",
+    )
 
     return parser
 
@@ -267,7 +280,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
-    return run_lint(args.paths, fmt=args.format)
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        cache_dir=args.cache_dir,
+        stats=args.stats,
+    )
 
 
 _COMMANDS = {

@@ -71,9 +71,17 @@ def undb20(value_db: FloatOrArray) -> FloatOrArray:
 
 
 def watts_to_dbm(watts: FloatOrArray) -> FloatOrArray:
-    """Absolute power in watts to dBm (``-inf`` for non-positive scalars)."""
+    """Absolute power in watts to dBm (``-inf`` for non-positive input).
+
+    A zero-power bin has no power, not an error, so the array path maps
+    zeros to ``-inf`` inside a local ``errstate`` -- the documented
+    sentinel survives the test suite's FP sanitizer
+    (:mod:`repro.analysis.sanitizer`), which otherwise raises on any
+    ``log10(0)``.
+    """
     if isinstance(watts, np.ndarray):
-        return db(watts) + 30.0
+        with np.errstate(divide="ignore"):
+            return db(watts) + 30.0
     if watts <= 0.0:
         return -math.inf
     return db(watts) + 30.0

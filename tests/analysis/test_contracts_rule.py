@@ -1,0 +1,205 @@
+"""Tests for the ``batch-shape-mismatch`` batch-contract rule."""
+
+import textwrap
+
+from repro.analysis.contracts import BatchShapeRule, sibling_pairs
+from repro.analysis.project import ProjectIndex
+
+
+def index_of(**modules):
+    sources = {
+        f"src/repro/{name}.py": textwrap.dedent(source)
+        for name, source in modules.items()
+    }
+    return ProjectIndex.from_sources(sources)
+
+
+def findings_of(**modules):
+    return sorted(BatchShapeRule().check_project(index_of(**modules)))
+
+
+BOARD_FIXTURE = """
+    class Board:
+        def signature(self, device, stimulus):
+            return device
+
+        def signature_batch(self, devices, stimulus):
+            return devices
+"""
+
+
+class TestSiblingDiscovery:
+    def test_pairs_found_in_class(self):
+        index = index_of(board=BOARD_FIXTURE)
+        roles = sibling_pairs(index)
+        assert roles == {
+            "repro.board.Board.signature": "item",
+            "repro.board.Board.signature_batch": "batch",
+        }
+
+    def test_lone_matrix_helper_has_no_role(self):
+        index = index_of(
+            calib="""
+                def design_matrix(rows):
+                    return rows
+            """
+        )
+        assert sibling_pairs(index) == {}
+
+    def test_module_level_pairs_found(self):
+        index = index_of(
+            capture="""
+                def capture(device):
+                    return device
+
+
+                def capture_batch(devices):
+                    return devices
+            """
+        )
+        roles = sibling_pairs(index)
+        assert roles["repro.capture.capture_batch"] == "batch"
+        assert roles["repro.capture.capture"] == "item"
+
+
+class TestBatchShapeMismatch:
+    def test_single_item_into_batch_api_fires(self):
+        findings = findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, device, stimulus):
+                        return self.board.signature_batch(device, stimulus)
+            """,
+        )
+        assert [f.rule for f in findings] == ["batch-shape-mismatch"]
+        assert "signature_batch" in findings[0].message
+        assert "device" in findings[0].message
+
+    def test_batch_into_per_item_api_fires(self):
+        findings = findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, devices, stimulus):
+                        return self.board.signature(devices, stimulus)
+            """,
+        )
+        assert len(findings) == 1
+        assert "signature_batch" in findings[0].message
+
+    def test_matching_shapes_are_silent(self):
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, devices, device, stimulus):
+                        one = self.board.signature(device, stimulus)
+                        lot = self.board.signature_batch(devices, stimulus)
+                        return one, lot
+            """,
+        ) == []
+
+    def test_list_literal_into_batch_api_is_fine(self):
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, device, stimulus):
+                        return self.board.signature_batch([device], stimulus)
+            """,
+        ) == []
+
+    def test_indexed_element_into_per_item_api_is_fine(self):
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, devices, stimulus):
+                        return self.board.signature(devices[0], stimulus)
+            """,
+        ) == []
+
+    def test_slice_of_batch_into_batch_api_is_fine(self):
+        # a slice (literal or named) keeps the batch shape
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, devices, stimulus, n):
+                        cal = slice(0, n)
+                        head = self.board.signature_batch(devices[:4], stimulus)
+                        rest = self.board.signature_batch(devices[cal], stimulus)
+                        return head, rest
+            """,
+        ) == []
+
+    def test_unknown_shape_is_never_flagged(self):
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, payload, stimulus):
+                        return self.board.signature_batch(payload, stimulus)
+            """,
+        ) == []
+
+    def test_loop_variable_into_per_item_api_is_fine(self):
+        assert findings_of(
+            board=BOARD_FIXTURE,
+            runner="""
+                from repro.board import Board
+
+
+                class Runner:
+                    def __init__(self):
+                        self.board = Board()
+
+                    def run(self, devices, stimulus):
+                        return [
+                            self.board.signature(d, stimulus) for d in devices
+                        ]
+            """,
+        ) == []

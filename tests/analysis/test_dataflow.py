@@ -1,0 +1,326 @@
+"""Tests for the cross-module ``units-domain-flow`` dataflow rule."""
+
+import textwrap
+
+from repro.analysis.dataflow import DomainFlowRule
+from repro.analysis.project import ProjectIndex
+
+
+def index_of(**modules):
+    """ProjectIndex from ``name=source`` fixtures under src/repro/."""
+    sources = {
+        f"src/repro/{name}.py": textwrap.dedent(source)
+        for name, source in modules.items()
+    }
+    return ProjectIndex.from_sources(sources)
+
+
+def findings_of(**modules):
+    return sorted(DomainFlowRule().check_project(index_of(**modules)))
+
+
+UNITS_FIXTURE = """
+    from repro.dsp.units import undb
+
+
+    def helper(x):
+        return undb(x)
+"""
+
+
+class TestCrossModuleFlow:
+    def test_linear_value_into_db_parameter_fires(self):
+        findings = findings_of(
+            calib="""
+                from repro.dsp.units import undb
+
+
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.dsp.units import undb
+
+
+                def run(g_db):
+                    lin_gain = undb(g_db)
+                    return predict(lin_gain)
+            """,
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "units-domain-flow"
+        assert finding.path == "src/repro/caller.py"
+        assert "lin_gain" in finding.message
+        assert "repro.calib.predict" in finding.message
+
+    def test_matching_domains_stay_silent(self):
+        assert findings_of(
+            calib="""
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+
+
+                def run(measured_db):
+                    return predict(measured_db)
+            """,
+        ) == []
+
+    def test_same_group_db_to_dbm_not_flagged(self):
+        # dB into dBm is ordinary RF bookkeeping, not a domain crossing
+        assert findings_of(
+            calib="""
+                def predict(power_dbm):
+                    return power_dbm + 1.0
+            """,
+            caller="""
+                from repro.calib import predict
+
+
+                def run(gain_db):
+                    return predict(gain_db)
+            """,
+        ) == []
+
+    def test_unknown_argument_domain_not_flagged(self):
+        assert findings_of(
+            calib="""
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+
+
+                def run(value):
+                    return predict(value)
+            """,
+        ) == []
+
+    def test_hz_into_db_parameter_fires(self):
+        findings = findings_of(
+            calib="""
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+
+
+                def run(carrier_hz):
+                    return predict(carrier_hz)
+            """,
+        )
+        assert [f.rule for f in findings] == ["units-domain-flow"]
+
+    def test_keyword_argument_checked(self):
+        findings = findings_of(
+            calib="""
+                def predict(offset, gain_db):
+                    return gain_db + offset
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.dsp.units import undb
+
+
+                def run(g_db):
+                    lin = undb(g_db)
+                    return predict(0.0, gain_db=lin)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestDomainSources:
+    def test_docstring_tag_declares_parameter_domain(self):
+        findings = findings_of(
+            calib="""
+                def predict(g):
+                    '''Predict gain.
+
+                    lint-domains: g=db
+                    '''
+                    return g * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.dsp.units import undb
+
+
+                def run(g_db):
+                    lin = undb(g_db)
+                    return predict(lin)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_string_annotation_declares_parameter_domain(self):
+        findings = findings_of(
+            calib="""
+                def predict(g: "db"):
+                    return g * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.dsp.units import undb
+
+
+                def run(g_db):
+                    lin = undb(g_db)
+                    return predict(lin)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_converter_return_domain_inferred(self):
+        # undb(...) returns linear; passing it straight in fires without
+        # any intermediate assignment
+        findings = findings_of(
+            calib="""
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.dsp.units import undb
+
+
+                def run(g_db):
+                    return predict(undb(g_db))
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_return_domain_propagates_through_project_function(self):
+        # helper() returns undb(...) -> linear; the flow crosses two edges
+        findings = findings_of(
+            units_helper=UNITS_FIXTURE,
+            calib="""
+                def predict(gain_db):
+                    return gain_db * 2.0
+            """,
+            caller="""
+                from repro.calib import predict
+                from repro.units_helper import helper
+
+
+                def run(g_db):
+                    value = helper(g_db)
+                    return predict(value)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_converter_argument_pins_parameter_domain(self):
+        # calling undb(x) inside the callee declares x to be dB, so a
+        # linear-named argument at the call site fires
+        findings = findings_of(
+            calib="""
+                from repro.dsp.units import undb
+
+
+                def predict(g):
+                    return undb(g)
+            """,
+            caller="""
+                from repro.calib import predict
+
+
+                def run(vout_vrms):
+                    return predict(vout_vrms)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_dataclass_constructor_parameters_checked(self):
+        findings = findings_of(
+            config="""
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class StimulusConfig:
+                    carrier_hz: float
+                    power_dbm: float
+            """,
+            caller="""
+                from repro.config import StimulusConfig
+
+
+                def build(freq_hz, level_db):
+                    return StimulusConfig(carrier_hz=freq_hz, power_dbm=level_db)
+            """,
+        )
+        # hz->hz fine, db->dbm same group: silent
+        assert findings == []
+
+    def test_dataclass_constructor_mismatch_fires(self):
+        findings = findings_of(
+            config="""
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class StimulusConfig:
+                    carrier_hz: float
+            """,
+            caller="""
+                from repro.config import StimulusConfig
+
+
+                def build(level_db):
+                    return StimulusConfig(carrier_hz=level_db)
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestResolutionLimits:
+    def test_unresolvable_callee_never_flagged(self):
+        assert findings_of(
+            caller="""
+                def run(obj, gain_db):
+                    return obj.predict(gain_db)
+            """,
+        ) == []
+
+    def test_ambiguous_method_name_not_resolved(self):
+        # two classes define predict(); the bare call must not guess
+        assert findings_of(
+            a="""
+                class ModelA:
+                    def predict(self, gain_db):
+                        return gain_db
+            """,
+            b="""
+                class ModelB:
+                    def predict(self, vout_vrms):
+                        return vout_vrms
+            """,
+            caller="""
+                def run(thing, x):
+                    return thing.predict(x)
+            """,
+        ) == []
+
+    def test_self_method_call_resolves_within_class(self):
+        findings = findings_of(
+            model="""
+                from repro.dsp.units import undb
+
+
+                class Model:
+                    def predict(self, gain_db):
+                        return gain_db
+
+                    def run(self, g_db):
+                        lin = undb(g_db)
+                        return self.predict(lin)
+            """,
+        )
+        assert len(findings) == 1

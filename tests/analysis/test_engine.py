@@ -7,6 +7,8 @@ import pytest
 from repro.analysis import default_rules
 from repro.analysis.engine import (
     Finding,
+    Rule,
+    UnknownSuppressionRule,
     analyze_paths,
     analyze_source,
     iter_python_files,
@@ -50,6 +52,82 @@ class TestSuppressions:
     def test_bare_disable_silences_everything(self):
         src = "def f():\n    assert True  # repro-lint: disable\n"
         assert lint(src, [BareAssertRule()]) == []
+
+
+class FlagEveryDef(Rule):
+    """Test helper: one finding on every function definition line."""
+
+    name = "flag-every-def"
+    description = "test rule"
+
+    def check(self, module):
+        import ast
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield self.finding(module, node, "def found")
+
+
+class TestSuppressionPlacement:
+    def test_multi_rule_disable_silences_both(self):
+        src = (
+            "def f():\n"
+            "    assert True  # repro-lint: disable=numerics-bare-assert,rule-b\n"
+        )
+        assert lint(src, [BareAssertRule()]) == []
+
+    def test_decorated_def_suppressed_on_def_line(self):
+        # findings anchor on the `def` line, not the decorator line
+        src = (
+            "import functools\n"
+            "@functools.cache\n"
+            "def f():  # repro-lint: disable=flag-every-def\n"
+            "    return 1\n"
+        )
+        assert lint(src, [FlagEveryDef()]) == []
+
+    def test_decorator_line_comment_does_not_suppress(self):
+        src = (
+            "import functools\n"
+            "@functools.cache  # repro-lint: disable=flag-every-def\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        findings = lint(src, [FlagEveryDef()])
+        assert [f.line for f in findings] == [3]
+
+
+class TestUnknownSuppression:
+    def test_unknown_rule_name_reported(self):
+        rule = UnknownSuppressionRule(["rule-a"])
+        findings = lint("x = 1  # repro-lint: disable=rule-b\n", [rule])
+        assert [f.rule for f in findings] == ["lint-unknown-suppression"]
+        assert "rule-b" in findings[0].message
+
+    def test_known_rule_name_silent(self):
+        rule = UnknownSuppressionRule(["rule-a"])
+        assert lint("x = 1  # repro-lint: disable=rule-a\n", [rule]) == []
+
+    def test_bare_disable_and_engine_pseudo_rules_silent(self):
+        rule = UnknownSuppressionRule(["rule-a"])
+        src = (
+            "x = 1  # repro-lint: disable\n"
+            "y = 2  # repro-lint: disable=parse-error\n"
+            "z = 3  # repro-lint: disable=lint-unknown-suppression\n"
+        )
+        assert lint(src, [rule]) == []
+
+    def test_typo_next_to_known_rule_still_reported(self):
+        rule = UnknownSuppressionRule(["rule-a"])
+        findings = lint(
+            "x = 1  # repro-lint: disable=rule-a,rule-z\n", [rule]
+        )
+        assert len(findings) == 1
+        assert "rule-z" in findings[0].message
+
+    def test_default_rules_include_unknown_suppression_guard(self):
+        names = [rule.name for rule in default_rules()]
+        assert "lint-unknown-suppression" in names
 
 
 class TestAnalyzeSource:

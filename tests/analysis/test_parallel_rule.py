@@ -1,0 +1,259 @@
+"""Tests for the parallel-safety rules over map_tasks dispatch sites."""
+
+import textwrap
+
+from repro.analysis.parallel import (
+    CapturedRngRule,
+    GlobalMutationRule,
+    UnpicklableTaskRule,
+)
+from repro.analysis.project import ProjectIndex
+
+
+def index_of(**modules):
+    sources = {
+        f"src/repro/{name}.py": textwrap.dedent(source)
+        for name, source in modules.items()
+    }
+    return ProjectIndex.from_sources(sources)
+
+
+def findings_of(rule, **modules):
+    return sorted(rule.check_project(index_of(**modules)))
+
+
+class TestUnpicklableTask:
+    def test_lambda_task_fires(self):
+        findings = findings_of(
+            UnpicklableTaskRule(),
+            runner="""
+                def run(executor, items):
+                    return executor.map_tasks(lambda x: x + 1, items)
+            """,
+        )
+        assert [f.rule for f in findings] == ["par-unpicklable-task"]
+        assert "lambda" in findings[0].message
+
+    def test_locally_defined_function_fires(self):
+        findings = findings_of(
+            UnpicklableTaskRule(),
+            runner="""
+                def run(executor, items):
+                    def task(x):
+                        return x + 1
+                    return executor.map_tasks(task, items)
+            """,
+        )
+        assert len(findings) == 1
+        assert "task" in findings[0].message
+
+    def test_partial_over_local_function_fires(self):
+        findings = findings_of(
+            UnpicklableTaskRule(),
+            runner="""
+                from functools import partial
+
+
+                def run(executor, items):
+                    def task(scale, x):
+                        return x * scale
+                    return executor.map_tasks(partial(task, 2.0), items)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_module_level_function_is_fine(self):
+        assert findings_of(
+            UnpicklableTaskRule(),
+            runner="""
+                def task(x):
+                    return x + 1
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        ) == []
+
+    def test_partial_over_module_function_is_fine(self):
+        assert findings_of(
+            UnpicklableTaskRule(),
+            runner="""
+                from functools import partial
+
+
+                def task(scale, x):
+                    return x * scale
+
+
+                def run(executor, items):
+                    return executor.map_tasks(partial(task, 2.0), items)
+            """,
+        ) == []
+
+
+class TestCapturedRng:
+    def test_lambda_closing_over_rng_fires(self):
+        findings = findings_of(
+            CapturedRngRule(),
+            runner="""
+                def run(executor, items, rng):
+                    return executor.map_tasks(lambda x: rng.normal() + x, items)
+            """,
+        )
+        assert [f.rule for f in findings] == ["par-captured-rng"]
+
+    def test_rng_baked_into_partial_fires(self):
+        findings = findings_of(
+            CapturedRngRule(),
+            runner="""
+                from functools import partial
+
+
+                def task(rng, x):
+                    return rng.normal() + x
+
+
+                def run(executor, items, rng):
+                    return executor.map_tasks(partial(task, rng), items)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_reachable_module_rng_read_fires(self):
+        findings = findings_of(
+            CapturedRngRule(),
+            worker="""
+                import numpy as np
+
+                _rng = np.random.default_rng(0)
+
+
+                def task(x):
+                    return _rng.normal() + x
+            """,
+            runner="""
+                from repro.worker import task
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/worker.py"
+        assert "_rng" in findings[0].message
+
+    def test_per_task_seeds_are_fine(self):
+        # the documented pattern: seeds in the item list, generator per task
+        assert findings_of(
+            CapturedRngRule(),
+            runner="""
+                import numpy as np
+
+
+                def task(item):
+                    seed, x = item
+                    rng = np.random.default_rng(seed)
+                    return rng.normal() + x
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        ) == []
+
+
+class TestGlobalMutation:
+    def test_reachable_global_write_fires(self):
+        findings = findings_of(
+            GlobalMutationRule(),
+            worker="""
+                _COUNT = 0
+
+
+                def task(x):
+                    global _COUNT
+                    _COUNT = _COUNT + 1
+                    return x
+            """,
+            runner="""
+                from repro.worker import task
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        )
+        assert [f.rule for f in findings] == ["par-global-mutation"]
+        assert findings[0].path == "src/repro/worker.py"
+
+    def test_transitively_reachable_write_fires(self):
+        findings = findings_of(
+            GlobalMutationRule(),
+            worker="""
+                _CACHE = {}
+
+
+                def remember(key, value):
+                    _CACHE[key] = value
+
+
+                def task(x):
+                    remember(x, x * 2)
+                    return x
+            """,
+            runner="""
+                from repro.worker import task
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        )
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+
+    def test_local_mutation_is_fine(self):
+        assert findings_of(
+            GlobalMutationRule(),
+            worker="""
+                def task(x):
+                    cache = {}
+                    cache[x] = x * 2
+                    return cache[x]
+            """,
+            runner="""
+                from repro.worker import task
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        ) == []
+
+    def test_global_write_not_reachable_from_dispatch_is_fine(self):
+        # mutating module state is the per-file rules' business unless a
+        # dispatch site can actually reach it
+        assert findings_of(
+            GlobalMutationRule(),
+            worker="""
+                _COUNT = 0
+
+
+                def bump():
+                    global _COUNT
+                    _COUNT = _COUNT + 1
+
+
+                def task(x):
+                    return x + 1
+            """,
+            runner="""
+                from repro.worker import task
+
+
+                def run(executor, items):
+                    return executor.map_tasks(task, items)
+            """,
+        ) == []

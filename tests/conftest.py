@@ -3,11 +3,34 @@
 import numpy as np
 import pytest
 
+from repro.analysis.sanitizer import SANITIZER_MARKER, fp_sanitizer
 from repro.circuits.behavioral import BehavioralAmplifier
 from repro.circuits.lna import LNA900
 from repro.dsp.mixer import Mixer, MixerHarmonics
 from repro.dsp.waveform import PiecewiseLinearStimulus
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        f"{SANITIZER_MARKER}: run this test without the floating-point "
+        "sanitizer (NaN/Inf creation will not raise)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fp_sanitizer(request):
+    """Run every test with NaN/Inf creation raising FloatingPointError.
+
+    Opt out per-test with ``@pytest.mark.allow_nonfinite`` when the test
+    intentionally exercises non-finite arithmetic.
+    """
+    if request.node.get_closest_marker(SANITIZER_MARKER) is not None:
+        yield
+        return
+    with fp_sanitizer():
+        yield
 
 
 @pytest.fixture
