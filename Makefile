@@ -9,8 +9,11 @@ LINT_FORMAT ?= text
 # incremental result cache; warm re-runs only re-analyze edited files
 LINT_CACHE ?= .lint-cache
 BENCH_JSON ?= bench.json
+# sampled configurations per verification relation
+VERIFY_CONFIGS ?= 50
+VERIFY_REPORT ?= benchmarks/results/verify_campaign.json
 
-.PHONY: install test lint lint-stats bench bench-json bench-check examples all clean
+.PHONY: install test lint lint-stats verify bench bench-json bench-check examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +30,12 @@ lint:
 lint-stats:
 	@PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
 		--cache-dir $(LINT_CACHE) --stats | sed -n '/^| rule/,$$p'
+
+# metamorphic relation campaign (fixed master seed) + golden drift check;
+# exits non-zero on any violated relation or corpus drift
+verify:
+	PYTHONPATH=src $(PYTHON) -m repro verify \
+		--configs $(VERIFY_CONFIGS) --report $(VERIFY_REPORT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -13,7 +13,10 @@ failure modes --
   RNG use that would make Monte-Carlo calibration irreproducible;
 * :mod:`repro.analysis.api` -- ``__all__`` discipline and star imports;
 * :mod:`repro.analysis.numerics` -- in-place ndarray-parameter mutation,
-  float ``==``, ``assert`` in library code.
+  float ``==``, ``assert`` in library code;
+* :mod:`repro.analysis.verifyrules` -- ``verify-relation-seeded``:
+  ``@relation`` metamorphic relations must take an explicit ``rng``/seed
+  parameter and never draw from global RNG state.
 
 On top of the per-file rules sit *project-level* rules that resolve
 imports and call edges across the whole repository
@@ -79,6 +82,7 @@ def default_rules() -> List[Rule]:
     from repro.analysis.numerics import NUMERICS_RULES
     from repro.analysis.parallel import PARALLEL_RULES
     from repro.analysis.units import UNITS_RULES
+    from repro.analysis.verifyrules import VERIFY_RULES
 
     rules: List[Rule] = [
         *UNITS_RULES,
@@ -88,6 +92,7 @@ def default_rules() -> List[Rule]:
         *DATAFLOW_RULES,
         *PARALLEL_RULES,
         *CONTRACT_RULES,
+        *VERIFY_RULES,
     ]
     rules.append(UnknownSuppressionRule(rule.name for rule in rules))
     return rules

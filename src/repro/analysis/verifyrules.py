@@ -1,0 +1,156 @@
+"""Verification-harness rule: metamorphic relations must be seed-pure.
+
+The verify harness (:mod:`repro.verify`) derives every test case from a
+master seed -- ``SeedSequence(master_seed, relation, index)`` -- so a
+campaign is replayable and a shrunk counterexample re-fails forever.
+That guarantee dies the moment a relation body draws from RNG state the
+harness does not control.  ``verify-relation-seeded`` inspects every
+function decorated with ``@relation(...)`` and enforces the contract:
+
+* the relation must accept an explicit ``rng``/``seed`` parameter (the
+  harness passes a per-case ``np.random.Generator``);
+* the body must never draw from global RNG state: no legacy
+  ``np.random.<draw>`` calls, no stdlib ``random.<draw>`` calls, and no
+  unseeded ``np.random.default_rng()`` (a *seeded* ``default_rng(x)``
+  derived from case data is fine -- that is how sub-streams are made).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.determinism import (
+    ALLOWED_NP_RANDOM_ATTRS,
+    _attr_chain,
+    _is_np_random_chain,
+    _rng_callee_name,
+)
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+__all__ = ["RelationSeededRule", "VERIFY_RULES"]
+
+#: Parameter names that satisfy the explicit-seed requirement.
+RNG_PARAM_NAMES = frozenset({"rng", "seed", "master_seed", "seed_sequence"})
+
+#: Global-state drawing functions of the stdlib ``random`` module.
+#: ``random.Random(seed)`` is deliberately absent: a locally constructed,
+#: seeded instance is explicit state, not global state.
+STDLIB_RANDOM_DRAWS = frozenset(
+    {
+        "seed",
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+def _is_relation_decorator(dec: ast.AST) -> bool:
+    """Is this decorator ``@relation(...)`` (bare or attribute-qualified)?"""
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name):
+        return target.id == "relation"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "relation"
+    return False
+
+
+def _param_names(node: ast.FunctionDef) -> List[str]:
+    args = node.args
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def _has_rng_param(node: ast.FunctionDef) -> bool:
+    return any(
+        name in RNG_PARAM_NAMES or name.endswith("_rng")
+        for name in _param_names(node)
+    )
+
+
+class RelationSeededRule(Rule):
+    name = "verify-relation-seeded"
+    description = (
+        "@relation functions must take an explicit rng/seed parameter "
+        "and never draw from global or unseeded RNG state"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(
+                _is_relation_decorator(dec) for dec in node.decorator_list
+            ):
+                continue
+            if not _has_rng_param(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"relation `{node.name}` has no explicit rng/seed "
+                    "parameter; the harness hands every case a seeded "
+                    "np.random.Generator -- accept it (e.g. `def "
+                    f"{node.name}(case, rng)`) so the case is replayable",
+                )
+            yield from self._check_body(module, node)
+
+    def _check_body(
+        self, module: ModuleSource, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        # Walk only the body: decorators hold Param declarations, not code.
+        for stmt in fn.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    if (
+                        _rng_callee_name(sub) == "default_rng"
+                        and not sub.args
+                        and not sub.keywords
+                    ):
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"relation `{fn.name}` constructs an unseeded "
+                            "default_rng(); use the harness-provided rng "
+                            "(or a generator seeded from case data)",
+                        )
+                        continue
+                    chain = _attr_chain(sub.func)
+                    if (
+                        chain is not None
+                        and chain.split(".")[0] == "random"
+                        and chain.split(".")[-1] in STDLIB_RANDOM_DRAWS
+                    ):
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"relation `{fn.name}` draws from the stdlib "
+                            f"global RNG (`{chain}`); use the "
+                            "harness-provided np.random.Generator",
+                        )
+                elif isinstance(sub, ast.Attribute):
+                    chain = _attr_chain(sub)
+                    if (
+                        _is_np_random_chain(chain)
+                        and chain.split(".")[-1] not in ALLOWED_NP_RANDOM_ATTRS
+                    ):
+                        yield self.finding(
+                            module,
+                            sub,
+                            f"relation `{fn.name}` touches the global numpy "
+                            f"RNG (`{chain}`); use the harness-provided rng",
+                        )
+
+
+VERIFY_RULES = (RelationSeededRule(),)

@@ -7,6 +7,7 @@ Usage::
     python -m repro phase               # Equations 4-5 sweep
     python -m repro economics           # test-time / cost comparison
     python -m repro program out.rtp     # build and save a test program
+    python -m repro verify              # relation campaign + golden drift
 
 Every subcommand accepts ``--seed`` for reproducibility; see
 ``python -m repro <command> --help`` for per-command options.
@@ -91,6 +92,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="skip the (slow) hardware experiment",
+    )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the metamorphic relation campaign and golden drift check",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=None, help="campaign master seed"
+    )
+    p_verify.add_argument(
+        "--configs",
+        type=int,
+        default=50,
+        help="sampled configurations per relation (default 50)",
+    )
+    p_verify.add_argument(
+        "--relations",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated relation subset (default: all registered)",
+    )
+    p_verify.add_argument(
+        "--report",
+        default="benchmarks/results/verify_campaign.json",
+        metavar="PATH",
+        help="campaign JSON report path",
+    )
+    p_verify.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="golden corpus directory (default tests/golden)",
+    )
+    p_verify.add_argument(
+        "--skip-golden",
+        action="store_true",
+        help="run only the relation campaign, skip corpus drift detection",
+    )
+    p_verify.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the golden corpus (refused if relations fail)",
+    )
+    p_verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample shrinking on failures",
+    )
+    p_verify.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_relations",
+        help="list registered relations and golden corpora, then exit",
     )
 
     p_lint = sub.add_parser(
@@ -277,6 +331,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import repro.verify.relations  # noqa: F401 - populate the registry
+    from repro.verify.golden import (
+        GoldenUpdateRefused,
+        check_all_corpora,
+        corpus_names,
+        update_golden,
+    )
+    from repro.verify.harness import (
+        DEFAULT_MASTER_SEED,
+        DEFAULT_REGISTRY,
+        run_campaign,
+    )
+
+    if args.list_relations:
+        for name in DEFAULT_REGISTRY.names():
+            print(f"relation {name}")
+        for name in corpus_names():
+            print(f"golden corpus {name}")
+        return 0
+
+    seed = DEFAULT_MASTER_SEED if args.seed is None else args.seed
+    if args.update_golden:
+        try:
+            written = update_golden(directory=args.golden_dir, master_seed=seed)
+        except GoldenUpdateRefused as exc:
+            print(f"refused: {exc}")
+            return 1
+        for path in written:
+            print(f"golden corpus written to {path}")
+        return 0
+
+    names = (
+        [n.strip() for n in args.relations.split(",") if n.strip()]
+        if args.relations
+        else None
+    )
+    campaign = run_campaign(
+        names=names,
+        n_cases=args.configs,
+        master_seed=seed,
+        shrink=not args.no_shrink,
+    )
+    if not args.skip_golden:
+        campaign.golden_drift = check_all_corpora(args.golden_dir)
+    if args.report:
+        campaign.write(args.report)
+    print(campaign.summary())
+    if args.report:
+        print(f"campaign report written to {args.report}")
+    return 0 if campaign.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
@@ -295,6 +402,7 @@ _COMMANDS = {
     "economics": _cmd_economics,
     "program": _cmd_program,
     "report": _cmd_report,
+    "verify": _cmd_verify,
     "lint": _cmd_lint,
 }
 

@@ -227,6 +227,12 @@ class PiecewiseLinearStimulus:
         levels = np.asarray(levels, dtype=float)
         if levels.ndim != 1 or len(levels) < 2:
             raise ValueError("need at least two PWL breakpoint levels")
+        if not np.all(np.isfinite(levels)):
+            # np.clip passes NaN through, so catch it before it poisons
+            # every later interpolation
+            raise ValueError(
+                "PWL breakpoint levels must be finite (got NaN or infinity)"
+            )
         if not (duration > 0):
             raise ValueError("duration must be positive")
         if not (v_limit > 0):

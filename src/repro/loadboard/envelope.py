@@ -89,7 +89,10 @@ def one_pole_lowpass(
     filters bit-identically to filtering that row alone.
     """
     if not (0.0 < bandwidth_hz < sample_rate / 2.0):
-        raise ValueError("bandwidth must lie in (0, envelope Nyquist)")
+        raise ValueError(
+            f"bandwidth must lie in (0, envelope Nyquist): got "
+            f"{bandwidth_hz:g} Hz with Nyquist {sample_rate / 2.0:g} Hz"
+        )
     env = np.asarray(env)
     wc = 2.0 * sample_rate * math.tan(math.pi * bandwidth_hz / sample_rate)
     k = 2.0 * sample_rate
@@ -425,7 +428,10 @@ class EnvelopeSignal:
         its modulation bandwidth.  Other harmonics pass untouched.
         """
         if not (0.0 < bandwidth_hz < self.sample_rate / 2.0):
-            raise ValueError("bandwidth must lie in (0, envelope Nyquist)")
+            raise ValueError(
+                f"bandwidth must lie in (0, envelope Nyquist): got "
+                f"{bandwidth_hz:g} Hz with Nyquist {self.sample_rate / 2.0:g} Hz"
+            )
         out = dict(self.envelopes)
         if h in out:
             out[h] = one_pole_lowpass(out[h], self.sample_rate, bandwidth_hz)

@@ -616,11 +616,11 @@ class SignatureTestBoard:
         Row ``i`` is bit-identical (``np.array_equal``) to
         ``signature(devices[i], stimulus, rng=stream_i, ...)`` where
         ``stream_i`` is the i-th generator spawned from ``rng`` (see
-        :meth:`capture_batch`).
+        :meth:`capture_batch`).  An empty lot yields shape ``(0, m)``
+        with the same bin count ``m`` as any non-empty batch, so
+        downstream matrix code never sees a degenerate ``(0, 0)``.
         """
         devices = list(devices)
-        if not devices:
-            return np.empty((0, 0))
         mat = self._capture_batch_matrix(devices, stimulus, rng, rngs)
         return fft_magnitude_signature_matrix(
             mat, n_bins=n_bins, log_scale=log_scale

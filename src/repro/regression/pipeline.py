@@ -36,13 +36,34 @@ class Pipeline:
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "Pipeline":
         z = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if z.ndim != 2:
+            raise ValueError(
+                f"x must be 2-D (n_samples, n_features), got shape {z.shape}"
+            )
+        if len(z) != len(y):
+            raise ValueError(
+                f"x and y disagree on sample count: {len(z)} signatures "
+                f"vs {len(y)} spec values"
+            )
+        self._n_features = z.shape[1]
         for s in self.steps[:-1]:
             z = s.fit(z).transform(z)
-        self.steps[-1].fit(z, np.asarray(y, dtype=float))
+        self.steps[-1].fit(z, y)
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         z = np.asarray(x, dtype=float)
+        if z.ndim != 2:
+            raise ValueError(
+                f"x must be 2-D (n_samples, n_features), got shape {z.shape}"
+            )
+        n_fitted = getattr(self, "_n_features", None)
+        if n_fitted is not None and z.shape[1] != n_fitted:
+            raise ValueError(
+                f"pipeline was fitted on {n_fitted} features but got "
+                f"{z.shape[1]}"
+            )
         for s in self.steps[:-1]:
             z = s.transform(z)
         return self.steps[-1].predict(z)

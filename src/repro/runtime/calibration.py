@@ -118,6 +118,9 @@ def measure_signatures(
     seeds = spawn_seeds(rng, len(devices))
     ex = get_executor(executor)
     if hasattr(board, "signature_batch"):
+        if not devices:
+            # an empty capture still knows its bin count: (0, m), not (0, 0)
+            return board.signature_batch([], stimulus, rngs=[], n_bins=n_bins)
         # vectorized path: ship device *chunks*, one batched capture per
         # task; per-device seeds keep the result independent of chunking
         tasks = [

@@ -107,7 +107,9 @@ class ProductionRunResult:
         return 3600.0 / self.mean_test_time
 
     def predicted_matrix(self) -> np.ndarray:
-        """All predicted specs as an (N, 3) matrix."""
+        """All predicted specs as an (N, 3) matrix (empty run: (0, 3))."""
+        if not self.records:
+            return np.empty((0, len(SpecSet.NAMES)))
         return np.vstack([r.predicted.as_vector() for r in self.records])
 
 

@@ -187,6 +187,21 @@ class TestPWLStimulus:
         with pytest.raises(ValueError, match="two"):
             PiecewiseLinearStimulus([1.0], duration=1.0)
 
+    def test_nonfinite_levels_rejected(self):
+        # np.clip passes NaN through, so the constructor must catch it
+        with pytest.raises(ValueError, match="finite"):
+            PiecewiseLinearStimulus([0.0, np.nan, 0.5], duration=1.0)
+        with pytest.raises(ValueError, match="finite"):
+            PiecewiseLinearStimulus([0.0, np.inf], duration=1.0)
+        with pytest.raises(ValueError, match="finite"):
+            PiecewiseLinearStimulus.from_gene([0.0, -np.inf], duration=1.0)
+
+    def test_invalid_duration_and_limit_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            PiecewiseLinearStimulus([0.0, 1.0], duration=0.0)
+        with pytest.raises(ValueError, match="v_limit"):
+            PiecewiseLinearStimulus([0.0, 1.0], duration=1.0, v_limit=-1.0)
+
     def test_perturbed_respects_limit(self):
         rng = np.random.default_rng(0)
         stim = PiecewiseLinearStimulus([0.9, -0.9], duration=1.0, v_limit=1.0)

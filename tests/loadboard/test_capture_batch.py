@@ -176,8 +176,12 @@ class TestBatchArguments:
     def test_empty_batch(self, stim):
         board = SignatureTestBoard(simulation_config())
         assert board.capture_batch([], stim) == []
+        # an empty lot still knows its bin count: (0, m), matching any
+        # non-empty batch, so vstack/column code downstream keeps working
+        one = board.signature_batch(make_lot(n=1), stim)
         sigs = board.signature_batch([], stim)
-        assert sigs.shape == (0, 0)
+        assert sigs.shape == (0, one.shape[1])
+        assert board.signature_batch([], stim, n_bins=7).shape == (0, 7)
 
 
 class TestCapturePlanCache:

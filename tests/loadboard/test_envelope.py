@@ -199,3 +199,12 @@ class TestFilterHarmonic:
             env.filter_harmonic(1, 0.0)
         with pytest.raises(ValueError):
             env.filter_harmonic(1, FS)
+
+    def test_bandwidth_error_names_the_nyquist_bound(self):
+        from repro.loadboard.envelope import one_pole_lowpass
+
+        env = EnvelopeSignal({1: np.ones(16, dtype=complex)}, FS, FC)
+        with pytest.raises(ValueError, match="envelope Nyquist"):
+            env.filter_harmonic(1, FS / 2.0)
+        with pytest.raises(ValueError, match="Nyquist 50000"):
+            one_pole_lowpass(np.ones(8, dtype=complex), FS, -1.0)

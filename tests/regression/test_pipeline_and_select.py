@@ -41,6 +41,25 @@ class TestPipeline:
         with pytest.raises(ValueError):
             Pipeline([])
 
+    def test_fit_rejects_1d_signatures(self):
+        pipe = Pipeline([LinearRegression()])
+        with pytest.raises(ValueError, match="2-D"):
+            pipe.fit(np.zeros(10), np.zeros(10))
+
+    def test_fit_rejects_mismatched_sample_counts(self):
+        pipe = Pipeline([LinearRegression()])
+        with pytest.raises(ValueError, match="10 signatures vs 9 spec values"):
+            pipe.fit(np.zeros((10, 3)), np.zeros(9))
+
+    def test_predict_rejects_1d_and_wrong_feature_count(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 4))
+        pipe = Pipeline([StandardScaler(), LinearRegression()]).fit(x, x[:, 0])
+        with pytest.raises(ValueError, match="2-D"):
+            pipe.predict(x[0])
+        with pytest.raises(ValueError, match="fitted on 4 features but got 3"):
+            pipe.predict(x[:, :3])
+
 
 class TestKFold:
     def test_partition_covers_everything_once(self):

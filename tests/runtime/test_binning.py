@@ -118,3 +118,25 @@ class TestGuardBandSweep:
         assert all(l2 >= l1 for l1, l2 in zip(losses, losses[1:]))
         # a 3-sigma guard band drives escapes to (near) zero
         assert escapes[-1] <= 0.02 * curve[0][1].true_fail + 1
+
+    def test_default_decision_limits_are_the_true_limits(self):
+        rng = np.random.default_rng(4)
+        true, predicted = lot(rng)
+        limits = gain_only_limits()
+        plain = confusion(true, predicted, limits)
+        explicit = confusion(true, predicted, limits, decision_limits=limits)
+        assert plain == explicit
+
+    def test_band_covering_the_error_eliminates_escapes(self):
+        # |prediction error| <= e and a guard band of k*sigma >= e means a
+        # truly-failing device can never sneak past the banded limit
+        rng = np.random.default_rng(5)
+        true, _ = lot(rng, n=1000)
+        e = 0.3
+        predicted = true + rng.uniform(-e, e, size=true.shape)
+        banded = guard_banded_limits(gain_only_limits(), {"gain_db": e}, k=1.0)
+        report = confusion(
+            true, predicted, gain_only_limits(), decision_limits=banded
+        )
+        assert report.escapes == 0
+        assert report.yield_loss > 0  # the price paid for zero escapes

@@ -77,6 +77,34 @@ class TestCompaction:
         )
         assert len(result.kept) == 1
 
+    def test_deterministic_for_a_fixed_seed(self):
+        specs, names = correlated_lot(np.random.default_rng(7))
+        budgets = {"p1db": 0.1, "nf": 0.05}
+        first = compact_test_set(
+            specs, names, budgets, rng=np.random.default_rng(11)
+        )
+        second = compact_test_set(
+            specs, names, budgets, rng=np.random.default_rng(11)
+        )
+        assert first == second
+
+    def test_slowest_redundant_test_dropped_first(self):
+        rng = np.random.default_rng(8)
+        gain = rng.normal(16.0, 1.0, 120)
+        fast = gain - 1.0 + rng.normal(0.0, 0.02, 120)
+        slow = gain + 2.0 + rng.normal(0.0, 0.02, 120)
+        specs = np.column_stack([gain, fast, slow])
+        result = compact_test_set(
+            specs,
+            ("gain", "fast", "slow"),
+            max_rmse={"fast": 0.1, "slow": 0.1},
+            test_times={"gain": 0.1, "fast": 0.2, "slow": 0.9},
+            rng=rng,
+        )
+        # both are redundant; the expensive one goes first
+        assert result.dropped[0] == "slow"
+        assert result.seconds_saved == pytest.approx(1.1)
+
     def test_validation(self):
         rng = np.random.default_rng(6)
         with pytest.raises(ValueError):

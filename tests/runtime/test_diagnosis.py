@@ -148,6 +148,26 @@ class TestAmbiguityGroups:
             ambiguity_groups(np.zeros((3, 1)), space, collinearity=0.0)
 
 
+class TestPrimeSuspect:
+    def test_no_observable_parameters_raises(self):
+        from repro.runtime.diagnosis import ParameterDiagnosis
+
+        diagnosis = ParameterDiagnosis(
+            estimated_deviations={"rb": 0.1}, sigma_scores={}, ranked=()
+        )
+        with pytest.raises(ValueError, match="no observable"):
+            diagnosis.prime_suspect
+
+    def test_ranking_ordered_by_absolute_sigma_score(self, fitted):
+        model, space, board, stim, rng = fitted
+        vec = space.nominal_vector()
+        vec[space.index_of("r_load")] *= 1.15
+        sig = board.signature(LNA900(space.to_dict(vec)), stim, rng=rng)
+        diagnosis = model.diagnose(sig)
+        scores = [abs(diagnosis.sigma_scores[n]) for n in diagnosis.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
 class TestValidation:
     def test_shape_checks(self):
         space = lna_parameter_space()

@@ -68,6 +68,32 @@ class TestMultiSite:
         assert quad.cost_per_device > single.cost_per_device / 4.0
 
 
+class TestCostFormula:
+    def test_cost_per_second_is_annualized_capital_plus_operating(self):
+        from repro.runtime.economics import SECONDS_PER_YEAR
+
+        tester = CostModel(
+            name="t",
+            capital_cost=500_000.0,
+            depreciation_years=5.0,
+            utilization=0.5,
+            annual_operating_cost=50_000.0,
+        )
+        expected = (500_000.0 / 5.0 + 50_000.0) / (SECONDS_PER_YEAR * 0.5)
+        assert tester.cost_per_second == pytest.approx(expected, rel=1e-12)
+
+    def test_free_site_hardware_divides_cost_by_sites(self):
+        tester = CostModel.low_cost_tester()
+        single = FlowEconomics(tester, 0.1, sites=1)
+        quad = FlowEconomics(tester, 0.1, sites=4, site_cost_fraction=0.0)
+        assert quad.cost_per_device == pytest.approx(
+            single.cost_per_device / 4.0, rel=1e-12
+        )
+        assert quad.throughput_per_hour == pytest.approx(
+            4.0 * single.throughput_per_hour, rel=1e-12
+        )
+
+
 class TestCompareFlows:
     def test_paper_scenario(self):
         # conventional: ~1 s of sequential spec tests; signature: 15 ms

@@ -1,0 +1,86 @@
+"""Empty-lot and single-device edge cases across every executor backend.
+
+The batched (``signature_batch``), serial, and pooled paths must agree
+not just on values but on *shapes*: an empty lot is an ``(0, m)``
+matrix whose bin count matches a populated capture, never a degenerate
+``(0, 0)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.runtime.calibration import measure_signatures
+from repro.runtime.executor import SerialExecutor
+
+BACKENDS = [None, "thread:2", "process:2", SerialExecutor()]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    config = SignaturePathConfig(
+        carrier_freq=900e6,
+        carrier_power_dbm=10.0,
+        lpf_cutoff_hz=0.45e6,
+        lpf_order=5,
+        digitizer_rate=2e6,
+        digitizer_noise_vrms=1e-3,
+        capture_seconds=64e-6,
+        envelope_oversample=2,
+        dut_coupling="tuned",
+    )
+    board = SignatureTestBoard(config)
+    stimulus = PiecewiseLinearStimulus(
+        np.random.default_rng(5).uniform(-0.8, 0.8, size=5),
+        duration=config.capture_seconds,
+    )
+    device = BehavioralAmplifier(900e6, 12.0, 2.0, -5.0)
+    return board, stimulus, device
+
+
+@pytest.mark.parametrize("executor", BACKENDS, ids=["serial", "thread", "process", "instance"])
+class TestMeasureSignatures:
+    def test_empty_lot_keeps_bin_count(self, bench, executor):
+        board, stimulus, device = bench
+        one = measure_signatures(
+            board, stimulus, [device], np.random.default_rng(0), executor=executor
+        )
+        empty = measure_signatures(
+            board, stimulus, [], np.random.default_rng(0), executor=executor
+        )
+        assert empty.shape == (0, one.shape[1])
+        narrow = measure_signatures(
+            board,
+            stimulus,
+            [],
+            np.random.default_rng(0),
+            n_bins=9,
+            executor=executor,
+        )
+        assert narrow.shape == (0, 9)
+
+    def test_single_device_matches_serial_bit_for_bit(self, bench, executor):
+        board, stimulus, device = bench
+        reference = measure_signatures(
+            board, stimulus, [device], np.random.default_rng(1)
+        )
+        sigs = measure_signatures(
+            board, stimulus, [device], np.random.default_rng(1), executor=executor
+        )
+        assert sigs.shape == reference.shape == (1, reference.shape[1])
+        assert np.array_equal(sigs, reference)
+
+
+class TestBoardBatchShapes:
+    def test_signature_batch_empty_is_0_by_m(self, bench):
+        board, stimulus, device = bench
+        one = board.signature_batch([device], stimulus)
+        empty = board.signature_batch([], stimulus)
+        assert empty.shape == (0, one.shape[1])
+        assert board.signature_batch([], stimulus, n_bins=7).shape == (0, 7)
+
+    def test_capture_batch_empty_is_empty_list(self, bench):
+        board, stimulus, _ = bench
+        assert board.capture_batch([], stimulus) == []

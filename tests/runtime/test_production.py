@@ -92,3 +92,29 @@ class TestProductionFlow:
             result.mean_test_time
         with pytest.raises(ValueError):
             result.yield_fraction
+
+
+class TestEdgeLots:
+    @pytest.mark.parametrize("executor", [None, "thread:2", "process:2"])
+    def test_empty_lot(self, flow_setup, executor):
+        space, factory, board, stim, calibration = flow_setup
+        flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+        result = flow.run([], np.random.default_rng(0), executor=executor)
+        assert result.n_devices == 0
+        assert result.records == []
+        assert result.predicted_matrix().shape == (0, 3)
+
+    @pytest.mark.parametrize("executor", [None, "thread:2", "process:2"])
+    def test_single_device_matches_serial(self, flow_setup, executor):
+        space, factory, board, stim, calibration = flow_setup
+        flow = ProductionTestFlow(board, stim, calibration, limits=lna_limits())
+        device = factory(space.to_dict(space.nominal_vector()))
+        reference = flow.run([device], np.random.default_rng(4))
+        result = flow.run([device], np.random.default_rng(4), executor=executor)
+        assert result.n_devices == 1
+        rec, ref = result.records[0], reference.records[0]
+        assert rec.device_id == 0
+        assert np.array_equal(rec.signature, ref.signature)
+        assert rec.predicted.as_vector() == pytest.approx(
+            ref.predicted.as_vector()
+        )

@@ -1,0 +1,56 @@
+"""The `python -m repro verify` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+def test_list_shows_relations_and_corpora(capsys):
+    assert main(["verify", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "relation signature-lo2-phase-invariance" in out
+    assert "relation db-linear-roundtrip" in out
+    assert "golden corpus sim-small" in out
+
+
+def test_quick_campaign_writes_report_and_passes(tmp_path, capsys):
+    report_path = tmp_path / "campaign.json"
+    rc = main(
+        [
+            "verify",
+            "--configs",
+            "2",
+            "--relations",
+            "db-linear-roundtrip",
+            "--skip-golden",
+            "--no-shrink",
+            "--report",
+            str(report_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign PASSED" in out
+    with open(report_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    assert data["ok"] is True
+    assert data["n_cases"] == 2
+    assert [r["name"] for r in data["relations"]] == ["db-linear-roundtrip"]
+
+
+def test_golden_drift_exits_nonzero(tmp_path, capsys):
+    # an empty --golden-dir means every corpus file is missing -> drift
+    rc = main(
+        [
+            "verify",
+            "--configs",
+            "1",
+            "--relations",
+            "db-linear-roundtrip",
+            "--no-shrink",
+            "--golden-dir",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 1
+    assert "DRIFT" in capsys.readouterr().out

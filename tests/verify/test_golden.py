@@ -1,0 +1,108 @@
+"""Golden-corpus build, drift detection, and the guarded update flow."""
+
+import json
+import os
+
+import pytest
+
+import repro.verify.harness as harness
+from repro.verify.golden import (
+    GOLDEN_DIR_ENV,
+    GoldenUpdateRefused,
+    build_corpus,
+    check_all_corpora,
+    check_corpus,
+    corpus_names,
+    golden_dir,
+    update_golden,
+)
+
+
+def _write(corpus, directory):
+    path = os.path.join(directory, f"{corpus['name']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(corpus, handle)
+    return path
+
+
+class TestGoldenDir:
+    def test_default_is_committed_tests_golden(self):
+        assert golden_dir().endswith(os.path.join("tests", "golden"))
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(GOLDEN_DIR_ENV, str(tmp_path))
+        assert golden_dir() == str(tmp_path)
+        # explicit argument beats the environment
+        assert golden_dir("/elsewhere") == "/elsewhere"
+
+
+class TestBuildAndCheck:
+    def test_build_is_deterministic(self):
+        a = build_corpus("sim-small")
+        b = build_corpus("sim-small")
+        assert a == b
+        assert a["seed"] == 20020101
+        assert len(a["signatures"]) == a["n_val"]
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(KeyError, match="unknown corpus"):
+            build_corpus("no-such-corpus")
+
+    def test_fresh_corpus_is_clean(self, tmp_path):
+        _write(build_corpus("sim-small"), str(tmp_path))
+        assert check_corpus("sim-small", directory=str(tmp_path)) == []
+
+    def test_numeric_tamper_is_drift(self, tmp_path):
+        corpus = build_corpus("sim-small")
+        corpus["signatures"][0][0] += 1e-3
+        _write(corpus, str(tmp_path))
+        messages = check_corpus("sim-small", directory=str(tmp_path))
+        assert len(messages) == 1
+        assert "validation signatures" in messages[0]
+        assert "max drift" in messages[0]
+
+    def test_missing_file_is_drift(self, tmp_path):
+        messages = check_corpus("sim-small", directory=str(tmp_path))
+        assert messages and "missing" in messages[0]
+
+    def test_check_all_covers_every_corpus(self, tmp_path):
+        drift = check_all_corpora(directory=str(tmp_path))
+        assert set(drift) == set(corpus_names())
+        assert all(msgs for msgs in drift.values())  # all missing
+
+
+class TestCommittedCorpora:
+    def test_committed_files_exist(self):
+        for name in corpus_names():
+            assert os.path.exists(os.path.join(golden_dir(), f"{name}.json"))
+
+
+class TestGuardedUpdate:
+    def _campaign(self, ok):
+        campaign = harness.CampaignReport(master_seed=0, n_cases=1)
+        campaign.relations.append(
+            harness.RelationReport(
+                name="r",
+                equation="",
+                description="",
+                n_cases=1,
+                n_failures=0 if ok else 1,
+            )
+        )
+        return campaign
+
+    def test_update_refused_while_relations_fail(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            harness, "run_campaign", lambda **kw: self._campaign(ok=False)
+        )
+        with pytest.raises(GoldenUpdateRefused, match="relation campaign failed"):
+            update_golden(directory=str(tmp_path))
+        assert os.listdir(str(tmp_path)) == []  # nothing was written
+
+    def test_update_writes_clean_corpora(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            harness, "run_campaign", lambda **kw: self._campaign(ok=True)
+        )
+        written = update_golden(directory=str(tmp_path), names=["sim-small"])
+        assert written == [os.path.join(str(tmp_path), "sim-small.json")]
+        assert check_corpus("sim-small", directory=str(tmp_path)) == []

@@ -1,0 +1,39 @@
+"""Acceptance check: an injected LO2-offset bug must be caught and shrunk.
+
+The paper's Eq. 5 claims the FFT-magnitude signature is phase-invariant
+*because* the second LO runs at a small frequency offset.  A bug that
+silently loses that offset (the offset ramp cancels, collapsing the
+path to the same-LO Eq. 4 regime, where the signature scales with
+cos(phase)) must be caught by the phase-invariance relation -- complete
+with a shrunk counterexample config for the report.
+"""
+
+from unittest import mock
+
+import repro.verify.relations  # noqa: F401 - populate the default registry
+from repro.loadboard.envelope import EnvelopeSignal
+from repro.verify.harness import DEFAULT_REGISTRY, run_relation
+
+
+def test_lost_lo2_offset_caught_with_shrunk_counterexample():
+    original = EnvelopeSignal.sine_carrier.__func__
+
+    def buggy(cls, *args, **kwargs):
+        kwargs["offset_hz"] = 0.0
+        return original(cls, *args, **kwargs)
+
+    rel = DEFAULT_REGISTRY.get(["signature-lo2-phase-invariance"])[0]
+    with mock.patch.object(EnvelopeSignal, "sine_carrier", classmethod(buggy)):
+        report = run_relation(rel, n_cases=6, shrink=True)
+
+    assert report.n_failures > 0, "phase-invariance relation missed the bug"
+    failure = report.failures[0]
+    assert failure.shrunk_config is not None
+    assert set(failure.shrunk_config) == set(rel.params)
+    assert "phase invariance" in (failure.shrunk_message or failure.message)
+
+
+def test_relation_clean_without_the_bug():
+    rel = DEFAULT_REGISTRY.get(["signature-lo2-phase-invariance"])[0]
+    report = run_relation(rel, n_cases=6, shrink=False)
+    assert report.ok

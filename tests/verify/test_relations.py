@@ -1,0 +1,32 @@
+"""The built-in relation library: registration and a passing smoke campaign."""
+
+import repro.verify.relations  # noqa: F401 - populate the default registry
+from repro.verify.harness import DEFAULT_REGISTRY, run_campaign
+
+EXPECTED = {
+    "signature-lo2-phase-invariance",
+    "capture-batch-equivalence",
+    "executor-equivalence",
+    "envelope-gain-linearity",
+    "attenuation-monotonicity",
+    "db-linear-roundtrip",
+    "noise-determinism",
+    "spec-permutation-stability",
+}
+
+
+def test_relation_library_registered():
+    assert EXPECTED <= set(DEFAULT_REGISTRY.names())
+    assert len(DEFAULT_REGISTRY) >= 6  # the acceptance floor
+
+
+def test_every_relation_declares_its_contract():
+    for rel in DEFAULT_REGISTRY.get(sorted(EXPECTED)):
+        assert rel.params, f"{rel.name} samples no configuration space"
+        assert rel.equation or rel.description, f"{rel.name} is undocumented"
+
+
+def test_smoke_campaign_passes():
+    campaign = run_campaign(names=sorted(EXPECTED), n_cases=3, master_seed=99)
+    failing = [r.name for r in campaign.relations if not r.ok]
+    assert campaign.ok, f"relations violated: {failing}"
