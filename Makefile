@@ -13,7 +13,7 @@ BENCH_JSON ?= bench.json
 VERIFY_CONFIGS ?= 50
 VERIFY_REPORT ?= benchmarks/results/verify_campaign.json
 
-.PHONY: install test lint lint-stats verify bench bench-json bench-check examples all clean
+.PHONY: install test lint lint-stats lint-numerics lint-sarif verify bench bench-json bench-check examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,22 @@ lint:
 lint-stats:
 	@PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
 		--cache-dir $(LINT_CACHE) --stats | sed -n '/^| rule/,$$p'
+
+# the four interval rules alone, plus the float32 certification report;
+# own cache dir -- --select changes the rule-set part of the cache key
+lint-numerics:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--select num-log-nonpositive,num-div-zero,num-cancellation,num-float32-unsafe \
+		--cache-dir $(LINT_CACHE)-numerics
+	@PYTHONPATH=src $(PYTHON) -m repro.analysis src \
+		--cache-dir $(LINT_CACHE)-numerics --numerics-report
+
+# SARIF 2.1.0 log for GitHub's code-scanning tab (CI uploads it);
+# always exits 0 -- `lint` is the gate, this is the report artifact
+lint-sarif:
+	@PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--format sarif --cache-dir $(LINT_CACHE) > signature-lint.sarif || true
+	@echo "wrote signature-lint.sarif"
 
 # metamorphic relation campaign (fixed master seed) + golden drift check;
 # exits non-zero on any violated relation or corpus drift

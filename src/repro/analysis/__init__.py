@@ -29,7 +29,11 @@ imports and call edges across the whole repository
   ``par-captured-rng``, ``par-global-mutation`` for callables reachable
   from ``map_tasks`` dispatch sites;
 * :mod:`repro.analysis.contracts` -- ``batch-shape-mismatch`` for
-  ``*_batch`` / ``*_matrix`` sibling APIs fed the wrong-shaped value.
+  ``*_batch`` / ``*_matrix`` sibling APIs fed the wrong-shaped value;
+* :mod:`repro.analysis.absint` -- interval abstract interpretation of
+  the numeric chain (``num-log-nonpositive``, ``num-div-zero``,
+  ``num-cancellation``, ``num-float32-unsafe``) plus the
+  ``--numerics-report`` float32 certification artifact.
 
 Run it with ``python -m repro.analysis [paths]`` (or ``python -m repro
 lint``); suppress a finding in place with a ``# repro-lint:
@@ -49,6 +53,7 @@ from repro.analysis.engine import (
     Finding,
     ModuleSource,
     Rule,
+    UnjustifiedSuppressionRule,
     UnknownSuppressionRule,
     analyze_file,
     analyze_paths,
@@ -62,6 +67,7 @@ __all__ = [
     "ModuleSource",
     "ProjectReport",
     "Rule",
+    "UnjustifiedSuppressionRule",
     "UnknownSuppressionRule",
     "analyze_file",
     "analyze_paths",
@@ -75,6 +81,7 @@ __all__ = [
 
 def default_rules() -> List[Rule]:
     """Fresh instances of every built-in rule, in reporting order."""
+    from repro.analysis.absint.rules import ABSINT_RULES
     from repro.analysis.api import API_RULES
     from repro.analysis.contracts import CONTRACT_RULES
     from repro.analysis.dataflow import DATAFLOW_RULES
@@ -93,6 +100,8 @@ def default_rules() -> List[Rule]:
         *PARALLEL_RULES,
         *CONTRACT_RULES,
         *VERIFY_RULES,
+        *ABSINT_RULES,
     ]
     rules.append(UnknownSuppressionRule(rule.name for rule in rules))
+    rules.append(UnjustifiedSuppressionRule())
     return rules

@@ -1,0 +1,59 @@
+"""Interval abstract interpretation for the signature chain's numerics.
+
+Layers, bottom up:
+
+* :mod:`~repro.analysis.absint.domain` -- the abstract value: a closed
+  interval over the extended reals, a NaN-reachability bit, and an
+  absolute float32 rounding-error bound, with sound transfer functions
+  for the NumPy / ``repro.dsp.units`` vocabulary;
+* :mod:`~repro.analysis.absint.extract` -- AST -> cacheable numeric IR
+  (stored inside :class:`~repro.analysis.project.ModuleSummary`, so warm
+  lint runs replay without re-parsing);
+* :mod:`~repro.analysis.absint.interp` -- the interprocedural fixpoint
+  (widening, guard narrowing, ``np.errstate`` sanctioning) plus the
+  machine-readable certification report;
+* :mod:`~repro.analysis.absint.rules` -- the four project rules:
+  ``num-log-nonpositive``, ``num-div-zero``, ``num-cancellation``,
+  ``num-float32-unsafe``.
+"""
+
+from repro.analysis.absint.domain import EPS32, EMPTY, TOP, Interval
+from repro.analysis.absint.extract import (
+    ModuleNumerics,
+    NumericFunction,
+    extract_numerics,
+    parse_budget_tag,
+    parse_range_tags,
+)
+from repro.analysis.absint.interp import (
+    AbsintResult,
+    analyze_index,
+    certification_report,
+)
+from repro.analysis.absint.rules import (
+    ABSINT_RULES,
+    NumCancellationRule,
+    NumDivZeroRule,
+    NumFloat32UnsafeRule,
+    NumLogNonpositiveRule,
+)
+
+__all__ = [
+    "EPS32",
+    "EMPTY",
+    "TOP",
+    "Interval",
+    "ModuleNumerics",
+    "NumericFunction",
+    "extract_numerics",
+    "parse_budget_tag",
+    "parse_range_tags",
+    "AbsintResult",
+    "analyze_index",
+    "certification_report",
+    "ABSINT_RULES",
+    "NumCancellationRule",
+    "NumDivZeroRule",
+    "NumFloat32UnsafeRule",
+    "NumLogNonpositiveRule",
+]

@@ -1,0 +1,571 @@
+"""The abstract value domain: real intervals + NaN bit + float32 error bound.
+
+One :class:`Interval` abstracts the set of values a variable can hold at
+a program point:
+
+* a closed interval ``[lo, hi]`` over the extended reals (``lo`` and
+  ``hi`` may be ``+/-inf``; ``lo > hi`` encodes the empty set);
+* ``may_nan`` -- whether NaN is reachable (``log10`` of a negative,
+  ``inf - inf``, ``0 * inf``, ``0 / 0``, ``sqrt`` of a negative);
+* ``err32`` -- an upper bound on the **absolute** rounding error the
+  value would carry had the whole computation run in float32 instead of
+  float64.  The model charges one float32 unit roundoff
+  (``EPS32 * sup|result|``) per operation and propagates input errors
+  through each operation's first-order sensitivity, which makes
+  catastrophic cancellation (``x - y`` with ``x ~ y``) show up as the
+  error blowup it really is.  ``err32 = inf`` means "no finite bound
+  provable" (division by an interval reaching zero, ``log10`` of an
+  interval reaching zero, ...).
+
+The float64-vs-float32 framing matters for ROADMAP item 2: the planned
+reduced-precision capture fast path is only safe where the *extra* error
+from dropping to float32 stays under a declared per-function budget
+(``lint-float32-budget:``), and ``err32`` is exactly that bound.
+
+Unknown values are represented *outside* this class by ``None`` (no
+information), mirroring the unit-domain inference: rules only fire on
+values the analysis actually knows something about.  ``TOP`` (the full
+real line, NaN reachable) is still available for operations that bound
+their result intrinsically (``abs`` of anything is ``>= 0``).
+
+All transfer functions are total: they accept any interval (including
+empty and infinite endpoints) and return a sound over-approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+__all__ = [
+    "EPS32",
+    "Interval",
+    "TOP",
+    "EMPTY",
+    "const",
+    "rng",
+    "join",
+    "widen",
+    "add",
+    "neg",
+    "sub",
+    "mul",
+    "div",
+    "absval",
+    "sqrt",
+    "log10",
+    "pow10",
+    "power",
+    "minimum",
+    "maximum",
+    "clip",
+    "bounded_unop",
+    "cancellation_amplification",
+    "narrow",
+    "negate_op",
+    "interval_tuple",
+]
+
+#: float32 unit roundoff (2**-24, round-to-nearest)
+EPS32 = 2.0 ** -24
+
+#: smallest increment used to narrow a strict bound (``x > 0``)
+_TINY = 5e-324
+
+_LN10 = math.log(10.0)
+
+
+def _nextafter(value: float, toward: float) -> float:
+    """``math.nextafter`` with a pre-3.9-safe fallback for the infinities."""
+    if math.isinf(value):
+        return value
+    try:
+        return math.nextafter(value, toward)
+    except AttributeError:  # pragma: no cover - python < 3.9
+        return value + (_TINY if toward > value else -_TINY)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` over R U {+/-inf}, NaN reachability, float32 error."""
+
+    lo: float
+    hi: float
+    may_nan: bool = False
+    err32: float = 0.0
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi and not self.is_empty
+
+    def contains(self, value: float) -> bool:
+        return not self.is_empty and self.lo <= value <= self.hi
+
+    def contains_zero(self) -> bool:
+        return self.contains(0.0)
+
+    def reaches_nonpositive(self) -> bool:
+        """Can the value be ``<= 0`` (the ``log10`` precondition check)?"""
+        return not self.is_empty and self.lo <= 0.0
+
+    def reaches_negative(self) -> bool:
+        return not self.is_empty and self.lo < 0.0
+
+    @property
+    def mag_sup(self) -> float:
+        """Largest possible magnitude (``sup |x|``)."""
+        if self.is_empty:
+            return 0.0
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def mag_inf(self) -> float:
+        """Smallest possible magnitude (``inf |x|``; 0 when 0 is inside)."""
+        if self.is_empty:
+            return 0.0
+        if self.lo <= 0.0 <= self.hi:
+            return 0.0
+        return min(abs(self.lo), abs(self.hi))
+
+    def same_sign(self) -> bool:
+        """Entirely ``>= 0`` or entirely ``<= 0``."""
+        return not self.is_empty and (self.lo >= 0.0 or self.hi <= 0.0)
+
+    # -- formatting / serialization ----------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "(empty)"
+        body = f"[{self.lo:.6g}, {self.hi:.6g}]"
+        if self.may_nan:
+            body += "?nan"
+        return body
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": _json_float(self.lo),
+            "hi": _json_float(self.hi),
+            "may_nan": self.may_nan,
+            "err32": _json_float(self.err32),
+        }
+
+    # -- lattice -----------------------------------------------------------
+
+    def with_nan(self, may_nan: bool = True) -> "Interval":
+        return replace(self, may_nan=self.may_nan or may_nan)
+
+
+def _json_float(value: float):
+    """JSON has no inf/nan literals; use strings for the non-finite ones."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+TOP = Interval(-math.inf, math.inf, may_nan=True, err32=math.inf)
+EMPTY = Interval(math.inf, -math.inf)
+
+
+def const(value: float) -> Interval:
+    """The singleton interval of a literal constant.
+
+    The float32 representation error of the constant itself is charged
+    up front (``|c| * EPS32``), so a chain built from constants already
+    carries the error a float32 pipeline would.
+    """
+    if math.isnan(value):
+        return Interval(math.inf, -math.inf, may_nan=True)
+    return Interval(value, value, err32=abs(value) * EPS32)
+
+
+def rng(lo: float, hi: float, may_nan: bool = False) -> Interval:
+    """A declared range (``lint-ranges:`` tag), taken as error-free.
+
+    The float32 certificate bounds the error the *body's arithmetic*
+    introduces for exactly-representable inputs.  Seeding a uniform
+    absolute representation error (``mag_sup * EPS32``) instead would be
+    sound but useless: the log transfer must divide an absolute input
+    error by the interval's smallest magnitude, so a wide range like
+    ``[1e-30, 1e30]`` would certify ``db`` at 1e53 absolute error.
+    """
+    iv = Interval(float(lo), float(hi), may_nan=may_nan)
+    if iv.is_empty:
+        return EMPTY
+    return iv
+
+
+def join(a: Optional[Interval], b: Optional[Interval]) -> Optional[Interval]:
+    """Least upper bound; ``None`` (no information) absorbs everything."""
+    if a is None or b is None:
+        return None
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    return Interval(
+        min(a.lo, b.lo),
+        max(a.hi, b.hi),
+        may_nan=a.may_nan or b.may_nan,
+        err32=max(a.err32, b.err32),
+    )
+
+
+def widen(old: Optional[Interval], new: Optional[Interval]) -> Optional[Interval]:
+    """Widening: any still-growing bound jumps straight to infinity.
+
+    Guarantees termination of the interprocedural fixpoint: a chain of
+    widenings can only move each endpoint to ``+/-inf`` once and flip
+    ``may_nan`` once, so every slot stabilizes in finitely many steps.
+    """
+    if old is None or new is None:
+        return None
+    if old.is_empty:
+        return new
+    if new.is_empty:
+        return old
+    lo = old.lo if new.lo >= old.lo else -math.inf
+    hi = old.hi if new.hi <= old.hi else math.inf
+    err = old.err32 if new.err32 <= old.err32 else math.inf
+    return Interval(lo, hi, may_nan=old.may_nan or new.may_nan, err32=err)
+
+
+# ---------------------------------------------------------------------------
+# arithmetic transfer functions
+# ---------------------------------------------------------------------------
+
+
+def _mul_bound(a: float, b: float) -> float:
+    """IEEE-style interval product endpoint: ``0 * inf`` contributes 0.
+
+    The NaN possibility of ``0 * inf`` is handled separately by the
+    caller; for the *interval* endpoints the zero factor wins.
+    """
+    if (a == 0.0 and math.isinf(b)) or (b == 0.0 and math.isinf(a)):
+        return 0.0
+    return a * b
+
+
+def _round_err(result: Interval, carried: float) -> float:
+    """Carried first-order error + one unit roundoff on the result."""
+    if math.isinf(carried):
+        return math.inf
+    sup = result.mag_sup
+    if math.isinf(sup):
+        return math.inf
+    return carried + sup * EPS32
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    nan = a.may_nan or b.may_nan
+    # inf + (-inf) is NaN-reachable
+    if (a.contains(math.inf) and b.contains(-math.inf)) or (
+        a.contains(-math.inf) and b.contains(math.inf)
+    ):
+        nan = True
+    out = Interval(a.lo + b.lo, a.hi + b.hi, may_nan=nan)
+    return replace(out, err32=_round_err(out, a.err32 + b.err32))
+
+
+def neg(a: Interval) -> Interval:
+    if a.is_empty:
+        return EMPTY
+    return Interval(-a.hi, -a.lo, may_nan=a.may_nan, err32=a.err32)
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    return add(a, neg(b))
+
+
+def cancellation_amplification(a: Interval, b: Interval) -> float:
+    """How much ``a - b`` can amplify relative error, at minimum.
+
+    ``sup(|a|, |b|) / sup|a - b|``: even the *largest* possible result is
+    this many times smaller than the operands, so relative error grows
+    by at least this factor on every evaluation -- the signature of
+    catastrophic cancellation (as opposed to a difference that merely
+    *can* pass near zero).  Returns ``inf`` when the difference is
+    provably zero, ``0`` when nothing is known.
+    """
+    if a.is_empty or b.is_empty:
+        return 0.0
+    operand_mag = max(a.mag_sup, b.mag_sup)
+    if operand_mag == 0.0 or math.isinf(operand_mag):
+        return 0.0
+    diff = sub(a, b)
+    result_mag = diff.mag_sup
+    if result_mag == 0.0:
+        return math.inf
+    return operand_mag / result_mag
+
+
+def _no_zero_crossing(out: Interval) -> Interval:
+    """Nudge an underflowed endpoint off zero.
+
+    The domain models *real* arithmetic: a product or quotient of two
+    zero-free intervals is zero-free, but the float endpoint computation
+    can underflow to 0 (``5e-324 * 5e-324 == 0.0``) and would falsely
+    re-introduce a div-zero hazard.  Callers invoke this only when the
+    result is provably one-signed.
+    """
+    if out.is_empty:
+        return out
+    if out.lo == 0.0 and out.hi > 0.0:
+        return replace(out, lo=_TINY)
+    if out.hi == 0.0 and out.lo < 0.0:
+        return replace(out, hi=-_TINY)
+    return out
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    nan = a.may_nan or b.may_nan
+    infinite = a.contains(math.inf) or a.contains(-math.inf)
+    infinite_b = b.contains(math.inf) or b.contains(-math.inf)
+    if (a.contains_zero() and infinite_b) or (b.contains_zero() and infinite):
+        nan = True
+    products = [
+        _mul_bound(a.lo, b.lo),
+        _mul_bound(a.lo, b.hi),
+        _mul_bound(a.hi, b.lo),
+        _mul_bound(a.hi, b.hi),
+    ]
+    out = Interval(min(products), max(products), may_nan=nan)
+    if not a.contains_zero() and not b.contains_zero():
+        out = _no_zero_crossing(out)
+    carried = _mul_bound(a.err32, b.mag_sup) + _mul_bound(b.err32, a.mag_sup)
+    return replace(out, err32=_round_err(out, carried))
+
+
+def div(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    nan = a.may_nan or b.may_nan
+    if b.contains_zero():
+        # the result reaches +/-inf around the pole; 0/0 adds NaN
+        if a.contains_zero():
+            nan = True
+        return Interval(-math.inf, math.inf, may_nan=nan, err32=math.inf)
+    if (a.contains(math.inf) or a.contains(-math.inf)) and (
+        b.contains(math.inf) or b.contains(-math.inf)
+    ):
+        nan = True  # inf / inf
+    inv_candidates = [1.0 / b.lo, 1.0 / b.hi]
+    inv = Interval(min(inv_candidates), max(inv_candidates))
+    out = mul(a, inv)
+    if not a.contains_zero():
+        # x / y is zero-free when x is (the inv endpoints may hit 0 for
+        # unbounded y, and a 0*inf inside mul may set a spurious NaN --
+        # over the reals neither zero nor NaN is reachable here)
+        out = _no_zero_crossing(out)
+    else:
+        nan = nan or out.may_nan
+    b_inf = b.mag_inf
+    carried = (a.err32 + _mul_bound(b.err32, out.mag_sup)) / b_inf
+    return Interval(
+        out.lo, out.hi, may_nan=nan, err32=_round_err(out, carried)
+    )
+
+
+def absval(a: Interval) -> Interval:
+    if a.is_empty:
+        return EMPTY
+    if a.lo >= 0.0:
+        out = Interval(a.lo, a.hi, may_nan=a.may_nan)
+    elif a.hi <= 0.0:
+        out = Interval(-a.hi, -a.lo, may_nan=a.may_nan)
+    else:
+        out = Interval(0.0, max(-a.lo, a.hi), may_nan=a.may_nan)
+    return replace(out, err32=a.err32)
+
+
+def sqrt(a: Interval) -> Interval:
+    if a.is_empty:
+        return EMPTY
+    nan = a.may_nan or a.lo < 0.0
+    clipped = Interval(max(a.lo, 0.0), a.hi)
+    if clipped.is_empty:
+        return Interval(math.inf, -math.inf, may_nan=True)
+    out = Interval(math.sqrt(clipped.lo), math.sqrt(clipped.hi), may_nan=nan)
+    if clipped.lo > 0.0 and a.err32 < clipped.lo:
+        carried = a.err32 / (2.0 * math.sqrt(clipped.lo))
+    elif math.isinf(a.err32):
+        carried = math.inf
+    else:
+        # near zero the first-order bound fails; sqrt is the envelope
+        carried = math.sqrt(a.err32)
+    return replace(out, err32=_round_err(out, carried))
+
+
+def log10(a: Interval, scale: float = 1.0) -> Interval:
+    """``scale * log10(a)`` (scale 10 for dB power, 20 for dB amplitude)."""
+    if a.is_empty:
+        return EMPTY
+    nan = a.may_nan or a.lo < 0.0
+    positive = Interval(max(a.lo, 0.0), a.hi)
+    if positive.is_empty or positive.hi == 0.0:
+        # nothing positive to take a log of: -inf (log10(0)) and/or NaN
+        return Interval(-math.inf, -math.inf, may_nan=nan, err32=math.inf)
+    lo = -math.inf if positive.lo == 0.0 else scale * math.log10(positive.lo)
+    hi = scale * math.log10(positive.hi)
+    out = Interval(min(lo, hi), max(lo, hi), may_nan=nan)
+    if positive.lo > 0.0 and not math.isinf(a.err32):
+        carried = abs(scale) * a.err32 / (_LN10 * positive.lo)
+        # scale*log10(x) is two rounded float32 ops, and libm's log10 is
+        # only correct to ~2 ulp -- 3 extra ulps on top of _round_err's 1
+        if not math.isinf(out.mag_sup):
+            carried += 3.0 * out.mag_sup * EPS32
+    else:
+        carried = math.inf
+    return replace(out, err32=_round_err(out, carried))
+
+
+def pow10(a: Interval, scale: float = 1.0) -> Interval:
+    """``10 ** (a / scale)`` (scale 10 undoes dB power, 20 dB amplitude)."""
+    if a.is_empty:
+        return EMPTY
+
+    def _p(x: float) -> float:
+        if x == -math.inf:
+            return 0.0
+        if x == math.inf:
+            return math.inf
+        try:
+            return 10.0 ** (x / scale)
+        except OverflowError:
+            return math.inf
+
+    lo, hi = _p(a.lo), _p(a.hi)
+    out = Interval(min(lo, hi), max(lo, hi), may_nan=a.may_nan)
+    if math.isinf(a.err32) or math.isinf(out.mag_sup):
+        carried = math.inf
+    else:
+        # division rounding + libm exp error (~2 ulp), see log10 above
+        carried = _LN10 / abs(scale) * out.mag_sup * a.err32
+        carried += 3.0 * out.mag_sup * EPS32
+    return replace(out, err32=_round_err(out, carried))
+
+
+def power(a: Interval, exponent: Interval) -> Interval:
+    """``a ** k`` for a *constant* integer-ish exponent; TOP otherwise."""
+    if a.is_empty or exponent.is_empty:
+        return EMPTY
+    if not exponent.is_point:
+        return TOP
+    k = exponent.lo
+    if k != int(k) or abs(k) > 64:
+        return TOP
+    k = int(k)
+    if k == 0:
+        return const(1.0)
+    result = a
+    for _ in range(abs(k) - 1):
+        result = mul(result, a)
+    if k < 0:
+        result = div(const(1.0), result)
+    return result
+
+
+def minimum(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    return Interval(
+        min(a.lo, b.lo),
+        min(a.hi, b.hi),
+        may_nan=a.may_nan or b.may_nan,
+        err32=max(a.err32, b.err32),
+    )
+
+
+def maximum(a: Interval, b: Interval) -> Interval:
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    return Interval(
+        max(a.lo, b.lo),
+        max(a.hi, b.hi),
+        may_nan=a.may_nan or b.may_nan,
+        err32=max(a.err32, b.err32),
+    )
+
+
+def clip(a: Interval, lo: Interval, hi: Interval) -> Interval:
+    return minimum(maximum(a, lo), hi)
+
+
+def bounded_unop(lo: float, hi: float) -> Interval:
+    """Result of an intrinsically bounded op on unknown input (sin, cos)."""
+    return Interval(lo, hi, may_nan=True, err32=max(abs(lo), abs(hi)) * EPS32)
+
+
+# ---------------------------------------------------------------------------
+# comparison narrowing (guard refinement)
+# ---------------------------------------------------------------------------
+
+
+def narrow(
+    value: Optional[Interval], op: str, bound: float
+) -> Optional[Interval]:
+    """Refine ``value`` by the guard ``value <op> bound`` holding true.
+
+    ``op`` is one of ``> >= < <= == !=``.  ``None`` (unknown) narrows to
+    the guard's own constraint -- a guard is *information*.  Strict
+    bounds move one ULP inward so ``x > 0`` really excludes zero, which
+    is what lets a real ``if x <= 0: raise`` guard prove a following
+    ``log10(x)`` safe.  NaN never satisfies a comparison, so any
+    successful narrowing clears ``may_nan``.
+    """
+    if value is None:
+        if op == "!=":
+            # an interval can't encode a hole: `x != 0` on an unknown
+            # value yields no usable bounds, so stay unknown rather than
+            # claim the full line is proven
+            return None
+        value = Interval(-math.inf, math.inf)
+    if value.is_empty:
+        return value
+    lo, hi = value.lo, value.hi
+    if op == ">":
+        lo = max(lo, _nextafter(bound, math.inf))
+    elif op == ">=":
+        lo = max(lo, bound)
+    elif op == "<":
+        hi = min(hi, _nextafter(bound, -math.inf))
+    elif op == "<=":
+        hi = min(hi, bound)
+    elif op == "==":
+        lo, hi = max(lo, bound), min(hi, bound)
+    elif op == "!=":
+        if lo == hi == bound:
+            return EMPTY
+        if lo == bound:
+            lo = _nextafter(bound, math.inf)
+        if hi == bound:
+            hi = _nextafter(bound, -math.inf)
+    else:
+        return value
+    out = Interval(lo, hi, may_nan=False, err32=value.err32)
+    return EMPTY if out.is_empty else out
+
+
+_NEGATED = {">": "<=", ">=": "<", "<": ">=", "<=": ">", "==": "!=", "!=": "=="}
+
+
+def negate_op(op: str) -> Optional[str]:
+    """The comparison holding on the *else* branch of ``value <op> bound``."""
+    return _NEGATED.get(op)
+
+
+def interval_tuple(iv: Interval) -> Tuple[float, float, bool, float]:
+    """Stable tuple form used by fixpoint change detection."""
+    return (iv.lo, iv.hi, iv.may_nan, iv.err32)

@@ -1,0 +1,567 @@
+"""AST -> numeric IR: the cacheable program the abstract interpreter runs.
+
+The interprocedural fixpoint must replay from the lint cache without
+re-parsing unchanged files, so -- like the rest of the project-level
+substrate -- everything it needs is extracted into JSON-serializable
+summaries at parse time.  :func:`extract_numerics` compresses a module
+into :class:`NumericFunction` objects: the function's parameters, its
+declared value ranges, its float32 error budget, and a structured
+statement list that keeps exactly what interval analysis cares about
+(assignments, returns, raises, branches with their comparison tests,
+loops, ``np.errstate`` regions) and abstracts everything else to
+"unknown".
+
+Declared ranges come from ``lint-ranges:`` docstring tags::
+
+    def capture(drive_dbm, atten_db):
+        '''Capture one response.
+
+        lint-ranges: drive_dbm=[-40, 10], atten_db=[0, 60]
+        '''
+
+and the per-function float32 budget (an *absolute* output error bound,
+in the output's own units) from ``lint-float32-budget:``::
+
+        lint-float32-budget: 1e-6
+
+A dataclass (or any class) may declare field ranges in its class
+docstring with the same ``lint-ranges:`` tag; they seed both its
+constructor parameters and -- matching the project-wide unique-attribute
+convention -- reads of ``obj.<field>`` anywhere in the project when the
+field name is unambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NumericFunction",
+    "ModuleNumerics",
+    "extract_numerics",
+    "parse_range_tags",
+    "parse_budget_tag",
+]
+
+_RANGE_TAG_RE = re.compile(r"^\s*lint-ranges:\s*(.+)$", re.MULTILINE)
+_BUDGET_TAG_RE = re.compile(r"^\s*lint-float32-budget:\s*(\S+)", re.MULTILINE)
+#: one ``name=[lo, hi]`` pair inside a lint-ranges tag
+_PAIR_RE = re.compile(r"(\w+)\s*=\s*\[\s*([^,\]]+)\s*,\s*([^,\]]+)\s*\]")
+
+_CMP_OPS = {
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+_BIN_OPS = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.Div: "div",
+    ast.Pow: "pow",
+    ast.MatMult: "matmul",
+    ast.Mod: "mod",
+    ast.FloorDiv: "floordiv",
+}
+
+
+def _parse_bound(text: str) -> Optional[float]:
+    text = text.strip().lower()
+    if text in ("inf", "+inf"):
+        return math.inf
+    if text == "-inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_range_tags(doc: Optional[str]) -> Dict[str, Tuple[float, float]]:
+    """``lint-ranges: x=[-40, 10], y=[0, inf]`` -> ``{x: (-40, 10), ...}``."""
+    ranges: Dict[str, Tuple[float, float]] = {}
+    if not doc:
+        return ranges
+    for match in _RANGE_TAG_RE.finditer(doc):
+        for pair in _PAIR_RE.finditer(match.group(1)):
+            lo = _parse_bound(pair.group(2))
+            hi = _parse_bound(pair.group(3))
+            if lo is not None and hi is not None and lo <= hi:
+                ranges[pair.group(1)] = (lo, hi)
+    return ranges
+
+
+def parse_budget_tag(doc: Optional[str]) -> Optional[float]:
+    """``lint-float32-budget: 1e-6`` -> ``1e-6`` (absolute error bound)."""
+    if not doc:
+        return None
+    match = _BUDGET_TAG_RE.search(doc)
+    if match is None:
+        return None
+    budget = _parse_bound(match.group(1))
+    if budget is None or budget <= 0:
+        return None
+    return budget
+
+
+@dataclass
+class NumericFunction:
+    """One function's numeric program, ready for abstract interpretation."""
+
+    qualname: str
+    name: str
+    line: int
+    col: int
+    params: List[str] = field(default_factory=list)
+    #: declared param ranges from the ``lint-ranges:`` docstring tag
+    ranges: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: declared absolute float32 error budget, or None
+    budget: Optional[float] = None
+    #: structured statement list (see module docstring)
+    body: List[dict] = field(default_factory=list)
+    is_method: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "params": list(self.params),
+            "ranges": {k: [_bound_json(v[0]), _bound_json(v[1])] for k, v in self.ranges.items()},
+            "budget": self.budget,
+            "body": self.body,
+            "is_method": self.is_method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NumericFunction":
+        return cls(
+            qualname=data["qualname"],
+            name=data["name"],
+            line=data["line"],
+            col=data["col"],
+            params=list(data.get("params", [])),
+            ranges={
+                k: (_bound_parse(v[0]), _bound_parse(v[1]))
+                for k, v in data.get("ranges", {}).items()
+            },
+            budget=data.get("budget"),
+            body=list(data.get("body", [])),
+            is_method=bool(data.get("is_method", False)),
+        )
+
+
+def _bound_json(value: float):
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _bound_parse(value) -> float:
+    if isinstance(value, str):
+        return math.inf if value == "inf" else -math.inf
+    return float(value)
+
+
+@dataclass
+class ModuleNumerics:
+    """Everything one module contributes to the numeric analysis."""
+
+    functions: List[NumericFunction] = field(default_factory=list)
+    #: class name -> {field name -> (lo, hi)} from class-docstring tags
+    class_ranges: Dict[str, Dict[str, Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+    #: module-level numeric constants (``BOLTZMANN = 1.38e-23``)
+    consts: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "functions": [f.to_dict() for f in self.functions],
+            "class_ranges": {
+                cls: {k: [_bound_json(v[0]), _bound_json(v[1])] for k, v in fields.items()}
+                for cls, fields in self.class_ranges.items()
+            },
+            "consts": {k: _bound_json(v) for k, v in self.consts.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "ModuleNumerics":
+        if not data:
+            return cls()
+        return cls(
+            functions=[
+                NumericFunction.from_dict(f) for f in data.get("functions", [])
+            ],
+            class_ranges={
+                name: {
+                    k: (_bound_parse(v[0]), _bound_parse(v[1]))
+                    for k, v in fields.items()
+                }
+                for name, fields in data.get("class_ranges", {}).items()
+            },
+            consts={
+                k: _bound_parse(v) for k, v in data.get("consts", {}).items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# expression encoding
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+_UNKNOWN = {"k": "unknown"}
+
+
+def _text_of(node: ast.expr) -> str:
+    """Truncated source text carried for finding messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return ""
+    if len(text) > 48:
+        text = text[:45] + "..."
+    return text
+
+
+def _encode_expr(node: ast.expr) -> dict:
+    """One expression -> IR dict; anything unmodeled becomes ``unknown``."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(
+            node.value, (int, float)
+        ):
+            return dict(_UNKNOWN)
+        return {"k": "const", "v": float(node.value)}
+    if isinstance(node, ast.Name):
+        return {"k": "var", "n": node.id}
+    if isinstance(node, ast.Attribute):
+        return {
+            "k": "attr",
+            "n": node.attr,
+            "base": _dotted(node.value) or "",
+        }
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.USub):
+            return {"k": "un", "op": "neg", "a": _encode_expr(node.operand)}
+        if isinstance(node.op, ast.UAdd):
+            return _encode_expr(node.operand)
+        return dict(_UNKNOWN)
+    if isinstance(node, ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            return dict(_UNKNOWN)
+        return {
+            "k": "bin",
+            "op": op,
+            "a": _encode_expr(node.left),
+            "b": _encode_expr(node.right),
+            "t": _text_of(node),
+            "l": node.lineno,
+            "c": node.col_offset + 1,
+        }
+    if isinstance(node, ast.Call):
+        fn = _dotted(node.func)
+        if fn is None or any(isinstance(a, ast.Starred) for a in node.args):
+            return dict(_UNKNOWN)
+        return {
+            "k": "call",
+            "fn": fn,
+            "a": [_encode_expr(a) for a in node.args],
+            "kw": {
+                kw.arg: _encode_expr(kw.value)
+                for kw in node.keywords
+                if kw.arg is not None
+            },
+            "t": _text_of(node),
+            "l": node.lineno,
+            "c": node.col_offset + 1,
+        }
+    if isinstance(node, ast.Subscript):
+        # elementwise abstraction: a slice/element shares the array's range
+        return {"k": "sub", "a": _encode_expr(node.value)}
+    if isinstance(node, ast.IfExp):
+        return {
+            "k": "ifexp",
+            "test": _encode_test(node.test),
+            "a": _encode_expr(node.body),
+            "b": _encode_expr(node.orelse),
+        }
+    if isinstance(node, ast.Compare):
+        test = _encode_test(node)
+        return test if test is not None else dict(_UNKNOWN)
+    return dict(_UNKNOWN)
+
+
+def _encode_test(node: ast.expr) -> Optional[dict]:
+    """A branch test -> IR, keeping only narrowing-relevant structure."""
+    if isinstance(node, ast.Compare) and len(node.ops) == 1:
+        op = _CMP_OPS.get(type(node.ops[0]))
+        if op is None:
+            return None
+        return {
+            "k": "cmp",
+            "op": op,
+            "lhs": _encode_expr(node.left),
+            "rhs": _encode_expr(node.comparators[0]),
+        }
+    if isinstance(node, ast.BoolOp):
+        parts = [_encode_test(v) for v in node.values]
+        kind = "and" if isinstance(node.op, ast.And) else "or"
+        return {"k": kind, "parts": [p for p in parts if p is not None]}
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        inner = _encode_test(node.operand)
+        if inner is not None:
+            return {"k": "not", "a": inner}
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# statement encoding
+# ---------------------------------------------------------------------------
+
+
+def _is_ignoring_errstate(call: ast.expr) -> bool:
+    """``np.errstate(divide="ignore", ...)`` -- a sanctioned FP region."""
+    if not isinstance(call, ast.Call):
+        return False
+    fn = _dotted(call.func)
+    if fn is None or fn.split(".")[-1] != "errstate":
+        return False
+    for kw in call.keywords:
+        if kw.arg in ("divide", "invalid", "over", "under", "all") and (
+            isinstance(kw.value, ast.Constant) and kw.value.value == "ignore"
+        ):
+            return True
+    return False
+
+
+def _encode_block(stmts: List[ast.stmt]) -> List[dict]:
+    out: List[dict] = []
+    for stmt in stmts:
+        out.extend(_encode_stmt(stmt))
+    return out
+
+
+def _encode_stmt(stmt: ast.stmt) -> List[dict]:
+    if isinstance(stmt, ast.Assign):
+        encoded = []
+        value = _encode_expr(stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                encoded.append(
+                    {
+                        "kind": "assign",
+                        "target": target.id,
+                        "expr": value,
+                        "l": stmt.lineno,
+                        "c": stmt.col_offset + 1,
+                    }
+                )
+        return encoded or [{"kind": "expr", "expr": value}]
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            return [
+                {
+                    "kind": "assign",
+                    "target": stmt.target.id,
+                    "expr": _encode_expr(stmt.value),
+                    "l": stmt.lineno,
+                    "c": stmt.col_offset + 1,
+                }
+            ]
+        return [{"kind": "expr", "expr": _encode_expr(stmt.value)}]
+    if isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            op = _BIN_OPS.get(type(stmt.op))
+            if op is None:
+                expr: dict = dict(_UNKNOWN)
+            else:
+                expr = {
+                    "k": "bin",
+                    "op": op,
+                    "a": {"k": "var", "n": stmt.target.id},
+                    "b": _encode_expr(stmt.value),
+                    "l": stmt.lineno,
+                    "c": stmt.col_offset + 1,
+                }
+            return [
+                {
+                    "kind": "assign",
+                    "target": stmt.target.id,
+                    "expr": expr,
+                    "l": stmt.lineno,
+                    "c": stmt.col_offset + 1,
+                }
+            ]
+        return [{"kind": "expr", "expr": _encode_expr(stmt.value)}]
+    if isinstance(stmt, ast.Return):
+        return [
+            {
+                "kind": "return",
+                "expr": _encode_expr(stmt.value) if stmt.value else None,
+                "l": stmt.lineno,
+                "c": stmt.col_offset + 1,
+            }
+        ]
+    if isinstance(stmt, ast.Raise):
+        return [{"kind": "raise"}]
+    if isinstance(stmt, ast.Assert):
+        # `assert x > 0` narrows the fallthrough exactly like
+        # `if not (x > 0): raise`
+        return [
+            {
+                "kind": "branch",
+                "test": _encode_test(stmt.test),
+                "body": [],
+                "orelse": [{"kind": "raise"}],
+            }
+        ]
+    if isinstance(stmt, ast.If):
+        return [
+            {
+                "kind": "branch",
+                "test": _encode_test(stmt.test),
+                "body": _encode_block(stmt.body),
+                "orelse": _encode_block(stmt.orelse),
+            }
+        ]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        body = _encode_block(stmt.body)
+        if isinstance(stmt.target, ast.Name):
+            # the loop variable ranges over an unknown iterable
+            body.insert(
+                0,
+                {
+                    "kind": "assign",
+                    "target": stmt.target.id,
+                    "expr": dict(_UNKNOWN),
+                    "l": stmt.lineno,
+                    "c": stmt.col_offset + 1,
+                },
+            )
+        return [
+            {"kind": "loop", "body": body},
+            *_encode_block(stmt.orelse),
+        ]
+    if isinstance(stmt, ast.While):
+        return [
+            {"kind": "loop", "body": _encode_block(stmt.body)},
+            *_encode_block(stmt.orelse),
+        ]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        body = _encode_block(stmt.body)
+        if any(_is_ignoring_errstate(item.context_expr) for item in stmt.items):
+            return [{"kind": "errstate", "body": body}]
+        return body
+    if isinstance(stmt, ast.Try):
+        return [
+            {
+                "kind": "branch",
+                "test": None,
+                "body": _encode_block(stmt.body) + _encode_block(stmt.orelse),
+                "orelse": [
+                    s
+                    for handler in stmt.handlers
+                    for s in _encode_block(handler.body)
+                ],
+            },
+            *_encode_block(stmt.finalbody),
+        ]
+    if isinstance(stmt, ast.Expr):
+        return [{"kind": "expr", "expr": _encode_expr(stmt.value)}]
+    # nested defs, classes, imports, pass, del, global...: invisible here
+    return []
+
+
+# ---------------------------------------------------------------------------
+# module-level extraction
+# ---------------------------------------------------------------------------
+
+
+def _function_params(func: ast.AST) -> List[str]:
+    args = func.args
+    return [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+
+
+def _extract_function(
+    func: ast.AST, qualname: str, is_method: bool
+) -> NumericFunction:
+    doc = ast.get_docstring(func, clean=False)
+    return NumericFunction(
+        qualname=qualname,
+        name=func.name,
+        line=func.lineno,
+        col=func.col_offset + 1,
+        params=_function_params(func),
+        ranges=parse_range_tags(doc),
+        budget=parse_budget_tag(doc),
+        body=_encode_block(func.body),
+        is_method=is_method,
+    )
+
+
+def _literal_number(node: ast.expr) -> Optional[float]:
+    """The value of a (possibly negated) numeric literal, else None."""
+    sign = 1.0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        sign, node = -1.0, node.operand
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    ):
+        return sign * float(node.value)
+    return None
+
+
+def extract_numerics(tree: ast.Module) -> ModuleNumerics:
+    """Extract every top-level function's and method's numeric program."""
+    numerics = ModuleNumerics()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = _literal_number(stmt.value) if stmt.value else None
+            if value is not None:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        numerics.consts[target.id] = value
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            numerics.functions.append(
+                _extract_function(stmt, stmt.name, is_method=False)
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            ranges = parse_range_tags(ast.get_docstring(stmt, clean=False))
+            if ranges:
+                numerics.class_ranges[stmt.name] = ranges
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    numerics.functions.append(
+                        _extract_function(
+                            item, f"{stmt.name}.{item.name}", is_method=True
+                        )
+                    )
+    return numerics

@@ -1,0 +1,935 @@
+"""Interprocedural interval abstract interpretation over the ProjectIndex.
+
+:func:`analyze_index` runs the numeric programs extracted by
+:mod:`repro.analysis.absint.extract` to a fixpoint:
+
+1. every function's parameters are seeded from its declared
+   ``lint-ranges:`` tags (or left *unknown*);
+2. each body is abstractly executed -- assignments bind intervals,
+   branches narrow by their comparison tests and join, loops iterate
+   with widening, ``raise`` kills a path, ``np.errstate(... "ignore")``
+   marks a sanctioned floating-point region;
+3. return intervals propagate to call sites across the whole project
+   (widened after a few rounds, so the fixpoint provably terminates);
+4. a final pass re-executes every body against the stable state and
+   collects findings and the certification rows.
+
+The analysis follows the package's *sound-ish* contract: a value is
+either ``None`` (no information, never flagged) or an
+:class:`~repro.analysis.absint.domain.Interval` that soundly
+over-approximates everything the analysis could prove.  Checks fire only
+on proven intervals:
+
+* ``num-log-nonpositive`` -- an interval including values ``<= 0``
+  reaches ``log10`` / ``log`` / ``db`` / ``db20``;
+* ``num-div-zero`` -- a denominator interval containing zero;
+* ``num-cancellation`` -- subtraction of overlapping same-sign intervals
+  whose result is provably orders of magnitude smaller than its
+  operands (relative-error amplification ``>= CANCELLATION_THRESHOLD``);
+* ``num-float32-unsafe`` -- a function declaring
+  ``lint-float32-budget:`` whose proven absolute float32 error bound
+  exceeds (or cannot be proven within) the budget.
+
+``watts_to_dbm`` is the designated ``-inf`` sentinel and is never
+flagged, matching the runtime sanitizer's treatment of its scoped
+``errstate``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.absint import domain
+from repro.analysis.absint.domain import EPS32, Interval
+from repro.analysis.absint.extract import ModuleNumerics, NumericFunction
+from repro.analysis.engine import Finding
+from repro.analysis.project import CallSummary, ModuleSummary, ProjectIndex
+
+__all__ = [
+    "AbsintResult",
+    "FunctionCertificate",
+    "CANCELLATION_THRESHOLD",
+    "RULE_LOG_NONPOSITIVE",
+    "RULE_DIV_ZERO",
+    "RULE_CANCELLATION",
+    "RULE_FLOAT32_UNSAFE",
+    "analyze_index",
+    "certification_report",
+]
+
+RULE_LOG_NONPOSITIVE = "num-log-nonpositive"
+RULE_DIV_ZERO = "num-div-zero"
+RULE_CANCELLATION = "num-cancellation"
+RULE_FLOAT32_UNSAFE = "num-float32-unsafe"
+
+#: minimum provable relative-error amplification before ``a - b`` counts
+#: as catastrophic cancellation (see ``cancellation_amplification``)
+CANCELLATION_THRESHOLD = 1e4
+
+#: fixpoint iteration cap (widening makes far fewer rounds suffice)
+_MAX_ROUNDS = 20
+#: joins tolerated per slot before widening to +/-inf
+_WIDEN_AFTER = 3
+#: abstract iterations of one loop body before trusting the widened env
+_LOOP_PASSES = 4
+
+_LN10 = math.log(10.0)
+_LOG10E = math.log10(math.e)
+
+#: attribute constants resolved without imports (``math.pi``, ``np.inf``)
+_ATTR_CONSTS = {
+    "pi": math.pi,
+    "e": math.e,
+    "inf": math.inf,
+    "euler_gamma": 0.5772156649015329,
+    "nan": math.nan,
+}
+
+#: leaves treated as log-family intrinsics: leaf -> (scale, check)
+_LOG_LEAVES = {
+    "log10": (1.0, True),
+    "log": (_LN10, True),
+    "log2": (1.0 / math.log10(2.0), True),
+    "db": (10.0, True),
+    "db20": (20.0, True),
+}
+
+#: leaves treated as pow10-family intrinsics: leaf -> scale
+_POW10_LEAVES = {"undb": 10.0, "undb20": 20.0}
+
+_IDENTITY_LEAVES = {
+    "float",
+    "float64",
+    "asarray",
+    "array",
+    "ascontiguousarray",
+    "atleast_1d",
+    "atleast_2d",
+    "ravel",
+    "reshape",
+    "copy",
+    "squeeze",
+    "real",
+}
+
+#: order-statistic reductions: interval-preserving, no added rounding
+_SELECT_LEAVES = {"max", "amax", "min", "amin", "nanmax", "nanmin"}
+#: convex reductions: interval-preserving, unbounded accumulation error
+_CONVEX_LEAVES = {"mean", "median", "nanmean", "nanmedian"}
+
+def _narrow_vs_interval(
+    value: Optional[Interval], op: str, bound: Interval
+) -> Optional[Interval]:
+    """Narrow ``value`` under ``value <op> v`` for some ``v`` in ``bound``.
+
+    A non-point bound still carries one-sided information: ``x > v`` with
+    ``v >= bound.lo`` implies ``x > bound.lo``, and symmetrically for the
+    upper side.  ``!=`` against a non-point bound excludes nothing.
+    """
+    if bound.is_empty:
+        return value
+    if bound.is_point:
+        return domain.narrow(value, op, bound.lo)
+    if op in (">", ">="):
+        return domain.narrow(value, op, bound.lo)
+    if op in ("<", "<="):
+        return domain.narrow(value, op, bound.hi)
+    if op == "==":
+        value = domain.narrow(value, ">=", bound.lo)
+        return domain.narrow(value, "<=", bound.hi)
+    return value
+
+
+@dataclass
+class FunctionCertificate:
+    """One row of the numerics certification report."""
+
+    qualname: str
+    path: str
+    line: int
+    ranges: Dict[str, Interval] = field(default_factory=dict)
+    returns: Optional[Interval] = None
+    budget: Optional[float] = None
+
+    @property
+    def budget_ok(self) -> Optional[bool]:
+        if self.budget is None:
+            return None
+        if self.returns is None:
+            return False
+        return self.returns.err32 <= self.budget
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.qualname,
+            "path": self.path,
+            "line": self.line,
+            "param_ranges": {k: v.to_dict() for k, v in self.ranges.items()},
+            "return_interval": (
+                self.returns.to_dict() if self.returns is not None else None
+            ),
+            "float32_abs_error": (
+                domain._json_float(self.returns.err32)
+                if self.returns is not None
+                else None
+            ),
+            "float32_budget": self.budget,
+            "budget_ok": self.budget_ok,
+        }
+
+
+@dataclass
+class AbsintResult:
+    """Findings plus per-function certificates from one fixpoint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    certificates: List[FunctionCertificate] = field(default_factory=list)
+    rounds: int = 0
+
+
+Env = Dict[str, Optional[Interval]]
+
+
+def _fmt(iv: Interval) -> str:
+    return str(iv)
+
+
+class _Interpreter:
+    """Shared state of one whole-project analysis."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        #: qual -> (module summary, numeric function)
+        self.functions: Dict[str, Tuple[ModuleSummary, NumericFunction]] = {}
+        #: per-module parsed numerics (path -> ModuleNumerics)
+        self.numerics: Dict[str, ModuleNumerics] = {}
+        #: qual -> current return interval (EMPTY = not yet / no return)
+        self.returns: Dict[str, Optional[Interval]] = {}
+        self._join_counts: Dict[str, int] = {}
+        #: field name -> joined declared interval across all classes
+        self.field_ranges: Dict[str, Optional[Interval]] = {}
+        #: fully qualified module const name -> interval
+        self.global_consts: Dict[str, Interval] = {}
+
+        for summary in index.summaries:
+            nums = ModuleNumerics.from_dict(getattr(summary, "numerics", None))
+            self.numerics[summary.path] = nums
+            prefix = summary.module or summary.path
+            for func in nums.functions:
+                qual = f"{prefix}.{func.qualname}"
+                self.functions[qual] = (summary, func)
+                self.returns[qual] = domain.EMPTY
+            for fields in nums.class_ranges.values():
+                for name, (lo, hi) in fields.items():
+                    iv = domain.rng(lo, hi)
+                    if name in self.field_ranges:
+                        self.field_ranges[name] = domain.join(
+                            self.field_ranges[name], iv
+                        )
+                    else:
+                        self.field_ranges[name] = iv
+            for name, value in nums.consts.items():
+                self.global_consts[f"{prefix}.{name}"] = domain.const(value)
+
+        # findings are collected only on the final pass
+        self.collect: bool = False
+        self.findings: Dict[Tuple[str, int, int, str], Finding] = {}
+
+    # -- seeding -----------------------------------------------------------
+
+    def seed_env(self, summary: ModuleSummary, func: NumericFunction) -> Env:
+        env: Env = {}
+        own_fields: Dict[str, Tuple[float, float]] = {}
+        if "." in func.qualname:
+            cls_name = func.qualname.split(".")[0]
+            own_fields = self.numerics[summary.path].class_ranges.get(
+                cls_name, {}
+            )
+        for param in func.params:
+            if param in ("self", "cls"):
+                continue
+            declared = func.ranges.get(param)
+            if declared is None and func.qualname.endswith("__init__"):
+                declared = own_fields.get(param)
+            env[param] = (
+                domain.rng(*declared) if declared is not None else None
+            )
+        return env
+
+    # -- finding sink ------------------------------------------------------
+
+    def report(
+        self,
+        summary: ModuleSummary,
+        node: dict,
+        rule: str,
+        message: str,
+    ) -> None:
+        if not self.collect:
+            return
+        line = int(node.get("l", 0) or 0)
+        col = int(node.get("c", 0) or 0)
+        key = (summary.path, line, col, rule)
+        if key not in self.findings:
+            self.findings[key] = Finding(
+                path=summary.path, line=line, col=col, rule=rule, message=message
+            )
+
+    # -- expression evaluation ---------------------------------------------
+
+    def eval_expr(
+        self,
+        expr: Optional[dict],
+        env: Env,
+        summary: ModuleSummary,
+        errstate: bool,
+    ) -> Optional[Interval]:
+        if expr is None:
+            return None
+        kind = expr.get("k")
+        if kind == "const":
+            return domain.const(float(expr["v"]))
+        if kind == "var":
+            return self._lookup_name(expr["n"], env, summary)
+        if kind == "attr":
+            return self._lookup_attr(expr, env, summary)
+        if kind == "sub":
+            return self.eval_expr(expr.get("a"), env, summary, errstate)
+        if kind == "un":
+            operand = self.eval_expr(expr.get("a"), env, summary, errstate)
+            if operand is None:
+                return None
+            return domain.neg(operand)
+        if kind == "bin":
+            return self._eval_bin(expr, env, summary, errstate)
+        if kind == "call":
+            return self._eval_call(expr, env, summary, errstate)
+        if kind == "ifexp":
+            return self._eval_ifexp(expr, env, summary, errstate)
+        if kind in ("cmp", "and", "or", "not"):
+            return None  # booleans are outside the numeric domain
+        return None
+
+    def _lookup_name(
+        self, name: str, env: Env, summary: ModuleSummary
+    ) -> Optional[Interval]:
+        if name in env:
+            return env[name]
+        nums = self.numerics.get(summary.path)
+        if nums is not None and name in nums.consts:
+            return domain.const(nums.consts[name])
+        target = summary.imports.get(name)
+        if target is not None and target in self.global_consts:
+            return self.global_consts[target]
+        return None
+
+    def _lookup_attr(
+        self, expr: dict, env: Env, summary: ModuleSummary
+    ) -> Optional[Interval]:
+        name = expr.get("n", "")
+        base = expr.get("base", "")
+        base_head = base.split(".")[0] if base else ""
+        if base_head in ("math", "np", "numpy") and name in _ATTR_CONSTS:
+            value = _ATTR_CONSTS[name]
+            if math.isnan(value):
+                return Interval(-math.inf, math.inf, may_nan=True, err32=math.inf)
+            return domain.const(value)
+        # imported module constant: noise.BOLTZMANN
+        if base_head and base_head in summary.imports:
+            qual = f"{summary.imports[base_head]}.{name}"
+            if qual in self.global_consts:
+                return self.global_consts[qual]
+        # declared dataclass field range, unique-name convention
+        return self.field_ranges.get(name)
+
+    def _eval_bin(
+        self, expr: dict, env: Env, summary: ModuleSummary, errstate: bool
+    ) -> Optional[Interval]:
+        op = expr["op"]
+        a = self.eval_expr(expr.get("a"), env, summary, errstate)
+        b = self.eval_expr(expr.get("b"), env, summary, errstate)
+        if op in ("div", "mod", "floordiv"):
+            if (
+                b is not None
+                and b.contains_zero()
+                and not b.is_empty
+                and not errstate
+            ):
+                self.report(
+                    summary,
+                    expr,
+                    RULE_DIV_ZERO,
+                    (
+                        f"denominator of `{expr.get('t', '')}` has proven "
+                        f"interval {_fmt(b)}, which contains 0"
+                    ),
+                )
+            if op != "div" or a is None or b is None:
+                return None
+            return domain.div(a, b)
+        if op == "sub":
+            if (
+                a is not None
+                and b is not None
+                and not a.is_empty
+                and not b.is_empty
+                and not (a.is_point and b.is_point)
+                and a.same_sign()
+                and b.same_sign()
+                and (a.lo >= 0.0) == (b.lo >= 0.0)
+            ):
+                amplification = domain.cancellation_amplification(a, b)
+                if amplification >= CANCELLATION_THRESHOLD:
+                    amp_text = (
+                        "inf"
+                        if math.isinf(amplification)
+                        else f"{amplification:.0e}"
+                    )
+                    self.report(
+                        summary,
+                        expr,
+                        RULE_CANCELLATION,
+                        (
+                            f"`{expr.get('t', '')}` subtracts same-sign "
+                            f"intervals {_fmt(a)} and {_fmt(b)}; catastrophic "
+                            f"cancellation amplifies relative error by "
+                            f">= {amp_text}x"
+                        ),
+                    )
+            if a is None or b is None:
+                return None
+            return domain.sub(a, b)
+        if a is None and b is None:
+            return None
+        if op == "add":
+            if a is None or b is None:
+                return None
+            return domain.add(a, b)
+        if op == "mul":
+            if a is None or b is None:
+                return None
+            return domain.mul(a, b)
+        if op == "pow":
+            return self._eval_pow(a, b)
+        return None
+
+    def _eval_pow(
+        self, base: Optional[Interval], exponent: Optional[Interval]
+    ) -> Optional[Interval]:
+        if base is None or exponent is None:
+            return None
+        if base.is_point and base.lo > 0.0:
+            # c ** x == 10 ** (x * log10(c)): the pow10 transfer applies
+            scaled = domain.mul(exponent, domain.const(math.log10(base.lo)))
+            return domain.pow10(scaled, 1.0)
+        if exponent.is_point:
+            return domain.power(base, exponent)
+        return None
+
+    def _eval_ifexp(
+        self, expr: dict, env: Env, summary: ModuleSummary, errstate: bool
+    ) -> Optional[Interval]:
+        test = expr.get("test")
+        env_true = dict(env)
+        env_false = dict(env)
+        if test is not None:
+            self.narrow_env(env_true, test, True, summary, errstate)
+            self.narrow_env(env_false, test, False, summary, errstate)
+        a = self.eval_expr(expr.get("a"), env_true, summary, errstate)
+        b = self.eval_expr(expr.get("b"), env_false, summary, errstate)
+        return domain.join(a, b)
+
+    # -- calls -------------------------------------------------------------
+
+    def _resolve_call(
+        self, summary: ModuleSummary, expr: dict
+    ) -> Optional[str]:
+        fn = expr.get("fn", "")
+        call = CallSummary(
+            callee=fn,
+            attr=fn.split(".")[-1],
+            line=int(expr.get("l", 0) or 0),
+            col=int(expr.get("c", 0) or 0),
+        )
+        return self.index.resolve_callee(summary, call)
+
+    def _eval_call(
+        self, expr: dict, env: Env, summary: ModuleSummary, errstate: bool
+    ) -> Optional[Interval]:
+        fn = expr.get("fn", "")
+        leaf = fn.split(".")[-1]
+        args = [
+            self.eval_expr(a, env, summary, errstate)
+            for a in expr.get("a", [])
+        ]
+        first = args[0] if args else None
+
+        if leaf in _LOG_LEAVES:
+            scale, check = _LOG_LEAVES[leaf]
+            if (
+                check
+                and first is not None
+                and first.reaches_nonpositive()
+                and not errstate
+            ):
+                self.report(
+                    summary,
+                    expr,
+                    RULE_LOG_NONPOSITIVE,
+                    (
+                        f"`{expr.get('t', '')}`: operand has proven interval "
+                        f"{_fmt(first)}, which includes values <= 0 reaching "
+                        f"{leaf}(); guard the operand or add a positive floor"
+                    ),
+                )
+            if first is None:
+                return None
+            return domain.log10(first, scale)
+        if leaf in _POW10_LEAVES:
+            if first is None:
+                return None
+            return domain.pow10(first, _POW10_LEAVES[leaf])
+        if leaf == "watts_to_dbm":
+            # designated -inf sentinel: sanctioned, never flagged
+            if first is None:
+                return None
+            return domain.add(domain.log10(first, 10.0), domain.const(30.0))
+        if leaf == "dbm_to_watts":
+            if first is None:
+                return None
+            return domain.pow10(
+                domain.sub(first, domain.const(30.0)), 10.0
+            )
+        if leaf == "exp":
+            if first is None:
+                return None
+            return domain.pow10(domain.mul(first, domain.const(_LOG10E)), 1.0)
+        if leaf in ("sqrt",):
+            if first is None:
+                return None
+            return domain.sqrt(first)
+        if leaf in ("abs", "absolute", "fabs"):
+            if first is None:
+                return None
+            return domain.absval(first)
+        if leaf in ("maximum", "max") and len(args) >= 2:
+            return self._fold(domain.maximum, args, lo_unknown=False)
+        if leaf in ("minimum", "min") and len(args) >= 2:
+            return self._fold(domain.minimum, args, lo_unknown=True)
+        if leaf in _SELECT_LEAVES or (
+            leaf in ("max", "min") and len(args) == 1
+        ):
+            return first
+        if leaf in _CONVEX_LEAVES:
+            if first is None:
+                return None
+            return Interval(
+                first.lo, first.hi, may_nan=first.may_nan, err32=math.inf
+            )
+        if leaf in ("sum", "nansum", "cumsum"):
+            # same-signed elements cannot cancel, so the sum keeps the
+            # elementwise bound nearest zero (assumes a nonempty array,
+            # as the mean/median transfer already does)
+            if first is None or not first.same_sign():
+                return None
+            if first.lo >= 0.0:
+                return Interval(
+                    first.lo, math.inf, may_nan=first.may_nan, err32=math.inf
+                )
+            return Interval(
+                -math.inf, first.hi, may_nan=first.may_nan, err32=math.inf
+            )
+        if leaf == "clip" and len(args) == 3:
+            if any(a is None for a in args):
+                lo, hi = args[1], args[2]
+                lo_bound = lo.lo if lo is not None else -math.inf
+                hi_bound = hi.hi if hi is not None else math.inf
+                return Interval(lo_bound, hi_bound, may_nan=True, err32=math.inf)
+            return domain.clip(args[0], args[1], args[2])
+        if leaf in ("cos", "sin"):
+            if first is None:
+                return None
+            return domain.bounded_unop(-1.0, 1.0)
+        if leaf in ("square",):
+            if first is None:
+                return None
+            return domain.mul(first, first)
+        if leaf in ("ones", "ones_like"):
+            return domain.const(1.0)
+        if leaf in ("zeros", "zeros_like", "zeros_like"):
+            return domain.const(0.0)
+        if leaf == "full" and len(args) >= 2:
+            return args[1]
+        if leaf == "float32":
+            if first is None:
+                return None
+            extra = first.mag_sup * EPS32
+            return Interval(
+                first.lo,
+                first.hi,
+                may_nan=first.may_nan,
+                err32=first.err32 + extra if math.isfinite(extra) else math.inf,
+            )
+        if leaf in _IDENTITY_LEAVES:
+            return first
+
+        resolved = self._resolve_call(summary, expr)
+        if resolved is not None and resolved in self.functions:
+            ret = self.returns.get(resolved)
+            if ret is not None and ret.is_empty:
+                return None
+            return ret
+        return None
+
+    @staticmethod
+    def _fold(op, args: List[Optional[Interval]], lo_unknown: bool):
+        """n-ary min/max; an unknown operand leaves one side unbounded."""
+        known = [a for a in args if a is not None]
+        if not known:
+            return None
+        result = known[0]
+        for arg in known[1:]:
+            result = op(result, arg)
+        if len(known) != len(args):
+            if lo_unknown:
+                result = Interval(
+                    -math.inf, result.hi, may_nan=True, err32=math.inf
+                )
+            else:
+                result = Interval(
+                    result.lo, math.inf, may_nan=True, err32=math.inf
+                )
+        return result
+
+    # -- guard narrowing ---------------------------------------------------
+
+    def narrow_env(
+        self,
+        env: Env,
+        test: Optional[dict],
+        truth: bool,
+        summary: ModuleSummary,
+        errstate: bool,
+    ) -> None:
+        """Refine ``env`` in place under ``test`` evaluating to ``truth``."""
+        if test is None:
+            return
+        kind = test.get("k")
+        if kind == "not":
+            self.narrow_env(env, test.get("a"), not truth, summary, errstate)
+            return
+        if kind == "and":
+            if truth:  # all conjuncts hold
+                for part in test.get("parts", []):
+                    self.narrow_env(env, part, True, summary, errstate)
+            return
+        if kind == "or":
+            if not truth:  # all disjuncts fail
+                for part in test.get("parts", []):
+                    self.narrow_env(env, part, False, summary, errstate)
+            return
+        if kind != "cmp":
+            return
+        op = test.get("op", "")
+        lhs, rhs = test.get("lhs"), test.get("rhs")
+        # evaluate both sides so checks inside tests still fire
+        lhs_iv = self.eval_expr(lhs, env, summary, errstate)
+        rhs_iv = self.eval_expr(rhs, env, summary, errstate)
+        effective = op if truth else domain.negate_op(op)
+        if effective is None:
+            return
+        if (
+            isinstance(lhs, dict)
+            and lhs.get("k") == "var"
+            and rhs_iv is not None
+        ):
+            name = lhs["n"]
+            env[name] = _narrow_vs_interval(env.get(name), effective, rhs_iv)
+        elif (
+            isinstance(rhs, dict)
+            and rhs.get("k") == "var"
+            and lhs_iv is not None
+        ):
+            flipped = {
+                ">": "<",
+                "<": ">",
+                ">=": "<=",
+                "<=": ">=",
+                "==": "==",
+                "!=": "!=",
+            }[effective]
+            name = rhs["n"]
+            env[name] = _narrow_vs_interval(env.get(name), flipped, lhs_iv)
+
+    # -- statement execution -----------------------------------------------
+
+    def exec_block(
+        self,
+        stmts: List[dict],
+        env: Env,
+        summary: ModuleSummary,
+        returns: List[Optional[Interval]],
+        errstate: bool,
+    ) -> Tuple[Env, bool]:
+        """Run one statement list; True means every path terminated."""
+        for stmt in stmts:
+            kind = stmt.get("kind")
+            if kind == "assign":
+                env[stmt["target"]] = self.eval_expr(
+                    stmt.get("expr"), env, summary, errstate
+                )
+            elif kind == "expr":
+                self.eval_expr(stmt.get("expr"), env, summary, errstate)
+            elif kind == "return":
+                expr = stmt.get("expr")
+                if expr is None:
+                    returns.append(None)
+                else:
+                    returns.append(
+                        self.eval_expr(expr, env, summary, errstate)
+                    )
+                return env, True
+            elif kind == "raise":
+                return env, True
+            elif kind == "branch":
+                env, terminated = self._exec_branch(
+                    stmt, env, summary, returns, errstate
+                )
+                if terminated:
+                    return env, True
+            elif kind == "loop":
+                env = self._exec_loop(stmt, env, summary, returns, errstate)
+            elif kind == "errstate":
+                env, terminated = self.exec_block(
+                    stmt.get("body", []), env, summary, returns, True
+                )
+                if terminated:
+                    return env, True
+        return env, False
+
+    def _exec_branch(
+        self,
+        stmt: dict,
+        env: Env,
+        summary: ModuleSummary,
+        returns: List[Optional[Interval]],
+        errstate: bool,
+    ) -> Tuple[Env, bool]:
+        test = stmt.get("test")
+        env_true = dict(env)
+        env_false = dict(env)
+        self.narrow_env(env_true, test, True, summary, errstate)
+        self.narrow_env(env_false, test, False, summary, errstate)
+        out_true, term_true = self.exec_block(
+            stmt.get("body", []), env_true, summary, returns, errstate
+        )
+        out_false, term_false = self.exec_block(
+            stmt.get("orelse", []), env_false, summary, returns, errstate
+        )
+        if term_true and term_false:
+            return env, True
+        if term_true:
+            return out_false, False
+        if term_false:
+            return out_true, False
+        return _join_env(out_true, out_false), False
+
+    def _exec_loop(
+        self,
+        stmt: dict,
+        env: Env,
+        summary: ModuleSummary,
+        returns: List[Optional[Interval]],
+        errstate: bool,
+    ) -> Env:
+        body = stmt.get("body", [])
+        entry = env
+        for iteration in range(_LOOP_PASSES):
+            out, _ = self.exec_block(
+                body, dict(entry), summary, returns, errstate
+            )
+            merged = _join_env(entry, out)
+            if _env_equal(merged, entry):
+                return entry
+            if iteration >= _LOOP_PASSES - 2:
+                entry = _widen_env(entry, merged)
+            else:
+                entry = merged
+        return entry
+
+    # -- per-function ------------------------------------------------------
+
+    def eval_function(
+        self, qual: str
+    ) -> Tuple[Optional[Interval], Env]:
+        summary, func = self.functions[qual]
+        env = self.seed_env(summary, func)
+        seeded = dict(env)
+        returns: List[Optional[Interval]] = []
+        _, terminated = self.exec_block(
+            func.body, env, summary, returns, errstate=False
+        )
+        if not returns:
+            return (domain.EMPTY if terminated else None), seeded
+        result: Optional[Interval] = domain.EMPTY
+        for value in returns:
+            result = domain.join(result, value)
+            if result is None:
+                break
+        return result, seeded
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> AbsintResult:
+        result = AbsintResult()
+        order = sorted(self.functions)
+        for round_number in range(_MAX_ROUNDS):
+            changed = False
+            for qual in order:
+                new_ret, _ = self.eval_function(qual)
+                old_ret = self.returns[qual]
+                if _ret_equal(old_ret, new_ret):
+                    continue
+                count = self._join_counts.get(qual, 0) + 1
+                self._join_counts[qual] = count
+                if count > _WIDEN_AFTER and old_ret is not None:
+                    new_ret = domain.widen(old_ret, new_ret)
+                    if _ret_equal(old_ret, new_ret):
+                        continue
+                self.returns[qual] = new_ret
+                changed = True
+            result.rounds = round_number + 1
+            if not changed:
+                break
+
+        # final pass: stable state, collect findings + certificates
+        self.collect = True
+        for qual in order:
+            summary, func = self.functions[qual]
+            returns, seeded = self.eval_function(qual)
+            if returns is not None and returns.is_empty:
+                returns = None
+            if func.budget is not None:
+                if returns is None:
+                    message = (
+                        f"`{func.qualname}` declares lint-float32-budget: "
+                        f"{func.budget:g} but no output interval is provable; "
+                        "declare lint-ranges for its inputs"
+                    )
+                    self._budget_finding(summary, func, message)
+                elif returns.err32 > func.budget:
+                    err_text = (
+                        "inf"
+                        if math.isinf(returns.err32)
+                        else f"{returns.err32:.3g}"
+                    )
+                    message = (
+                        f"`{func.qualname}` exceeds its float32 budget: "
+                        f"proven absolute error bound {err_text} > declared "
+                        f"{func.budget:g}"
+                    )
+                    self._budget_finding(summary, func, message)
+            if (
+                returns is not None
+                or func.budget is not None
+                or func.ranges
+            ):
+                result.certificates.append(
+                    FunctionCertificate(
+                        qualname=qual,
+                        path=summary.path,
+                        line=func.line,
+                        ranges={
+                            k: v for k, v in seeded.items() if v is not None
+                        },
+                        returns=returns,
+                        budget=func.budget,
+                    )
+                )
+        result.findings = sorted(self.findings.values())
+        return result
+
+    def _budget_finding(
+        self, summary: ModuleSummary, func: NumericFunction, message: str
+    ) -> None:
+        self.report(
+            summary,
+            {"l": func.line, "c": func.col},
+            RULE_FLOAT32_UNSAFE,
+            message,
+        )
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    out: Env = {}
+    for name in set(a) | set(b):
+        if name not in a or name not in b:
+            out[name] = None
+        else:
+            out[name] = domain.join(a[name], b[name])
+    return out
+
+
+def _widen_env(old: Env, new: Env) -> Env:
+    out: Env = {}
+    for name in set(old) | set(new):
+        if name not in old or name not in new:
+            out[name] = None
+        else:
+            out[name] = domain.widen(old[name], new[name])
+    return out
+
+
+def _iv_key(iv: Optional[Interval]):
+    if iv is None:
+        return None
+    return domain.interval_tuple(iv)
+
+
+def _env_equal(a: Env, b: Env) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(_iv_key(a[k]) == _iv_key(b[k]) for k in a)
+
+
+def _ret_equal(a: Optional[Interval], b: Optional[Interval]) -> bool:
+    return _iv_key(a) == _iv_key(b)
+
+
+def analyze_index(index: ProjectIndex) -> AbsintResult:
+    """Run (or replay) the whole-project numeric analysis for ``index``.
+
+    The result is memoized on the index: the four absint rules and the
+    certification report all share one fixpoint run.
+    """
+    cached = getattr(index, "_absint_result", None)
+    if cached is not None:
+        return cached
+    result = _Interpreter(index).run()
+    index._absint_result = result
+    return result
+
+
+def certification_report(index: ProjectIndex) -> dict:
+    """Machine-readable proof artifact for the capture-chain numerics.
+
+    Lists every function the analysis proved something about: its seeded
+    parameter ranges, proven output interval, absolute float32 error
+    bound, and declared budget status.  ROADMAP item 2's reduced-precision
+    fast path is gated on the ``budget_ok`` entries of this report.
+    """
+    result = analyze_index(index)
+    rows = sorted(result.certificates, key=lambda c: c.qualname)
+    return {
+        "version": 1,
+        "rounds": result.rounds,
+        "functions": [row.to_dict() for row in rows],
+        "summary": {
+            "certified": len(rows),
+            "with_budget": sum(1 for r in rows if r.budget is not None),
+            "budget_ok": sum(1 for r in rows if r.budget_ok),
+            "findings": len(result.findings),
+        },
+    }

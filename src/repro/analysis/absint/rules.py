@@ -1,0 +1,84 @@
+"""The four numeric project rules riding on the shared fixpoint.
+
+All four are thin :class:`~repro.analysis.project.ProjectRule` views over
+one memoized :func:`~repro.analysis.absint.interp.analyze_index` run --
+``--select num-div-zero`` does not re-run the interpreter three more
+times, and the certification report reuses the same result.
+
+Each rule catches a bug class PR 4's symbolic dataflow provably cannot:
+dataflow tracks *units* (dB vs linear), these track *values* (an interval
+that reaches 0 flowing into ``log10`` is a unit-correct crash).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.absint.interp import (
+    RULE_CANCELLATION,
+    RULE_DIV_ZERO,
+    RULE_FLOAT32_UNSAFE,
+    RULE_LOG_NONPOSITIVE,
+    analyze_index,
+)
+from repro.analysis.engine import Finding
+from repro.analysis.project import ProjectIndex, ProjectRule
+
+__all__ = [
+    "NumLogNonpositiveRule",
+    "NumDivZeroRule",
+    "NumCancellationRule",
+    "NumFloat32UnsafeRule",
+    "ABSINT_RULES",
+]
+
+
+class _AbsintRule(ProjectRule):
+    """Replays the memoized whole-project analysis, filtered to one rule."""
+
+    library_only = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for finding in analyze_index(index).findings:
+            if finding.rule == self.name:
+                yield finding
+
+
+class NumLogNonpositiveRule(_AbsintRule):
+    name = RULE_LOG_NONPOSITIVE
+    description = (
+        "a value whose proven interval includes <= 0 reaches "
+        "log10/log/db/db20; guard it or add a positive floor"
+    )
+
+
+class NumDivZeroRule(_AbsintRule):
+    name = RULE_DIV_ZERO
+    description = (
+        "a denominator's proven interval contains 0 outside an "
+        "np.errstate-sanctioned region"
+    )
+
+
+class NumCancellationRule(_AbsintRule):
+    name = RULE_CANCELLATION
+    description = (
+        "subtraction of same-sign intervals with provable catastrophic "
+        "cancellation (relative-error amplification >= 1e4)"
+    )
+
+
+class NumFloat32UnsafeRule(_AbsintRule):
+    name = RULE_FLOAT32_UNSAFE
+    description = (
+        "proven absolute float32 error bound exceeds the function's "
+        "declared lint-float32-budget"
+    )
+
+
+ABSINT_RULES = (
+    NumLogNonpositiveRule(),
+    NumDivZeroRule(),
+    NumCancellationRule(),
+    NumFloat32UnsafeRule(),
+)

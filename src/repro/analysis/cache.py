@@ -28,16 +28,19 @@ from repro.analysis.engine import Finding, Rule
 
 __all__ = ["LintCache", "rules_signature"]
 
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 _MANIFEST_NAME = "lint-cache.json"
 
 
 def rules_signature(rules: Sequence[Rule]) -> str:
     """Hash identifying the rule set *and* the analyzer implementation.
 
-    Any edit to a module in ``repro.analysis`` (new rule logic, changed
-    inference) bumps the signature via the package files' stats, so a
-    stale cache can never mask a behavior change in the linter itself.
+    Any edit to a module in ``repro.analysis`` -- including the
+    ``absint/`` subpackage, hence the recursive walk -- bumps the
+    signature via the package files' stats, so a stale cache can never
+    mask a behavior change in the linter itself.  Range annotations live
+    in the analyzed files and invalidate per-file entries through the
+    ordinary ``(mtime_ns, size)`` keys.
     """
     digest = hashlib.sha256()
     digest.update(str(CACHE_SCHEMA_VERSION).encode())
@@ -45,19 +48,20 @@ def rules_signature(rules: Sequence[Rule]) -> str:
         digest.update(name.encode())
         digest.update(b"\x00")
     package_dir = os.path.dirname(os.path.abspath(__file__))
-    try:
-        entries = sorted(os.listdir(package_dir))
-    except OSError:
-        entries = []
-    for entry in entries:
-        if not entry.endswith(".py"):
-            continue
-        full = os.path.join(package_dir, entry)
-        try:
-            stat = os.stat(full)
-        except OSError:
-            continue
-        digest.update(f"{entry}:{stat.st_mtime_ns}:{stat.st_size}".encode())
+    for root, dirs, files in os.walk(package_dir):
+        dirs[:] = sorted(
+            d for d in dirs if d != "__pycache__" and not d.startswith(".")
+        )
+        for entry in sorted(files):
+            if not entry.endswith(".py"):
+                continue
+            full = os.path.join(root, entry)
+            try:
+                stat = os.stat(full)
+            except OSError:
+                continue
+            rel = os.path.relpath(full, package_dir)
+            digest.update(f"{rel}:{stat.st_mtime_ns}:{stat.st_size}".encode())
     return digest.hexdigest()
 
 
@@ -71,6 +75,8 @@ class LintCache:
         self.hits = 0
         self.misses = 0
         self._files: Dict[str, Dict[str, object]] = {}
+        #: one cached cross-module result: {"key": ..., "findings": [...]}
+        self._project: Optional[Dict[str, object]] = None
         self._dirty = False
         self._load()
 
@@ -88,6 +94,9 @@ class LintCache:
         files = data.get("files")
         if isinstance(files, dict):
             self._files = files
+        project = data.get("project")
+        if isinstance(project, dict):
+            self._project = project
 
     @staticmethod
     def _key(path: str) -> Optional[Tuple[int, int]]:
@@ -143,6 +152,42 @@ class LintCache:
         }
         self._dirty = True
 
+    @staticmethod
+    def project_key(stats: Sequence[Tuple[str, int, int]]) -> str:
+        """Hash of every analyzed file's ``(path, mtime_ns, size)``.
+
+        When nothing under the analyzed roots changed, the cross-module
+        pass (symbol resolution, dataflow, the absint fixpoint) would
+        recompute exactly the same findings -- so a warm run replays
+        them from the manifest instead.
+        """
+        digest = hashlib.sha256()
+        for path, mtime_ns, size in sorted(stats):
+            digest.update(f"{path}:{mtime_ns}:{size}".encode())
+        return digest.hexdigest()
+
+    def lookup_project(self, key: str) -> Optional[List[Finding]]:
+        """Cached cross-module findings for an identical file set."""
+        if self._project is None or self._project.get("key") != key:
+            return None
+        return [
+            Finding(
+                path=f["path"],
+                line=f["line"],
+                col=f["col"],
+                rule=f["rule"],
+                message=f["message"],
+            )
+            for f in self._project.get("findings", [])
+        ]
+
+    def store_project(self, key: str, findings: Sequence[Finding]) -> None:
+        self._project = {
+            "key": key,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
     def save(self) -> None:
         """Write the manifest atomically (best-effort on read-only dirs).
 
@@ -155,6 +200,7 @@ class LintCache:
             "schema": CACHE_SCHEMA_VERSION,
             "signature": self.signature,
             "files": self._files,
+            "project": self._project,
         }
         text = json.dumps(payload, separators=(",", ":"))
         try:

@@ -5,13 +5,18 @@ Usage::
     python -m repro.analysis [paths ...]
     python -m repro.analysis src --format json
     python -m repro.analysis src --format github   # CI annotations
+    python -m repro.analysis src --format sarif    # code-scanning upload
     python -m repro.analysis src --cache-dir .lint-cache
     python -m repro.analysis src --stats           # findings-per-rule table
+    python -m repro.analysis src --select num-div-zero,num-log-nonpositive
+    python -m repro.analysis src --severity-threshold error
+    python -m repro.analysis src --numerics-report # float32 certification
     python -m repro.analysis --list-rules
     python -m repro lint src          # same engine via the main CLI
 
-Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage or I/O
-error (unknown rule name, missing path).
+Exit codes: ``0`` clean (or no finding at/above the severity
+threshold), ``1`` findings reported, ``2`` usage or I/O error (unknown
+rule name, missing path).
 """
 
 from __future__ import annotations
@@ -22,9 +27,15 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.driver import ProjectReport, analyze_project
-from repro.analysis.engine import Rule
+from repro.analysis.engine import SEVERITY_LEVELS, Rule, severity_of
 
-__all__ = ["build_parser", "format_stats", "run_lint", "main"]
+__all__ = [
+    "build_parser",
+    "format_sarif",
+    "format_stats",
+    "run_lint",
+    "main",
+]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -55,11 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
         help=(
             "output format (default: text; github emits workflow-command "
-            "annotations for CI)"
+            "annotations for CI, sarif emits a SARIF 2.1.0 log for the "
+            "code-scanning tab)"
         ),
     )
     parser.add_argument(
@@ -89,9 +101,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --cache-dir and re-analyze every file",
     )
     parser.add_argument(
+        "--severity-threshold",
+        choices=tuple(SEVERITY_LEVELS),
+        default="note",
+        metavar="LEVEL",
+        help=(
+            "lowest severity (note|warning|error) that fails the run "
+            "with exit code 1; lower-severity findings are still "
+            "printed (default: note, i.e. any finding fails)"
+        ),
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="append a findings-per-rule markdown table to the report",
+    )
+    parser.add_argument(
+        "--numerics-report",
+        action="store_true",
+        help=(
+            "emit the machine-readable float32 certification report "
+            "(proven output intervals + error bounds per function) "
+            "instead of findings"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -130,6 +162,66 @@ def _github_escape(text: str) -> str:
     )
 
 
+def format_sarif(report: ProjectReport, rules: Sequence[Rule]) -> dict:
+    """SARIF 2.1.0 log for GitHub's Security / Code-scanning tab."""
+    by_name = {rule.name: rule for rule in rules}
+    rule_ids = sorted({f.rule for f in report.findings} | set(by_name))
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "signature-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static_analysis"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": getattr(
+                                        by_name.get(rule_id),
+                                        "description",
+                                        rule_id,
+                                    )
+                                    or rule_id
+                                },
+                                "defaultConfiguration": {
+                                    "level": severity_of(rule_id, rules)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": severity_of(finding.rule, rules),
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path.replace("\\", "/")
+                                    },
+                                    "region": {
+                                        "startLine": max(finding.line, 1),
+                                        "startColumn": max(finding.col, 1),
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in report.findings
+                ],
+            }
+        ],
+    }
+
+
 def format_stats(report: ProjectReport) -> str:
     """Findings-per-rule markdown table (``make lint-stats`` / job summary)."""
     lines = ["| rule | findings |", "| --- | ---: |"]
@@ -153,17 +245,37 @@ def run_lint(
     rules: Optional[Sequence[Rule]] = None,
     cache_dir: Optional[str] = None,
     stats: bool = False,
+    severity_threshold: str = "note",
+    numerics_report: bool = False,
 ) -> int:
     """Analyze ``paths`` and print a report; returns the exit code."""
     all_rules = list(rules) if rules is not None else _default_rules()
     try:
         chosen = _filter_rules(all_rules, select, ignore)
+        if severity_threshold not in SEVERITY_LEVELS:
+            raise ValueError(
+                f"--severity-threshold: unknown level "
+                f"`{severity_threshold}`; expected one of "
+                f"{', '.join(SEVERITY_LEVELS)}"
+            )
         report = analyze_project(paths, rules=chosen, cache_dir=cache_dir)
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    if numerics_report:
+        from repro.analysis.absint import certification_report
+        from repro.analysis.project import ProjectIndex
+
+        print(
+            json.dumps(
+                certification_report(ProjectIndex(report.summaries)), indent=2
+            )
+        )
+        return EXIT_CLEAN
     findings = report.findings
-    if fmt == "json":
+    if fmt == "sarif":
+        print(json.dumps(format_sarif(report, chosen), indent=2))
+    elif fmt == "json":
         print(
             json.dumps(
                 {
@@ -194,7 +306,13 @@ def run_lint(
     if stats:
         print()
         print(format_stats(report))
-    return EXIT_FINDINGS if findings else EXIT_CLEAN
+    threshold = SEVERITY_LEVELS[severity_threshold]
+    failing = [
+        f
+        for f in findings
+        if SEVERITY_LEVELS.get(severity_of(f.rule, chosen), 1) >= threshold
+    ]
+    return EXIT_FINDINGS if failing else EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -202,7 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule in _default_rules():
-            print(f"{rule.name}: {rule.description}")
+            print(f"{rule.name} [{rule.severity}]: {rule.description}")
         return EXIT_CLEAN
     return run_lint(
         args.paths,
@@ -211,4 +329,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         ignore=args.ignore,
         cache_dir=None if args.no_cache else args.cache_dir,
         stats=args.stats,
+        severity_threshold=args.severity_threshold,
+        numerics_report=args.numerics_report,
     )

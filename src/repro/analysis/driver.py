@@ -20,6 +20,7 @@ line works the same whether the rule is local or interprocedural.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -50,6 +51,12 @@ class ProjectReport:
     analyzed: int = 0
     #: files served entirely from the cache
     cached: int = 0
+    #: the run's module summaries (for post-hoc project queries like
+    #: the --numerics-report certification; not serialized anywhere)
+    summaries: List[ModuleSummary] = field(default_factory=list, repr=False)
+    #: True when the cross-module findings were replayed from the cache
+    #: instead of re-running symbol resolution and the absint fixpoint
+    project_from_cache: bool = False
 
     @property
     def files(self) -> int:
@@ -139,6 +146,7 @@ def analyze_project(
 
     report = ProjectReport()
     summaries: List[ModuleSummary] = []
+    file_stats: List[Tuple[str, int, int]] = []
     for path in iter_python_files(paths):
         cached_entry = cache.lookup(path) if cache is not None else None
         if cached_entry is not None:
@@ -152,9 +160,32 @@ def analyze_project(
         report.findings.extend(local_findings)
         if summary_dict is not None:
             summaries.append(ModuleSummary.from_dict(summary_dict))
+        if cache is not None:
+            try:
+                stat = os.stat(path)
+                file_stats.append(
+                    (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+                )
+            except OSError:
+                pass
 
-    report.findings.extend(_project_findings(summaries, project_rules))
+    # cross-module pass: replayed from the manifest when nothing changed,
+    # so a fully-warm run never re-runs symbol resolution or the absint
+    # fixpoint (see tests/analysis/test_absint_cache.py)
+    project_findings: Optional[List[Finding]] = None
+    project_key: Optional[str] = None
+    if cache is not None:
+        project_key = LintCache.project_key(file_stats)
+        project_findings = cache.lookup_project(project_key)
+        report.project_from_cache = project_findings is not None
+    if project_findings is None:
+        project_findings = _project_findings(summaries, project_rules)
+        if cache is not None and project_key is not None:
+            cache.store_project(project_key, project_findings)
+
+    report.findings.extend(project_findings)
     report.findings.sort()
+    report.summaries = summaries
     if cache is not None:
         cache.save()
     return report

@@ -9,13 +9,16 @@ filter suppressed findings, and return them sorted by location.
 
 Suppression syntax (anywhere in a comment on the offending line)::
 
-    x = gain_db + vout_vrms  # repro-lint: disable=units-mixed-domain
-    y = risky()              # repro-lint: disable=rule-a,rule-b
-    z = noisy()              # repro-lint: disable
+    x = gain_db + vout_vrms  # repro-lint: disable=units-mixed-domain -- why
+    y = risky()              # repro-lint: disable=rule-a,rule-b -- why
+    z = noisy()              # repro-lint: disable -- why
 
 A bare ``disable`` (no ``=``) silences every rule on that line.  For a
 statement spanning several lines the marker goes on the line where the
-finding is reported (the first line of the offending node).
+finding is reported (the first line of the offending node).  The
+``-- <justification>`` tail is required in library code: a suppression
+without one is itself flagged by ``lint-unjustified-suppression``, the
+sibling of the ``lint-unknown-suppression`` typo check.
 """
 
 from __future__ import annotations
@@ -31,8 +34,12 @@ __all__ = [
     "Finding",
     "Rule",
     "ModuleSource",
+    "SEVERITY_LEVELS",
     "UnknownSuppressionRule",
+    "UnjustifiedSuppressionRule",
+    "iter_suppression_comments",
     "parse_suppressions",
+    "severity_of",
     "analyze_source",
     "analyze_file",
     "analyze_paths",
@@ -52,6 +59,22 @@ PARSE_ERROR_RULE = "parse-error"
 
 #: Rule name used for disable comments that name a nonexistent rule.
 UNKNOWN_SUPPRESSION_RULE = "lint-unknown-suppression"
+
+#: Rule name used for disable comments lacking a `` -- why`` justification.
+UNJUSTIFIED_SUPPRESSION_RULE = "lint-unjustified-suppression"
+
+#: Severity ordering used by ``--severity-threshold`` exit-code control.
+SEVERITY_LEVELS = {"note": 0, "warning": 1, "error": 2}
+
+
+def severity_of(rule_name: str, rules: Iterable["Rule"]) -> str:
+    """Severity of a finding's rule; engine pseudo-rules are errors."""
+    if rule_name == PARSE_ERROR_RULE:
+        return "error"
+    for rule in rules:
+        if rule.name == rule_name:
+            return rule.severity
+    return "warning"
 
 
 @dataclass(frozen=True, order=True)
@@ -94,6 +117,9 @@ class Rule:
     #: (``tests/`` trees, ``test_*.py``, ``conftest.py``): tests may use
     #: bare asserts, inline conversions to cross-check the library, etc.
     library_only: bool = False
+    #: ``note`` < ``warning`` < ``error``; findings below the CLI's
+    #: ``--severity-threshold`` are still printed but don't fail the run.
+    severity: str = "warning"
 
     def check(self, module: "ModuleSource") -> Iterator[Finding]:
         raise NotImplementedError
@@ -150,35 +176,45 @@ def _looks_like_test_file(path: str) -> bool:
     return base.startswith("test_") or base == "conftest.py"
 
 
-def parse_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> rule names disabled on that line.
+def iter_suppression_comments(source: str):
+    """Yield ``(line, rule names, justification)`` per disable comment.
 
-    The special entry ``"*"`` means all rules.  Comments are located with
+    The special name ``"*"`` means all rules.  Comments are located with
     :mod:`tokenize` so marker text inside string literals is ignored.
+    The justification is whatever follows a `` -- `` separator, stripped
+    (empty string when the comment has none).
     """
-    suppressions: Dict[int, Set[str]] = {}
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
-                continue
-            text = tok.string.lstrip("#").strip()
-            if not text.startswith(SUPPRESS_MARKER):
-                continue
-            directive = text[len(SUPPRESS_MARKER):].strip()
-            if directive == "disable":
-                names = {"*"}
-            elif directive.startswith("disable="):
-                names = {
-                    n.strip() for n in directive[len("disable="):].split(",") if n.strip()
-                }
-                if "all" in names:
-                    names = {"*"}
-            else:
-                continue
-            suppressions.setdefault(tok.start[0], set()).update(names)
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except tokenize.TokenizeError:
-        pass
+        return
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string.lstrip("#").strip()
+        if not text.startswith(SUPPRESS_MARKER):
+            continue
+        directive = text[len(SUPPRESS_MARKER):].strip()
+        directive, _, justification = directive.partition("--")
+        directive = directive.strip()
+        if directive == "disable":
+            names = {"*"}
+        elif directive.startswith("disable="):
+            names = {
+                n.strip() for n in directive[len("disable="):].split(",") if n.strip()
+            }
+            if "all" in names:
+                names = {"*"}
+        else:
+            continue
+        yield tok.start[0], names, justification.strip()
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule names disabled on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    for line, names, _ in iter_suppression_comments(source):
+        suppressions.setdefault(line, set()).update(names)
     return suppressions
 
 
@@ -219,6 +255,41 @@ class UnknownSuppressionRule(Rule):
                         "see --list-rules for valid names"
                     ),
                 )
+
+
+class UnjustifiedSuppressionRule(Rule):
+    """Flags library-code ``disable`` comments with no `` -- why`` tail.
+
+    A suppression is a claim that the rule is wrong *here*; the claim
+    needs a recorded reason or the next reader has to re-derive it (or
+    worse, trusts it blindly).  Test files are exempt -- their
+    suppressions document themselves by the test they sit in.
+    """
+
+    name = UNJUSTIFIED_SUPPRESSION_RULE
+    description = (
+        "a `# repro-lint: disable=...` comment in library code carries "
+        "no ` -- <justification>` explaining why the rule is wrong here"
+    )
+    library_only = True
+
+    def check(self, module: "ModuleSource") -> Iterator[Finding]:
+        for line, names, justification in iter_suppression_comments(
+            module.source
+        ):
+            if justification:
+                continue
+            listed = "all rules" if "*" in names else ", ".join(sorted(names))
+            yield Finding(
+                path=module.path,
+                line=line,
+                col=1,
+                rule=self.name,
+                message=(
+                    f"suppression of {listed} has no justification; append "
+                    "` -- <reason>` to the disable comment"
+                ),
+            )
 
 
 def analyze_source(

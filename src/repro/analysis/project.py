@@ -56,7 +56,7 @@ __all__ = [
     "summarize_module",
 ]
 
-SUMMARY_SCHEMA_VERSION = 1
+SUMMARY_SCHEMA_VERSION = 2
 
 # ---------------------------------------------------------------------------
 # unit-domain vocabulary
@@ -394,6 +394,9 @@ class ModuleSummary:
     #: line -> suppressed rule names (copied so cached project findings
     #: can be filtered without re-reading the file)
     suppressions: Dict[int, List[str]] = field(default_factory=dict)
+    #: numeric IR for the absint pass (a ``ModuleNumerics.to_dict()``
+    #: payload, kept as a plain dict so it round-trips the cache as-is)
+    numerics: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -409,6 +412,7 @@ class ModuleSummary:
             "suppressions": {
                 str(line): sorted(names) for line, names in self.suppressions.items()
             },
+            "numerics": self.numerics,
         }
 
     @classmethod
@@ -428,6 +432,7 @@ class ModuleSummary:
                 int(line): set(names)
                 for line, names in data.get("suppressions", {}).items()  # type: ignore[union-attr]
             },
+            numerics=data.get("numerics"),  # type: ignore[arg-type]
         )
 
     def is_suppressed(self, line: int, rule: str) -> bool:
@@ -1066,6 +1071,9 @@ def summarize_module(module: ModuleSource) -> ModuleSummary:
                 )
             )
 
+    # imported late: absint's interpreter itself builds on this module
+    from repro.analysis.absint.extract import extract_numerics
+
     return ModuleSummary(
         path=module.path,
         module=module_name,
@@ -1076,6 +1084,7 @@ def summarize_module(module: ModuleSource) -> ModuleSummary:
         functions=functions,
         classes=classes,
         suppressions={k: set(v) for k, v in module.suppressions.items()},
+        numerics=extract_numerics(tree).to_dict(),
     )
 
 

@@ -155,7 +155,35 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json", "github"), default="text"
+        "--format",
+        choices=("text", "json", "github", "sarif"),
+        default="text",
+        help=(
+            "output format (sarif emits a SARIF 2.1.0 log for "
+            "code-scanning upload)"
+        ),
+    )
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    p_lint.add_argument(
+        "--severity-threshold",
+        choices=("note", "warning", "error"),
+        default="note",
+        metavar="LEVEL",
+        help=(
+            "lowest severity (note|warning|error) that fails the run "
+            "with exit code 1 (default: note, i.e. any finding fails)"
+        ),
     )
     p_lint.add_argument(
         "--cache-dir",
@@ -167,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="append a findings-per-rule table to the report",
+    )
+    p_lint.add_argument(
+        "--numerics-report",
+        action="store_true",
+        help=(
+            "emit the float32 certification report (proven intervals + "
+            "error bounds) instead of findings"
+        ),
     )
 
     return parser
@@ -390,8 +426,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(
         args.paths,
         fmt=args.format,
+        select=args.select,
+        ignore=args.ignore,
         cache_dir=args.cache_dir,
         stats=args.stats,
+        severity_threshold=args.severity_threshold,
+        numerics_report=args.numerics_report,
     )
 
 

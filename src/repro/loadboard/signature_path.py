@@ -108,6 +108,10 @@ class SignaturePathConfig:
     ``dut_coupling`` is ``"tuned"`` for narrowband DUTs (an LNA's matched
     input/output pass only the carrier band) or ``"wideband"`` for DUTs
     that pass all products.
+
+    lint-ranges: carrier_power_dbm=[-30, 30] capture_seconds=[1e-7, 1e-3]
+    lint-ranges: setup_time=[0, 1] digitizer_noise_vrms=[0, 1]
+    lint-ranges: input_loss_db=[0, 40] output_loss_db=[0, 40]
     """
 
     carrier_freq: float = 900e6

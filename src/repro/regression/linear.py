@@ -21,6 +21,8 @@ class RidgeRegression:
 
     Solved in closed form: ``w = (X^T X + alpha I)^-1 X^T y`` on centered
     data, so the intercept is never penalized.
+
+    lint-ranges: alpha=[0, 1e6]
     """
 
     def __init__(self, alpha: float = 1.0):

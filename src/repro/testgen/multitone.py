@@ -51,11 +51,12 @@ class MultitoneStimulus:
             raise ValueError("need at least one tone")
         if np.any(amplitudes < 0):
             raise ValueError("amplitudes must be non-negative")
-        if not (self.duration > 0 and self.v_limit > 0):
+        v_limit = float(self.v_limit)
+        if not (self.duration > 0 and v_limit > 0):
             raise ValueError("duration and v_limit must be positive")
         total = float(np.sum(amplitudes))
-        if total > self.v_limit:
-            amplitudes = amplitudes * (self.v_limit / total)
+        if total > v_limit:
+            amplitudes = amplitudes * (v_limit / total)
         object.__setattr__(self, "amplitudes", amplitudes)
         object.__setattr__(self, "phases", phases)
         object.__setattr__(self, "frequencies", frequencies)

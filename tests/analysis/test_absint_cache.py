@@ -1,0 +1,76 @@
+"""Warm-cache replay of the interval-analysis findings.
+
+The whole-project fixpoint is the expensive half of a lint run, so
+:func:`repro.analysis.driver.analyze_project` caches project-level
+findings keyed on the exact file set (path, mtime, size).  These tests
+prove a warm run replays the absint findings *without* re-running the
+interpreter, and that any file change invalidates the key.
+"""
+
+import pytest
+
+from repro.analysis.absint import interp
+from repro.analysis.driver import analyze_project
+
+DIV_BUG = (
+    '"""Module with a provable division hazard."""\n\n'
+    '__all__ = ["normalize"]\n\n\n'
+    "def normalize(x, total):\n"
+    "    '''lint-ranges: x=[0, 1] total=[0, 100]'''\n"
+    "    return x / total\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "buggy.py").write_text(DIV_BUG)
+    return tmp_path / "src", tmp_path / "cache"
+
+
+class TestWarmCacheReplaysAbsint:
+    def test_warm_run_skips_the_fixpoint(self, tree, monkeypatch):
+        src, cache = tree
+        cold = analyze_project([str(src)], cache_dir=str(cache))
+        assert any(f.rule == "num-div-zero" for f in cold.findings)
+        assert not cold.project_from_cache
+
+        def boom(self):
+            raise AssertionError("fixpoint re-ran on a warm cache")
+
+        monkeypatch.setattr(interp._Interpreter, "run", boom)
+        warm = analyze_project([str(src)], cache_dir=str(cache))
+        assert warm.project_from_cache
+        assert warm.findings == cold.findings
+
+    def test_edit_invalidates_the_project_key(self, tree):
+        src, cache = tree
+        cold = analyze_project([str(src)], cache_dir=str(cache))
+        assert any(f.rule == "num-div-zero" for f in cold.findings)
+        fixed = DIV_BUG.replace(
+            "    return x / total\n",
+            "    if total == 0.0:\n"
+            "        return 0.0\n"
+            "    return x / total\n",
+        )
+        (src / "repro" / "buggy.py").write_text(fixed)
+        warm = analyze_project([str(src)], cache_dir=str(cache))
+        assert not warm.project_from_cache
+        assert not any(f.rule == "num-div-zero" for f in warm.findings)
+
+    def test_new_file_invalidates_the_project_key(self, tree):
+        src, cache = tree
+        analyze_project([str(src)], cache_dir=str(cache))
+        (src / "repro" / "extra.py").write_text(
+            '"""Another clean module."""\n\n__all__ = ["one"]\n\n\n'
+            "def one():\n    return 1.0\n"
+        )
+        warm = analyze_project([str(src)], cache_dir=str(cache))
+        assert not warm.project_from_cache
+
+    def test_no_cache_dir_always_runs_the_fixpoint(self, tree):
+        src, _ = tree
+        report = analyze_project([str(src)])
+        assert not report.project_from_cache
+        assert any(f.rule == "num-div-zero" for f in report.findings)

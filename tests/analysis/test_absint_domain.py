@@ -1,0 +1,242 @@
+"""Unit tests for the interval domain behind the numeric rules.
+
+Covers the edge cases the repo-wide run leans on -- empty and degenerate
+intervals, infinite endpoints, NaN propagation, guard narrowing, widening
+termination -- plus a randomized check that the float32 error model
+actually bounds ``np.float32`` arithmetic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.absint import domain
+from repro.analysis.absint.domain import (
+    EMPTY,
+    EPS32,
+    Interval,
+    TOP,
+    const,
+    rng,
+)
+
+
+class TestBasics:
+    def test_empty_interval(self):
+        assert EMPTY.is_empty
+        assert Interval(1.0, -1.0).is_empty
+        assert not EMPTY.contains(0.0)
+        assert not EMPTY.contains_zero()
+
+    def test_degenerate_point(self):
+        p = const(2.5)
+        assert p.is_point
+        assert p.contains(2.5)
+        assert not p.contains_zero()
+        assert p.err32 == 2.5 * EPS32
+
+    def test_const_nan_is_empty_with_nan_bit(self):
+        c = const(float("nan"))
+        assert c.is_empty
+        assert c.may_nan
+
+    def test_declared_range_is_error_free(self):
+        # the certificate bounds the *body's* arithmetic for exactly
+        # representable inputs, so a declared range seeds err32 = 0
+        assert rng(1e-30, 1e30).err32 == 0.0
+
+    def test_join_identity_and_absorption(self):
+        a = rng(0.0, 1.0)
+        assert domain.join(a, EMPTY) == a
+        assert domain.join(EMPTY, a) == a
+        assert domain.join(a, None) is None
+        assert domain.join(None, a) is None
+        j = domain.join(rng(0.0, 1.0), rng(5.0, 6.0))
+        assert (j.lo, j.hi) == (0.0, 6.0)
+
+
+class TestInfiniteEndpoints:
+    def test_top_is_full_line(self):
+        assert TOP.contains(math.inf)
+        assert TOP.contains(-math.inf)
+        assert TOP.contains_zero()
+
+    def test_div_by_interval_containing_zero_is_top(self):
+        out = domain.div(rng(1.0, 2.0), rng(-1.0, 1.0))
+        assert out.lo == -math.inf and out.hi == math.inf
+        # 1/0 is +/-inf, not NaN -- only 0/0 reaches NaN
+        assert not out.may_nan
+        assert domain.div(rng(0.0, 1.0), rng(-1.0, 1.0)).may_nan
+
+    def test_log10_of_interval_touching_zero(self):
+        out = domain.log10(rng(0.0, 1.0), scale=10.0)
+        assert out.lo == -math.inf
+        assert out.hi == 10.0 * math.log10(1.0) == 0.0
+
+    def test_log10_of_nonpositive_is_bottom_sentinel(self):
+        out = domain.log10(rng(-2.0, 0.0))
+        assert out.lo == -math.inf and out.hi == -math.inf
+        assert out.may_nan
+
+    def test_mul_of_zero_free_intervals_stays_zero_free(self):
+        # 5e-324 * 5e-324 underflows to 0.0 in float arithmetic, but the
+        # real product of two positive numbers is positive
+        tiny = rng(5e-324, math.inf)
+        out = domain.mul(tiny, tiny)
+        assert not out.contains_zero()
+        assert out.lo > 0.0
+
+    def test_div_with_unbounded_denominator_stays_zero_free(self):
+        # 1/[2, inf] has inverse [0, 0.5]; the product must not
+        # re-introduce zero into a zero-free quotient
+        out = domain.div(rng(1.0, 100.0), rng(2.0, math.inf))
+        assert not out.contains_zero()
+        assert not out.may_nan
+        # inf/inf is genuinely NaN-reachable when both sides are unbounded
+        both = domain.div(rng(1.0, math.inf), rng(2.0, math.inf))
+        assert not both.contains_zero()
+        assert both.may_nan
+
+    def test_div_of_zero_crossing_numerator_keeps_zero(self):
+        out = domain.div(rng(-1.0, 1.0), rng(2.0, 4.0))
+        assert out.contains_zero()
+
+
+class TestNaNPropagation:
+    def test_nan_flows_through_arithmetic(self):
+        nanful = Interval(0.0, 1.0, may_nan=True)
+        assert domain.add(nanful, const(1.0)).may_nan
+        assert domain.mul(nanful, const(2.0)).may_nan
+        assert domain.absval(nanful).may_nan
+
+    def test_inf_minus_inf_sets_nan(self):
+        out = domain.sub(rng(0.0, math.inf), rng(0.0, math.inf))
+        assert out.may_nan
+
+    def test_zero_times_inf_sets_nan(self):
+        out = domain.mul(rng(0.0, 1.0), rng(0.0, math.inf))
+        assert out.may_nan
+
+
+class TestNarrowing:
+    def test_narrow_unknown_creates_evidence(self):
+        out = domain.narrow(None, ">", 0.0)
+        assert out is not None
+        assert out.lo > 0.0
+        assert not out.contains_zero()
+
+    def test_narrow_not_equal_on_unknown_stays_unknown(self):
+        # an interval cannot encode a hole, so `x != 0` on an unknown
+        # value proves nothing
+        assert domain.narrow(None, "!=", 0.0) is None
+
+    def test_strict_narrowing_excludes_the_bound(self):
+        out = domain.narrow(rng(0.0, 10.0), ">", 0.0)
+        assert out.lo > 0.0
+        loose = domain.narrow(rng(0.0, 10.0), ">=", 0.0)
+        assert loose.lo == 0.0
+
+    def test_narrow_to_empty(self):
+        out = domain.narrow(rng(0.0, 1.0), ">", 5.0)
+        assert out.is_empty
+
+    def test_narrow_clears_nan(self):
+        nanful = Interval(-1.0, 1.0, may_nan=True)
+        assert not domain.narrow(nanful, ">", 0.0).may_nan
+
+
+class TestWidening:
+    def test_widen_growing_upper_bound(self):
+        w = domain.widen(rng(0.0, 1.0), rng(0.0, 2.0))
+        assert w.hi == math.inf
+        assert w.lo == 0.0
+
+    def test_widen_growing_lower_bound(self):
+        w = domain.widen(rng(0.0, 1.0), rng(-1.0, 1.0))
+        assert w.lo == -math.inf
+
+    def test_widen_is_stable_on_fixed_interval(self):
+        a = rng(0.0, 1.0)
+        assert domain.widen(a, a) == a
+
+    def test_widen_chain_terminates(self):
+        # a monotonically growing chain must reach a fixed point fast
+        cur = rng(0.0, 1.0)
+        steps = 0
+        for step in range(2, 10):
+            grown = domain.join(cur, rng(0.0, float(step)))
+            nxt = domain.widen(cur, grown)
+            if nxt == cur:
+                break
+            cur = nxt
+            steps += 1
+        assert cur.hi == math.inf
+        assert steps == 1
+
+
+class TestFloat32ErrorModel:
+    """The certified absolute error must bound real float32 arithmetic."""
+
+    def _f32_inputs(self, seed, lo, hi, n=200, log_spaced=False):
+        gen = np.random.default_rng(seed)
+        if log_spaced:
+            xs = 10.0 ** gen.uniform(math.log10(lo), math.log10(hi), n)
+        else:
+            xs = gen.uniform(lo, hi, n)
+        # inputs must be exactly representable in float32 -- that is the
+        # contract the certificate is issued under
+        return [float(np.float32(x)) for x in xs]
+
+    def test_db_bound_holds(self):
+        bound = domain.log10(rng(1e-30, 1e30), scale=10.0).err32
+        assert math.isfinite(bound)
+        for x in self._f32_inputs(1, 1e-30, 1e30, log_spaced=True):
+            got = float(np.float32(10.0) * np.log10(np.float32(x)))
+            want = 10.0 * math.log10(x)
+            assert abs(got - want) <= bound
+
+    def test_undb_bound_holds(self):
+        scaled = domain.div(rng(-60.0, 60.0), const(10.0))
+        bound = domain.pow10(scaled).err32
+        assert math.isfinite(bound)
+        for v in self._f32_inputs(2, -60.0, 60.0):
+            got = float(np.float32(10.0) ** (np.float32(v) / np.float32(10.0)))
+            want = 10.0 ** (v / 10.0)
+            assert abs(got - want) <= bound
+
+    @pytest.mark.parametrize(
+        "op,np_op",
+        [
+            (domain.add, np.add),
+            (domain.sub, np.subtract),
+            (domain.mul, np.multiply),
+        ],
+    )
+    def test_elementwise_bounds_hold(self, op, np_op):
+        bound = op(rng(-1e3, 1e3), rng(-1e3, 1e3)).err32
+        assert math.isfinite(bound)
+        gen = np.random.default_rng(3)
+        for _ in range(200):
+            a = float(np.float32(gen.uniform(-1e3, 1e3)))
+            b = float(np.float32(gen.uniform(-1e3, 1e3)))
+            got = float(np_op(np.float32(a), np.float32(b)))
+            want = float(np_op(a, b))
+            assert abs(got - want) <= bound
+
+    def test_div_bound_holds(self):
+        bound = domain.div(rng(-1e3, 1e3), rng(1.0, 1e3)).err32
+        assert math.isfinite(bound)
+        gen = np.random.default_rng(4)
+        for _ in range(200):
+            a = float(np.float32(gen.uniform(-1e3, 1e3)))
+            b = float(np.float32(gen.uniform(1.0, 1e3)))
+            got = float(np.float32(a) / np.float32(b))
+            assert abs(got - a / b) <= bound
+
+    def test_cancellation_amplification_detects_loss(self):
+        close = rng(0.999999, 1.000001)
+        amp = domain.cancellation_amplification(close, const(1.0))
+        assert amp >= 1e4
+        far = rng(10.0, 20.0)
+        assert domain.cancellation_amplification(far, const(1.0)) < 1e4

@@ -1,0 +1,293 @@
+"""Fixture tests for the four interval-analysis project rules.
+
+Each seeded bug is paired with the PR 4 dataflow rule to show the
+abstract interpreter catches what unit-domain tracking cannot: all four
+fixtures are unit-correct, so ``units-domain-flow`` stays silent while
+the value analysis fires.
+"""
+
+import textwrap
+
+from repro.analysis.absint import analyze_index, certification_report
+from repro.analysis.absint.rules import (
+    ABSINT_RULES,
+    NumCancellationRule,
+    NumDivZeroRule,
+    NumFloat32UnsafeRule,
+    NumLogNonpositiveRule,
+)
+from repro.analysis.dataflow import DomainFlowRule
+from repro.analysis.project import ProjectIndex
+
+
+def index_of(**modules):
+    """ProjectIndex from ``name=source`` fixtures under src/repro/."""
+    sources = {
+        f"src/repro/{name}.py": textwrap.dedent(source)
+        for name, source in modules.items()
+    }
+    return ProjectIndex.from_sources(sources)
+
+
+def findings_of(rule, **modules):
+    index = index_of(**modules)
+    # the seeded bugs are unit-correct: symbolic dataflow must miss them
+    assert list(DomainFlowRule().check_project(index)) == []
+    return sorted(rule.check_project(index))
+
+
+class TestLogNonpositive:
+    def test_interval_reaching_zero_into_log_fires(self):
+        findings = findings_of(
+            NumLogNonpositiveRule(),
+            feat="""
+                import numpy as np
+
+
+                def log_feature(power):
+                    '''Log-domain feature.
+
+                    lint-ranges: power=[0, 1]
+                    '''
+                    return np.log10(power)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "num-log-nonpositive"
+        assert "log" in findings[0].message
+
+    def test_guard_suppresses_the_finding(self):
+        findings_list = list(
+            NumLogNonpositiveRule().check_project(
+                index_of(
+                    feat="""
+                        import numpy as np
+
+
+                        def log_feature(power):
+                            '''lint-ranges: power=[0, 1]'''
+                            if power <= 0:
+                                return -300.0
+                            return np.log10(power)
+                    """
+                )
+            )
+        )
+        assert findings_list == []
+
+    def test_errstate_region_is_sanctioned(self):
+        findings_list = list(
+            NumLogNonpositiveRule().check_project(
+                index_of(
+                    feat="""
+                        import numpy as np
+
+
+                        def log_feature(power):
+                            '''lint-ranges: power=[0, 1]'''
+                            with np.errstate(divide="ignore"):
+                                return np.log10(power)
+                    """
+                )
+            )
+        )
+        assert findings_list == []
+
+    def test_interprocedural_interval_flow(self):
+        # the dangerous range comes from the callee's proven return
+        findings = findings_of(
+            NumLogNonpositiveRule(),
+            chain="""
+                import numpy as np
+
+
+                def headroom(margin_db):
+                    '''lint-ranges: margin_db=[-6, 6]'''
+                    return margin_db
+
+                def log_headroom(margin_db):
+                    '''lint-ranges: margin_db=[-6, 6]'''
+                    return np.log10(headroom(margin_db))
+            """,
+        )
+        assert len(findings) == 1
+
+
+class TestDivZero:
+    def test_denominator_containing_zero_fires(self):
+        findings = findings_of(
+            NumDivZeroRule(),
+            norm="""
+                def normalize(x, total):
+                    '''lint-ranges: x=[0, 1] total=[0, 100]'''
+                    return x / total
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "num-div-zero"
+
+    def test_guarded_denominator_is_clean(self):
+        index = index_of(
+            norm="""
+                def normalize(x, total):
+                    '''lint-ranges: x=[0, 1] total=[0, 100]'''
+                    if total == 0.0:
+                        return 0.0
+                    return x / total
+            """
+        )
+        assert list(NumDivZeroRule().check_project(index)) == []
+
+    def test_positive_floor_is_clean(self):
+        index = index_of(
+            norm="""
+                import numpy as np
+
+
+                def normalize(x, total):
+                    '''lint-ranges: x=[0, 1] total=[0, 100]'''
+                    return x / np.maximum(total, 1e-12)
+            """
+        )
+        assert list(NumDivZeroRule().check_project(index)) == []
+
+
+class TestCancellation:
+    def test_close_subtraction_fires(self):
+        findings = findings_of(
+            NumCancellationRule(),
+            cal="""
+                def delta(measured):
+                    '''Offset from the reference tone.
+
+                    lint-ranges: measured=[0.999999, 1.000001]
+                    '''
+                    return measured - 1.0
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "num-cancellation"
+
+    def test_well_separated_subtraction_is_clean(self):
+        index = index_of(
+            cal="""
+                def delta(measured):
+                    '''lint-ranges: measured=[10, 20]'''
+                    return measured - 1.0
+            """
+        )
+        assert list(NumCancellationRule().check_project(index)) == []
+
+
+class TestFloat32Unsafe:
+    def test_budget_exceeded_fires(self):
+        findings = findings_of(
+            NumFloat32UnsafeRule(),
+            feat="""
+                import numpy as np
+
+
+                def db_feature(ratio):
+                    '''lint-ranges: ratio=[1e-6, 1e6]
+                    lint-float32-budget: 1e-9
+                    '''
+                    return 10.0 * np.log10(ratio)
+            """,
+        )
+        assert len(findings) == 1
+        assert "exceeds its float32 budget" in findings[0].message
+
+    def test_unprovable_output_with_budget_fires(self):
+        index = index_of(
+            feat="""
+                def mystery(x):
+                    '''lint-float32-budget: 1e-6'''
+                    return helper(x)
+            """
+        )
+        findings = list(NumFloat32UnsafeRule().check_project(index))
+        assert len(findings) == 1
+        assert "no output interval" in findings[0].message
+
+    def test_budget_met_is_clean(self):
+        index = index_of(
+            feat="""
+                import numpy as np
+
+
+                def db_feature(ratio):
+                    '''lint-ranges: ratio=[1e-6, 1e6]
+                    lint-float32-budget: 1e-3
+                    '''
+                    return 10.0 * np.log10(ratio)
+            """
+        )
+        assert list(NumFloat32UnsafeRule().check_project(index)) == []
+
+
+class TestFixpointTermination:
+    def test_growing_loop_terminates_via_widening(self):
+        index = index_of(
+            loopy="""
+                def accumulate(x):
+                    '''lint-ranges: x=[0, 1]'''
+                    for _ in range(1000):
+                        x = x + 1.0
+                    return x
+            """
+        )
+        result = analyze_index(index)
+        assert result.rounds <= 20
+
+    def test_mutual_recursion_terminates(self):
+        index = index_of(
+            rec="""
+                def ping(x):
+                    '''lint-ranges: x=[0, 1]'''
+                    return pong(x) + 1.0
+
+                def pong(x):
+                    '''lint-ranges: x=[0, 1]'''
+                    return ping(x) + 1.0
+            """
+        )
+        result = analyze_index(index)
+        assert result.rounds <= 20
+
+
+class TestCertificationReport:
+    def test_report_lists_proven_interval_and_budget(self):
+        index = index_of(
+            feat="""
+                import numpy as np
+
+
+                def db_feature(ratio):
+                    '''lint-ranges: ratio=[1e-6, 1e6]
+                    lint-float32-budget: 1e-3
+                    '''
+                    return 10.0 * np.log10(ratio)
+            """
+        )
+        report = certification_report(index)
+        rows = {r["function"]: r for r in report["functions"]}
+        row = rows["repro.feat.db_feature"]
+        assert row["return_interval"]["lo"] == -60.0
+        assert row["return_interval"]["hi"] == 60.0
+        assert 0.0 < row["float32_abs_error"] < 1e-3
+        assert row["budget_ok"] is True
+        assert report["summary"]["with_budget"] == 1
+        assert report["summary"]["budget_ok"] == 1
+
+    def test_memoized_result_is_shared_across_rules(self):
+        index = index_of(
+            norm="""
+                def normalize(x, total):
+                    '''lint-ranges: x=[0, 1] total=[0, 100]'''
+                    return x / total
+            """
+        )
+        for rule in ABSINT_RULES:
+            list(rule.check_project(index))
+        first = analyze_index(index)
+        assert analyze_index(index) is first
