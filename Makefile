@@ -12,8 +12,12 @@ BENCH_JSON ?= bench.json
 # sampled configurations per verification relation
 VERIFY_CONFIGS ?= 50
 VERIFY_REPORT ?= benchmarks/results/verify_campaign.json
+# streaming soak: wall-clock budget, backend, metrics artifact
+SOAK_SECONDS ?= 60
+SOAK_EXECUTOR ?= thread:2
+SOAK_REPORT ?= benchmarks/results/streaming_soak.json
 
-.PHONY: install test lint lint-stats lint-numerics lint-sarif verify bench bench-json bench-check examples all clean
+.PHONY: install test lint lint-stats lint-numerics lint-sarif verify soak bench bench-json bench-check examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -52,6 +56,13 @@ lint-sarif:
 verify:
 	PYTHONPATH=src $(PYTHON) -m repro verify \
 		--configs $(VERIFY_CONFIGS) --report $(VERIFY_REPORT)
+
+# fixed-seed streaming soak (CI's `soak` job): exits non-zero on an
+# unhealthy stream or a streamed-vs-offline bit mismatch
+soak:
+	PYTHONPATH=src $(PYTHON) -m repro soak \
+		--seconds $(SOAK_SECONDS) --executor $(SOAK_EXECUTOR) \
+		--output $(SOAK_REPORT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

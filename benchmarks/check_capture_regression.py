@@ -1,12 +1,19 @@
-"""Regression gate for the batched capture engine (``make bench-check``).
+"""Normalized-ratio regression gates (``make bench-check``).
 
-Re-runs ``test_bench_capture_hotpath`` and compares the *normalized*
-batched capture time -- ``batched_seconds / per_device_seconds``, which
-cancels machine speed -- against the committed
-``benchmarks/results/capture_hotpath.json``.  Fails if the fresh ratio
-is more than ``TOLERANCE`` worse than the committed one, so a change
-that quietly erodes the vectorization win cannot land on a faster
-runner unnoticed.
+Re-runs the gated benchmarks and compares each *normalized* ratio --
+a fresh-machine time divided by a same-machine reference time, which
+cancels machine speed -- against the committed results JSON:
+
+* ``test_bench_capture_hotpath``: ``batched_seconds / per_device_seconds``
+  guards the vectorized capture engine (``capture_hotpath.json``).
+* ``test_bench_streaming_throughput``: ``streamed_seconds /
+  offline_seconds`` guards the streaming service's overhead over the
+  offline ``ProductionTestFlow`` (``streaming_throughput.json``).
+
+A gate fails if the fresh ratio is more than ``TOLERANCE`` worse than
+the committed one, so a change that quietly erodes the vectorization
+win -- or bloats the streaming layer -- cannot land on a faster runner
+unnoticed.
 """
 
 import json
@@ -18,14 +25,27 @@ __all__ = []
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
-RESULTS = os.path.join(HERE, "results", "capture_hotpath.json")
-RESULTS_REL = os.path.relpath(RESULTS, REPO)
-BENCH = os.path.join(HERE, "test_bench_capture_hotpath.py")
 #: fresh normalized ratio may be at most 20% worse than the baseline
 TOLERANCE = 0.20
 
+#: (label, benchmark file, repo-relative results JSON, normalized-ratio key)
+GATES = [
+    (
+        "batched/per-device",
+        "test_bench_capture_hotpath.py",
+        os.path.join("benchmarks", "results", "capture_hotpath.json"),
+        "batched_over_per_device_ratio",
+    ),
+    (
+        "streamed/offline",
+        "test_bench_streaming_throughput.py",
+        os.path.join("benchmarks", "results", "streaming_throughput.json"),
+        "streamed_over_offline_ratio",
+    ),
+]
 
-def _committed_baseline():
+
+def _committed_baseline(results_rel):
     """The committed results JSON (pre-rerun snapshot).
 
     Prefers ``git show HEAD:...`` so a stale working tree cannot mask a
@@ -33,54 +53,69 @@ def _committed_baseline():
     """
     try:
         blob = subprocess.run(
-            ["git", "show", "HEAD:" + RESULTS_REL.replace(os.sep, "/")],
+            ["git", "show", "HEAD:" + results_rel.replace(os.sep, "/")],
             cwd=REPO,
             capture_output=True,
             text=True,
             check=True,
         ).stdout
-        return json.loads(blob), "HEAD:" + RESULTS_REL
+        return json.loads(blob), "HEAD:" + results_rel
     except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
-        with open(RESULTS) as fh:
-            return json.load(fh), RESULTS_REL
+        path = os.path.join(REPO, results_rel)
+        with open(path) as fh:
+            return json.load(fh), results_rel
 
 
-def _main():
-    baseline, source = _committed_baseline()
-    base_ratio = baseline["batched_over_per_device_ratio"]
+def _check_gate(label, bench_file, results_rel, ratio_key):
+    baseline, source = _committed_baseline(results_rel)
+    base_ratio = baseline[ratio_key]
 
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.join(REPO, "src"), env.get("PYTHONPATH")) if p
     )
     rerun = subprocess.run(
-        [sys.executable, "-m", "pytest", BENCH, "--benchmark-only", "-q"],
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            os.path.join(HERE, bench_file),
+            "--benchmark-only",
+            "-q",
+        ],
         cwd=REPO,
         env=env,
     )
     if rerun.returncode != 0:
-        print("bench-check: benchmark run failed", file=sys.stderr)
+        print(f"bench-check: {label} benchmark run failed", file=sys.stderr)
         return rerun.returncode
 
-    with open(RESULTS) as fh:
+    with open(os.path.join(REPO, results_rel)) as fh:
         fresh = json.load(fh)
-    fresh_ratio = fresh["batched_over_per_device_ratio"]
+    fresh_ratio = fresh[ratio_key]
     limit = base_ratio * (1.0 + TOLERANCE)
 
     print(
-        "bench-check: batched/per-device ratio "
+        f"bench-check: {label} ratio "
         f"{fresh_ratio:.4f} vs baseline {base_ratio:.4f} ({source}), "
         f"limit {limit:.4f} (+{TOLERANCE:.0%})"
     )
     if fresh_ratio > limit:
         print(
-            "bench-check: FAIL -- batched capture regressed "
+            f"bench-check: FAIL -- {label} regressed "
             f"{fresh_ratio / base_ratio - 1.0:+.1%} vs the committed baseline",
             file=sys.stderr,
         )
         return 1
-    print("bench-check: OK")
     return 0
+
+
+def _main():
+    status = 0
+    for label, bench_file, results_rel, ratio_key in GATES:
+        status = _check_gate(label, bench_file, results_rel, ratio_key) or status
+    print("bench-check: OK" if status == 0 else "bench-check: FAILED")
+    return status
 
 
 if __name__ == "__main__":

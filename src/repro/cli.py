@@ -8,6 +8,8 @@ Usage::
     python -m repro economics           # test-time / cost comparison
     python -m repro program out.rtp     # build and save a test program
     python -m repro verify              # relation campaign + golden drift
+    python -m repro serve               # streaming service on live traffic
+    python -m repro soak                # sustained-load soak + metrics JSON
 
 Every subcommand accepts ``--seed`` for reproducibility; see
 ``python -m repro <command> --help`` for per-command options.
@@ -145,6 +147,66 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_relations",
         help="list registered relations and golden corpora, then exit",
+    )
+
+    def add_stream_options(p, default_seconds: float) -> None:
+        """Options shared by the streaming `serve` and `soak` commands."""
+        p.add_argument("--seed", type=int, default=2002, help="campaign master seed")
+        p.add_argument(
+            "--seconds",
+            type=float,
+            default=default_seconds,
+            help=f"wall-clock streaming budget (default {default_seconds:g})",
+        )
+        p.add_argument(
+            "--lots", type=int, default=None, help="stop after this many lots"
+        )
+        p.add_argument("--lot-size", type=int, default=16, help="devices per lot")
+        p.add_argument(
+            "--cells", type=int, default=4, help="simulated test cells feeding lots"
+        )
+        p.add_argument(
+            "--executor",
+            default=None,
+            metavar="BACKEND",
+            help="capture backend: serial (default), thread, process, or "
+            "e.g. process:4 -- records are bit-identical across backends",
+        )
+        p.add_argument(
+            "--max-pending",
+            type=int,
+            default=8,
+            help="ingest queue capacity in lots (the backpressure bound)",
+        )
+        p.add_argument(
+            "--chunksize", type=int, default=None, help="devices per capture task"
+        )
+        p.add_argument(
+            "--train", type=int, default=32, help="calibration training devices"
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the streaming production-test service on wafer-map traffic",
+    )
+    add_stream_options(p_serve, default_seconds=10.0)
+    p_serve.add_argument(
+        "--interval",
+        type=int,
+        default=25,
+        help="print a live metrics line every N submitted lots",
+    )
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="soak-test the streaming service and write the metrics JSON",
+    )
+    add_stream_options(p_soak, default_seconds=60.0)
+    p_soak.add_argument(
+        "--output",
+        default="benchmarks/results/streaming_soak.json",
+        metavar="PATH",
+        help="metrics JSON path (CI uploads it as the soak artifact)",
     )
 
     p_lint = sub.add_parser(
@@ -420,6 +482,84 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def _soak_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        seed=args.seed,
+        seconds=args.seconds,
+        max_lots=args.lots,
+        lot_size=args.lot_size,
+        n_cells=args.cells,
+        executor=args.executor,
+        max_pending_lots=args.max_pending,
+        chunksize=args.chunksize,
+        n_train=args.train,
+    )
+
+
+def _soak_summary(payload: dict) -> str:
+    lines = [
+        f"streamed {payload['devices_tested']} DUTs in "
+        f"{payload['lots_completed']} lots over {payload['wall_seconds']:.1f} s "
+        f"({payload['executor']} backend)",
+        f"throughput: {payload['duts_per_second']:.1f} DUTs/s "
+        f"(windowed {payload['duts_per_second_windowed']:.1f})",
+        f"latency:    p50 {payload['latency_p50_ms']:.1f} ms, "
+        f"p99 {payload['latency_p99_ms']:.1f} ms, "
+        f"worst {payload['latency_worst_ms']:.1f} ms",
+    ]
+    if payload["yield_fraction"] is not None:
+        lines.append(f"yield:      {payload['yield_fraction']:.1%}")
+    lines.append(
+        "first lot bit-identical to offline flow: "
+        f"{payload['first_lot_bit_identical_to_offline']}"
+    )
+    lines.append(
+        "health:     " + ("ok" if payload["healthy"] else "UNHEALTHY")
+    )
+    for reason in payload["health_reasons"]:
+        lines.append(f"    {reason}")
+    return "\n".join(lines)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.soak import run_soak
+
+    interval = max(1, args.interval)
+    seen = [0]
+
+    def live(snapshot) -> None:
+        seen[0] += 1
+        if seen[0] % interval == 0:
+            print(snapshot.summary(), flush=True)
+
+    payload = run_soak(on_snapshot=live, **_soak_kwargs(args))
+    print(_soak_summary(payload))
+    return 0 if payload["healthy"] and payload[
+        "first_lot_bit_identical_to_offline"
+    ] else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.runtime.soak import run_soak
+
+    payload = run_soak(**_soak_kwargs(args))
+    if args.output:
+        directory = os.path.dirname(args.output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"soak metrics written to {args.output}")
+    print(_soak_summary(payload))
+    return 0 if payload["healthy"] and payload[
+        "first_lot_bit_identical_to_offline"
+    ] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
@@ -443,6 +583,8 @@ _COMMANDS = {
     "program": _cmd_program,
     "report": _cmd_report,
     "verify": _cmd_verify,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
     "lint": _cmd_lint,
 }
 

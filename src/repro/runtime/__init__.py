@@ -12,6 +12,11 @@
 * :mod:`repro.runtime.executor` -- pluggable serial / thread / process
   batch backends with deterministic per-task RNG streams (re-exported as
   :mod:`repro.parallel`).
+* :mod:`repro.runtime.service` -- the streaming front end: a
+  long-running, bounded-queue lot ingester over the same flow, with
+  live metrics (:mod:`repro.runtime.metrics`), stream health monitoring
+  (:mod:`repro.runtime.monitoring`) and a seeded wafer-map traffic
+  generator (:mod:`repro.runtime.trafficgen`) for soak tests.
 """
 
 from repro.runtime.specs import SpecificationLimit, SpecificationLimits
@@ -47,7 +52,16 @@ from repro.runtime.binning import (
 )
 from repro.runtime.outlier import OutlierScore, SignatureOutlierScreen
 from repro.runtime.normalization import GoldenDeviceNormalizer
-from repro.runtime.monitoring import GoldenSignatureMonitor, MonitorState
+from repro.runtime.monitoring import (
+    GoldenSignatureMonitor,
+    MonitorState,
+    StreamHealth,
+    StreamHealthMonitor,
+)
+from repro.runtime.metrics import LatencyTracker, MetricsSnapshot, ThroughputMeter
+from repro.runtime.stream import Lot, ServiceClosed, StreamRecord, SubmitTimeout
+from repro.runtime.service import StreamingTestService
+from repro.runtime.trafficgen import LotOrder, TrafficGenerator, WaferMapProfile
 from repro.runtime.diagnosis import ParameterDiagnosis, ParameterDiagnosisModel
 from repro.runtime.compaction import CompactionResult, compact_test_set
 from repro.runtime.artifacts import (
@@ -84,6 +98,19 @@ __all__ = [
     "GoldenDeviceNormalizer",
     "GoldenSignatureMonitor",
     "MonitorState",
+    "StreamHealth",
+    "StreamHealthMonitor",
+    "LatencyTracker",
+    "MetricsSnapshot",
+    "ThroughputMeter",
+    "Lot",
+    "ServiceClosed",
+    "StreamRecord",
+    "SubmitTimeout",
+    "StreamingTestService",
+    "LotOrder",
+    "TrafficGenerator",
+    "WaferMapProfile",
     "ParameterDiagnosis",
     "ParameterDiagnosisModel",
     "CompactionResult",

@@ -20,7 +20,14 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["MonitorState", "GoldenSignatureMonitor"]
+from repro.runtime.metrics import MetricsSnapshot
+
+__all__ = [
+    "MonitorState",
+    "GoldenSignatureMonitor",
+    "StreamHealth",
+    "StreamHealthMonitor",
+]
 
 
 @dataclass(frozen=True)
@@ -109,3 +116,109 @@ class GoldenSignatureMonitor:
             if not state.in_control:
                 return state.n_checks
         return None
+
+
+@dataclass(frozen=True)
+class StreamHealth:
+    """Snapshot after one streaming-service health check."""
+
+    n_checks: int
+    ewma_duts_per_second: float
+    queue_fraction: float
+    #: latest p99 per-device latency (seconds) from the observed snapshot
+    latency_p99_s: float
+    healthy: bool
+    reasons: tuple
+
+
+class StreamHealthMonitor:
+    """Control-chart logic over the streaming service's live metrics.
+
+    The same SPC posture :class:`GoldenSignatureMonitor` applies to
+    tester drift, applied to service *liveness*: a periodic observer
+    feeds :meth:`observe` with
+    :meth:`~repro.runtime.service.StreamingTestService.metrics`
+    snapshots, and the monitor smooths the windowed throughput with an
+    EWMA and flags the service unhealthy when
+
+    * smoothed throughput falls below ``min_duts_per_second`` (a stall
+      or pool deadlock soaks up the floor's capacity silently), or
+    * the ingest queue stays above ``max_queue_fraction`` full for
+      ``queue_patience`` consecutive checks (sustained saturation: the
+      cells outrun the capture backend), or
+    * p99 per-device latency exceeds ``max_latency_p99_s``.
+
+    Thresholds default to "off" (0 / 1.0 / +inf) so callers opt into
+    exactly the alarms their floor cares about.
+    """
+
+    def __init__(
+        self,
+        min_duts_per_second: float = 0.0,
+        max_queue_fraction: float = 1.0,
+        max_latency_p99_s: float = float("inf"),
+        smoothing: float = 0.3,
+        queue_patience: int = 3,
+    ):
+        if min_duts_per_second < 0:
+            raise ValueError("min_duts_per_second must be >= 0")
+        if not (0.0 < max_queue_fraction <= 1.0):
+            raise ValueError("max_queue_fraction must be in (0, 1]")
+        if not (0.0 < smoothing <= 1.0):
+            raise ValueError("smoothing must be in (0, 1]")
+        if queue_patience < 1:
+            raise ValueError("queue_patience must be >= 1")
+        self.min_duts_per_second = float(min_duts_per_second)
+        self.max_queue_fraction = float(max_queue_fraction)
+        self.max_latency_p99_s = float(max_latency_p99_s)
+        self.smoothing = float(smoothing)
+        self.queue_patience = int(queue_patience)
+        self._ewma: Optional[float] = None
+        self._saturated_checks = 0
+        self.history: List[StreamHealth] = []
+
+    def observe(self, snapshot: MetricsSnapshot) -> StreamHealth:
+        """Score one live metrics snapshot; appends to ``history``."""
+        rate = snapshot.duts_per_second_windowed
+        if self._ewma is None:
+            self._ewma = rate
+        else:
+            self._ewma = self.smoothing * rate + (1.0 - self.smoothing) * self._ewma
+        capacity = max(snapshot.queue_capacity, 1)
+        queue_fraction = snapshot.queue_depth / capacity
+        if queue_fraction >= self.max_queue_fraction:
+            self._saturated_checks += 1
+        else:
+            self._saturated_checks = 0
+
+        reasons = []
+        if self._ewma < self.min_duts_per_second:
+            reasons.append(
+                f"throughput EWMA {self._ewma:.2f} DUTs/s below floor "
+                f"{self.min_duts_per_second:.2f}"
+            )
+        if self._saturated_checks >= self.queue_patience:
+            reasons.append(
+                f"ingest queue >= {self.max_queue_fraction:.0%} full for "
+                f"{self._saturated_checks} consecutive checks"
+            )
+        if snapshot.latency_p99_s > self.max_latency_p99_s:
+            reasons.append(
+                f"p99 latency {snapshot.latency_p99_s:.3f} s above limit "
+                f"{self.max_latency_p99_s:.3f} s"
+            )
+        state = StreamHealth(
+            n_checks=len(self.history) + 1,
+            ewma_duts_per_second=self._ewma,
+            queue_fraction=queue_fraction,
+            latency_p99_s=snapshot.latency_p99_s,
+            healthy=not reasons,
+            reasons=tuple(reasons),
+        )
+        self.history.append(state)
+        return state
+
+    @property
+    def healthy(self) -> bool:
+        """Current status (True before any check)."""
+        return self.history[-1].healthy if self.history else True

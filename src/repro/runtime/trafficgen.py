@@ -1,0 +1,202 @@
+"""Seeded wafer-map traffic generator for soak-testing the service.
+
+A soak test is only trustworthy if its load is (a) shaped like real
+production traffic and (b) exactly replayable.  This module generates
+both: devices drawn from a *wafer map* -- specs vary with die position
+through a radial process gradient plus seeded die-level noise, the
+classic bullseye signature of RF process spreads -- streamed as lots
+from N simulated test cells.
+
+Everything derives from one master seed through
+``np.random.SeedSequence.spawn`` (campaign -> wafer -> die), so a soak
+campaign replays bit-identically: the same seed produces the same
+wafers, the same lot boundaries, the same per-lot capture seeds -- and
+therefore, by the service's determinism contract, the same per-device
+records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.runtime.executor import SeedLike, spawn_seeds
+
+__all__ = ["WaferMapProfile", "TrafficGenerator", "LotOrder"]
+
+
+@dataclass(frozen=True)
+class WaferMapProfile:
+    """Process statistics of one wafer population.
+
+    The mean spec at normalized wafer radius ``r`` (0 center, 1 edge)
+    is ``nominal + radial * r**2`` -- the center-to-edge bowl of a
+    radial process gradient -- with additive die-level Gaussian noise
+    and one per-wafer offset shared by every die (wafer-to-wafer
+    spread).
+    """
+
+    carrier_freq: float = 900e6
+    grid: int = 12  # dies per wafer axis; dies outside the circle drop
+    gain_nominal_db: float = 16.0
+    gain_radial_db: float = -0.8
+    gain_sigma_db: float = 0.35
+    nf_nominal_db: float = 2.2
+    nf_radial_db: float = 0.35
+    nf_sigma_db: float = 0.12
+    iip3_nominal_dbm: float = 3.0
+    iip3_radial_dbm: float = -0.6
+    iip3_sigma_dbm: float = 0.4
+    wafer_sigma_scale: float = 0.5  # wafer offset sigma, in die sigmas
+
+    def die_positions(self) -> List[Tuple[float, float]]:
+        """Normalized (x, y) of every die inside the wafer circle."""
+        if self.grid < 1:
+            raise ValueError("grid must be >= 1")
+        positions = []
+        half = (self.grid - 1) / 2.0
+        scale = half if half > 0 else 1.0
+        for row in range(self.grid):
+            for col in range(self.grid):
+                x = (col - half) / scale
+                y = (row - half) / scale
+                if math.hypot(x, y) <= 1.0:
+                    positions.append((x, y))
+        return positions
+
+    def wafer_devices(
+        self, rng: np.random.Generator
+    ) -> List[BehavioralAmplifier]:
+        """One wafer's devices in raster (test-probe) order."""
+        positions = self.die_positions()
+        wafer_offset = rng.normal(0.0, self.wafer_sigma_scale, size=3)
+        devices = []
+        for x, y in positions:
+            r2 = x * x + y * y
+            gain = (
+                self.gain_nominal_db
+                + self.gain_radial_db * r2
+                + self.gain_sigma_db * (wafer_offset[0] + rng.normal())
+            )
+            nf = (
+                self.nf_nominal_db
+                + self.nf_radial_db * r2
+                + self.nf_sigma_db * (wafer_offset[1] + rng.normal())
+            )
+            iip3 = (
+                self.iip3_nominal_dbm
+                + self.iip3_radial_dbm * r2
+                + self.iip3_sigma_dbm * (wafer_offset[2] + rng.normal())
+            )
+            devices.append(
+                BehavioralAmplifier(
+                    self.carrier_freq, gain, max(nf, 0.1), iip3
+                )
+            )
+        return devices
+
+
+@dataclass(frozen=True)
+class LotOrder:
+    """One generated lot, ready to feed ``StreamingTestService.submit``."""
+
+    lot_index: int
+    cell_id: int
+    wafer_index: int
+    devices: Sequence[BehavioralAmplifier]
+    #: master seed for the lot's measurement noise (submit/replay key)
+    seed: np.random.SeedSequence
+
+
+class TrafficGenerator:
+    """Replayable lot stream cut from seeded wafer-map populations.
+
+    Wafers are generated one at a time and diced into consecutive
+    ``lot_size`` groups in probe order; lots round-robin over
+    ``n_cells`` simulated test cells.  Two generators built with the
+    same ``(profile, master_seed, lot_size, n_cells)`` produce
+    identical campaigns.
+
+    Parameters
+    ----------
+    profile:
+        Wafer population statistics.
+    master_seed:
+        Campaign seed; every wafer and every lot's measurement-noise
+        seed derives from it.
+    lot_size:
+        Devices per lot (the last lot of a wafer may be short).
+    n_cells:
+        Simulated test cells the lots round-robin over.
+    """
+
+    def __init__(
+        self,
+        profile: WaferMapProfile,
+        master_seed: SeedLike,
+        lot_size: int = 25,
+        n_cells: int = 4,
+    ):
+        if lot_size < 1:
+            raise ValueError("lot_size must be >= 1")
+        if n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        self.profile = profile
+        self.lot_size = int(lot_size)
+        self.n_cells = int(n_cells)
+        # one root per concern: wafer synthesis vs capture noise, so a
+        # different lot size never changes the wafer population
+        wafer_root, capture_root = spawn_seeds(master_seed, 2)
+        self._wafer_root = wafer_root
+        self._capture_root = capture_root
+
+    @staticmethod
+    def _child(root: np.random.SeedSequence, index: int) -> np.random.SeedSequence:
+        """Child ``index`` of ``root``, derived statelessly.
+
+        ``SeedSequence.spawn`` advances the parent's spawn counter, so
+        repeated ``lots()`` calls would silently change the campaign;
+        building the child from an explicit ``spawn_key`` keeps the
+        generator replayable without hidden state.
+        """
+        return np.random.SeedSequence(
+            entropy=root.entropy, spawn_key=root.spawn_key + (int(index),)
+        )
+
+    def lots(self, n_lots: int) -> Iterator[LotOrder]:
+        """Yield the campaign's first ``n_lots`` lots in arrival order.
+
+        Replayable: every call (on this or an identically-built
+        generator) yields the identical campaign prefix.
+        """
+        if n_lots < 0:
+            raise ValueError("n_lots must be >= 0")
+        return self._lots(n_lots)
+
+    def stream(self) -> Iterator[LotOrder]:
+        """Yield lots forever (duration-bound soaks stop consuming)."""
+        return self._lots(None)
+
+    def _lots(self, n_lots: Optional[int]) -> Iterator[LotOrder]:
+        emitted = 0
+        wafer_index = 0
+        while n_lots is None or emitted < n_lots:
+            wafer_seed = self._child(self._wafer_root, wafer_index)
+            devices = self.profile.wafer_devices(np.random.default_rng(wafer_seed))
+            for start in range(0, len(devices), self.lot_size):
+                if n_lots is not None and emitted >= n_lots:
+                    return
+                lot_devices = devices[start : start + self.lot_size]
+                yield LotOrder(
+                    lot_index=emitted,
+                    cell_id=emitted % self.n_cells,
+                    wafer_index=wafer_index,
+                    devices=lot_devices,
+                    seed=self._child(self._capture_root, emitted),
+                )
+                emitted += 1
+            wafer_index += 1

@@ -21,6 +21,8 @@ db-linear-roundtrip             ``repro.dsp.units`` conversions invert
 noise-determinism               seeded noise replays bit-identically
 spec-permutation-stability      Eqs. 6-10: spec predictions are stable
                                 under signature column permutation
+streaming-offline-equivalence   streamed service records ==
+                                ``ProductionTestFlow.run``, bit for bit
 ==============================  ========================================
 
 Tolerances are calibrated, not guessed: each non-exact bound sits an
@@ -49,8 +51,11 @@ from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoa
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
 from repro.regression.scaling import StandardScaler
-from repro.runtime.calibration import measure_signatures
+from repro.runtime.calibration import CalibrationModel, measure_signatures
 from repro.runtime.executor import SerialExecutor, spawn_seeds
+from repro.runtime.production import ProductionTestFlow
+from repro.runtime.service import StreamingTestService
+from repro.runtime.specs import lna_limits
 from repro.verify.harness import (
     booleans,
     check,
@@ -547,4 +552,114 @@ def _rel_spec_permutation_stability(case, rng):
         rtol=1e-6,
         atol=1e-8,
         label="column-permuted spec predictions",
+    )
+
+
+# ----------------------------------------------------------------------
+# streaming service == offline production flow
+# ----------------------------------------------------------------------
+def _ridge_flow(
+    rng: np.random.Generator, stimulus: PiecewiseLinearStimulus
+) -> ProductionTestFlow:
+    """A calibrated flow on the fast path (plain ridge, no model zoo)."""
+    board = SignatureTestBoard(_fast_config())
+    train = _sample_lot(rng, 10)
+    signatures = measure_signatures(
+        board, stimulus, train, np.random.default_rng(int(rng.integers(0, 2**63)))
+    )
+    spec_matrix = np.vstack([d.specs().as_vector() for d in train])
+    pipelines = {}
+    for j, name in enumerate(SpecSet.NAMES):
+        pipeline = Pipeline([StandardScaler(), RidgeRegression(alpha=1.0)])
+        pipeline.fit(signatures, spec_matrix[:, j])
+        pipelines[name] = pipeline
+    calibration = CalibrationModel(
+        spec_names=SpecSet.NAMES,
+        pipelines=pipelines,
+        chosen={name: "ridge_1" for name in SpecSet.NAMES},
+        cv_scores={name: {"ridge_1": 0.0} for name in SpecSet.NAMES},
+    )
+    return ProductionTestFlow(board, stimulus, calibration, limits=lna_limits())
+
+
+@relation(
+    "streaming-offline-equivalence",
+    params={
+        "n_lots": integers(1, 3, origin=1),
+        "lot_size": integers(0, 3, origin=0),
+        "executor": choice("serial", "thread:2"),
+        "chunksize": integers(1, 3, origin=1),
+        "max_pending_lots": integers(1, 2, origin=1),
+        "n_breakpoints": integers(3, 5, origin=3),
+    },
+    equation="reproduction contract (streaming service)",
+)
+def _rel_streaming_offline_equivalence(case, rng):
+    """Streamed per-device records equal ``ProductionTestFlow.run`` bit for bit.
+
+    The streaming service freezes per-device seed streams at submission
+    time with the same ``spawn_seeds`` derivation the offline flow
+    uses, so for the same master seed every streamed record -- raw
+    signature, predicted specs, pass verdict, device and lot order --
+    must be ``np.array_equal`` to the offline lot, across backends,
+    chunkings, queue bounds, and empty/single-device streams.
+    """
+    stimulus = _stimulus(rng, case["n_breakpoints"])
+    flow = _ridge_flow(rng, stimulus)
+    lots = [
+        (_sample_lot(rng, case["lot_size"]), int(rng.integers(0, 2**63)))
+        for _ in range(case["n_lots"])
+    ]
+
+    with StreamingTestService(
+        flow,
+        executor=case["executor"],
+        max_pending_lots=case["max_pending_lots"],
+        chunksize=case["chunksize"],
+    ) as service:
+        for devices, seed in lots:
+            service.submit(devices, np.random.default_rng(seed))
+        service.close()
+        streamed = list(service.records())
+
+    by_lot = {lot_id: [] for lot_id in range(len(lots))}
+    for stream_record in streamed:
+        by_lot[stream_record.lot_id].append(stream_record)
+
+    total = 0
+    for lot_id, (devices, seed) in enumerate(lots):
+        offline = flow.run(devices, np.random.default_rng(seed))
+        records = by_lot[lot_id]
+        check(
+            len(records) == len(offline.records),
+            f"lot {lot_id}: streamed {len(records)} records but the offline "
+            f"flow produced {len(offline.records)} -- the service dropped or "
+            "duplicated devices",
+        )
+        total += len(records)
+        for stream_record, reference in zip(records, offline.records):
+            record = stream_record.record
+            check(
+                record.device_id == reference.device_id,
+                f"lot {lot_id}: streamed device_id {record.device_id} != "
+                f"offline {reference.device_id} (order not preserved)",
+            )
+            check_array_equal(
+                record.signature,
+                reference.signature,
+                label=f"lot {lot_id} device {reference.device_id} signature",
+            )
+            check_array_equal(
+                record.predicted.as_vector(),
+                reference.predicted.as_vector(),
+                label=f"lot {lot_id} device {reference.device_id} predicted specs",
+            )
+            check(
+                record.passed == reference.passed,
+                f"lot {lot_id} device {reference.device_id}: streamed verdict "
+                f"{record.passed} != offline {reference.passed}",
+            )
+    check(
+        total == len(streamed),
+        "service emitted records for lots that were never submitted",
     )

@@ -1,0 +1,134 @@
+"""Tests for repro.runtime.trafficgen (seeded wafer-map traffic)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.trafficgen import LotOrder, TrafficGenerator, WaferMapProfile
+
+
+def _spec_matrix(devices):
+    return np.vstack([d.specs().as_vector() for d in devices])
+
+
+class TestWaferMapProfile:
+    def test_die_positions_fill_the_circle(self):
+        profile = WaferMapProfile(grid=12)
+        positions = profile.die_positions()
+        # every die inside the unit circle, corners clipped off
+        assert 0 < len(positions) < profile.grid**2
+        assert all(x * x + y * y <= 1.0 + 1e-12 for x, y in positions)
+
+    def test_wafer_devices_match_die_count(self):
+        profile = WaferMapProfile(grid=8)
+        devices = profile.wafer_devices(np.random.default_rng(0))
+        assert len(devices) == len(profile.die_positions())
+
+    def test_radial_gradient_shows_in_the_population(self):
+        # gain_radial_db < 0: center dies must beat edge dies on average
+        profile = WaferMapProfile(grid=12)
+        positions = profile.die_positions()
+        center_gain, edge_gain = [], []
+        for seed in range(5):
+            devices = profile.wafer_devices(np.random.default_rng(seed))
+            for (x, y), device in zip(positions, devices):
+                r2 = x * x + y * y
+                if r2 < 0.25:
+                    center_gain.append(device.specs().gain_db)
+                elif r2 > 0.75:
+                    edge_gain.append(device.specs().gain_db)
+        assert np.mean(center_gain) > np.mean(edge_gain)
+
+    def test_noise_floor_is_clamped(self):
+        # absurd NF spread must never produce a sub-physical noise figure
+        profile = WaferMapProfile(grid=6, nf_nominal_db=0.0, nf_sigma_db=5.0)
+        devices = profile.wafer_devices(np.random.default_rng(3))
+        assert min(d.specs().nf_db for d in devices) >= 0.1
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            WaferMapProfile(grid=0).die_positions()
+
+
+class TestTrafficGenerator:
+    def test_identically_built_generators_replay_the_campaign(self):
+        def make():
+            return TrafficGenerator(
+                WaferMapProfile(grid=6), master_seed=11, lot_size=5, n_cells=3
+            )
+
+        first = list(make().lots(7))
+        second = list(make().lots(7))
+        for a, b in zip(first, second):
+            assert a.lot_index == b.lot_index
+            assert a.cell_id == b.cell_id
+            assert a.wafer_index == b.wafer_index
+            assert np.array_equal(_spec_matrix(a.devices), _spec_matrix(b.devices))
+            assert a.seed.entropy == b.seed.entropy
+            assert a.seed.spawn_key == b.seed.spawn_key
+
+    def test_repeated_lots_calls_do_not_drift(self):
+        # SeedSequence.spawn mutates its parent; the generator must not
+        gen = TrafficGenerator(WaferMapProfile(grid=6), master_seed=4, lot_size=4)
+        first = list(gen.lots(5))
+        second = list(gen.lots(5))
+        for a, b in zip(first, second):
+            assert a.seed.spawn_key == b.seed.spawn_key
+            assert np.array_equal(_spec_matrix(a.devices), _spec_matrix(b.devices))
+
+    def test_stream_prefix_equals_bounded_lots(self):
+        gen = TrafficGenerator(WaferMapProfile(grid=6), master_seed=9, lot_size=4)
+        bounded = list(gen.lots(6))
+        unbounded = []
+        for order in gen.stream():
+            unbounded.append(order)
+            if len(unbounded) == 6:
+                break
+        for a, b in zip(bounded, unbounded):
+            assert a.seed.spawn_key == b.seed.spawn_key
+            assert np.array_equal(_spec_matrix(a.devices), _spec_matrix(b.devices))
+
+    def test_lot_sizes_and_cell_round_robin(self):
+        profile = WaferMapProfile(grid=6)
+        wafer_dies = len(profile.die_positions())
+        lot_size, n_cells = 7, 3
+        gen = TrafficGenerator(profile, master_seed=2, lot_size=lot_size,
+                               n_cells=n_cells)
+        orders = list(gen.lots(12))
+        assert [o.lot_index for o in orders] == list(range(12))
+        assert [o.cell_id for o in orders] == [i % n_cells for i in range(12)]
+        per_wafer = -(-wafer_dies // lot_size)  # ceil division
+        for order in orders:
+            assert order.wafer_index == order.lot_index // per_wafer
+            if (order.lot_index + 1) % per_wafer:
+                assert len(order.devices) == lot_size
+            else:  # last lot of a wafer may be short, never empty
+                assert 0 < len(order.devices) <= lot_size
+
+    def test_lot_size_independent_wafer_population(self):
+        # resizing lots repartitions the same wafers, it does not
+        # resynthesize them: first-wafer devices must agree
+        profile = WaferMapProfile(grid=6)
+        wafer_dies = len(profile.die_positions())
+        small = TrafficGenerator(profile, master_seed=5, lot_size=4)
+        large = TrafficGenerator(profile, master_seed=5, lot_size=wafer_dies)
+        from_small = [
+            d for o in small.lots(-(-wafer_dies // 4)) for d in o.devices
+        ][:wafer_dies]
+        from_large = next(iter(large.lots(1))).devices
+        assert np.array_equal(_spec_matrix(from_small), _spec_matrix(from_large))
+
+    def test_validation(self):
+        profile = WaferMapProfile()
+        with pytest.raises(ValueError):
+            TrafficGenerator(profile, 0, lot_size=0)
+        with pytest.raises(ValueError):
+            TrafficGenerator(profile, 0, n_cells=0)
+        with pytest.raises(ValueError):
+            list(TrafficGenerator(profile, 0).lots(-1))
+
+    def test_lot_order_is_submit_ready(self):
+        gen = TrafficGenerator(WaferMapProfile(grid=6), master_seed=1, lot_size=3)
+        order = next(iter(gen.lots(1)))
+        assert isinstance(order, LotOrder)
+        assert isinstance(order.seed, np.random.SeedSequence)
+        assert len(order.devices) == 3

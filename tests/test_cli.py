@@ -24,6 +24,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["wat"])
 
+    def test_streaming_defaults(self):
+        serve = build_parser().parse_args(["serve"])
+        assert serve.seconds == 10.0
+        assert serve.interval == 25
+        soak = build_parser().parse_args(["soak"])
+        assert soak.seconds == 60.0
+        assert soak.lot_size == 16
+        assert soak.cells == 4
+        assert soak.max_pending == 8
+        assert soak.output == "benchmarks/results/streaming_soak.json"
+
 
 class TestCommands:
     def test_sim_reduced(self, capsys):
@@ -70,6 +81,34 @@ class TestCommands:
         assert "gain_db" in text
         assert "Phase robustness" in text
         assert "Hardware" not in text  # --fast skips it
+
+    def test_serve_live_stream(self, capsys):
+        code = main(
+            ["serve", "--seconds", "30", "--lots", "2", "--lot-size", "3",
+             "--train", "8", "--interval", "1", "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DUTs/s" in out  # live metrics lines
+        assert "first lot bit-identical to offline flow: True" in out
+        assert "health:     ok" in out
+
+    def test_soak_writes_metrics_json(self, tmp_path, capsys):
+        out_path = tmp_path / "soak.json"
+        code = main(
+            ["soak", "--seconds", "30", "--lots", "3", "--lot-size", "4",
+             "--train", "8", "--seed", "7", "--executor", "thread:2",
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        assert "soak metrics written to" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "streaming_soak"
+        assert payload["lots_submitted"] == 3
+        assert payload["devices_tested"] == 12
+        assert payload["duts_per_second"] > 0
+        assert payload["first_lot_bit_identical_to_offline"] is True
+        assert payload["healthy"] is True
 
     def test_program_roundtrip(self, tmp_path, capsys):
         from repro.runtime.artifacts import load_test_program

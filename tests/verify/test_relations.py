@@ -12,6 +12,7 @@ EXPECTED = {
     "db-linear-roundtrip",
     "noise-determinism",
     "spec-permutation-stability",
+    "streaming-offline-equivalence",
 }
 
 
