@@ -17,7 +17,7 @@ SOAK_SECONDS ?= 60
 SOAK_EXECUTOR ?= thread:2
 SOAK_REPORT ?= benchmarks/results/streaming_soak.json
 
-.PHONY: install test lint lint-stats lint-numerics lint-sarif verify soak bench bench-json bench-check examples all clean
+.PHONY: install test lint lint-stats lint-numerics lint-sarif verify soak bench bench-json bench-check bench-profile examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -71,10 +71,18 @@ bench-json:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-disable-gc \
 		--benchmark-json=$(BENCH_JSON)
 
-# re-run the capture hot-path benchmark and fail if the normalized
-# batched/per-device ratio regressed >20% vs the committed baseline
+# re-run the gated benchmarks and fail if a normalized capture-time
+# ratio (compiled/per-device, batched/per-device, streamed/offline)
+# regressed >20% vs the committed baseline
 bench-check:
 	$(PYTHON) benchmarks/check_capture_regression.py
+
+# re-run the capture hot-path benchmark and print the per-stage wall
+# times of the compiled whole-lot program as a markdown table
+bench-profile:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_bench_capture_hotpath.py --benchmark-only -q
+	@$(PYTHON) benchmarks/profile_stages.py
 
 examples:
 	@for f in examples/*.py; do \

@@ -126,10 +126,23 @@ class BasebandDigitizer:
         if sample_rate != self.sample_rate:
             n_new = max(1, int(round(n / sample_rate * self.sample_rate)))
             new_t = t0 + np.arange(n_new) / self.sample_rate
-            resampled = np.empty((n_rows, n_new))
-            for i in range(n_rows):
-                resampled[i] = np.interp(new_t, t, mat[i])
-            mat = resampled
+            step = int(round(sample_rate / self.sample_rate))
+            decimated = mat[:, ::step][:, :n_new] if step >= 1 else None
+            if (
+                decimated is not None
+                and decimated.shape[-1] == n_new
+                and np.array_equal(new_t, t[::step][:n_new])
+            ):
+                # integer decimation whose target grid coincides bitwise
+                # with a stride of the source grid: interpolation at an
+                # exact knot returns that knot's sample, so the strided
+                # copy equals the interp loop without touching every row
+                mat = np.ascontiguousarray(decimated)
+            else:
+                resampled = np.empty((n_rows, n_new))
+                for i in range(n_rows):
+                    resampled[i] = np.interp(new_t, t, mat[i])
+                mat = resampled
         if duration is not None:
             n_keep = int(round(duration * self.sample_rate))
             if n_keep < 1:
@@ -137,13 +150,18 @@ class BasebandDigitizer:
             if n_keep < mat.shape[-1]:
                 mat = mat[:, :n_keep]
         if self.noise_vrms > 0.0:
-            noisy = np.array(mat, copy=True)
+            # per-row draws stay in serial order (the RNG contract); only
+            # the add is batched, which is elementwise per row and thus
+            # value-identical to adding row by row
+            noise = np.zeros_like(mat)
+            drew = False
             for i, rng in enumerate(rngs):
                 if rng is not None:
-                    noisy[i] = mat[i] + rng.normal(
+                    noise[i] = rng.normal(
                         0.0, self.noise_vrms, size=mat.shape[-1]
                     )
-            mat = noisy
+                    drew = True
+            mat = mat + noise if drew else np.array(mat, copy=True)
         if self.bits is not None:
             mat = quantize_array(mat, self.bits, self.full_scale)
         return mat

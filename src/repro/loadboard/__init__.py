@@ -12,6 +12,11 @@ response back to a baseband signature.  Two simulation engines exist:
   ``tests/loadboard/test_envelope_vs_passband.py``).
 """
 
+from repro.loadboard.capture_compiler import (
+    CompiledCaptureProgram,
+    FastPathError,
+    fast_path_error_bound,
+)
 from repro.loadboard.envelope import EnvelopeSignal, one_pole_lowpass
 from repro.loadboard.signature_path import (
     CapturePlan,
@@ -23,9 +28,12 @@ from repro.loadboard.signature_path import (
 
 __all__ = [
     "CapturePlan",
+    "CompiledCaptureProgram",
     "EnvelopeSignal",
+    "FastPathError",
     "SignaturePathConfig",
     "SignatureTestBoard",
+    "fast_path_error_bound",
     "one_pole_lowpass",
     "simulation_config",
     "hardware_config",

@@ -31,6 +31,7 @@ is a batch of one.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -50,10 +51,17 @@ from repro.dsp.spectral import (
 from repro.dsp.units import undb20
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
 from repro.instruments.digitizer import BasebandDigitizer
+from repro.loadboard.capture_compiler import (
+    CompiledCaptureProgram,
+    FastPathError,
+    reduction_drops_content,
+    trace_mixer_baseband,
+)
 from repro.loadboard.envelope import EnvelopeSignal, one_pole_lowpass
 
 __all__ = [
     "CapturePlan",
+    "FastPathError",
     "SignaturePathConfig",
     "SignatureTestBoard",
     "mix_envelope",
@@ -196,11 +204,50 @@ class CapturePlan:
     lo2: Optional[EnvelopeSignal] = None
     #: memoized LO2 power chain for mixer 2 (mutated by ``mix_envelope``)
     lo2_pows: Optional[Dict[int, EnvelopeSignal]] = None
+    #: compiled mixer-2 programs keyed (precision, max_harmonic, rf keys)
+    programs: Dict[tuple, CompiledCaptureProgram] = field(default_factory=dict)
+    #: memoized fast-path refusal verdicts keyed (rf keys, ceiling)
+    fast_refusals: Dict[tuple, bool] = field(default_factory=dict)
 
     @property
     def n(self) -> int:
         """Engine-rate record length."""
         return len(self.record)
+
+    def nbytes(self) -> int:
+        """Approximate retained bytes: envelopes, arrays, and programs.
+
+        Drives the board's plan-cache memory bound; compiled-program
+        workspaces dominate for large lots, and they are the first thing
+        the bound evicts (:meth:`release_workspaces`).
+        """
+        def env_bytes(env: Optional[EnvelopeSignal]) -> int:
+            if env is None:
+                return 0
+            return sum(np.asarray(e).nbytes for e in env.envelopes.values())
+
+        total = self.record.samples.nbytes
+        for env in (
+            self.upconverted,
+            self.dut_in,
+            self.dut_in_sq,
+            self.dut_in_cube,
+            self.lo2,
+        ):
+            total += env_bytes(env)
+        for env in (self.lo2_pows or {}).values():
+            total += env_bytes(env)
+        for arr in (self.u1, self.amps):
+            if arr is not None:
+                total += np.asarray(arr).nbytes
+        for program in self.programs.values():
+            total += program.nbytes()
+        return total
+
+    def release_workspaces(self) -> None:
+        """Drop compiled-program workspaces (kept plans stay usable)."""
+        for program in self.programs.values():
+            program.release_workspaces()
 
 
 class SignatureTestBoard:
@@ -214,6 +261,13 @@ class SignatureTestBoard:
 
     #: distinct (stimulus, config) plans kept per board (LRU)
     _plan_cache_size = 8
+    #: byte budget for cached plans + compiled programs + workspaces;
+    #: over-budget caches first shed LRU workspaces, then whole plans
+    _plan_cache_max_bytes = 64 * 1024 * 1024
+    #: capture engine used by :meth:`signature_batch` when none is named
+    default_engine = "compiled"
+    #: harmonic ceiling of the reduced fast path (``engine="fast"``)
+    fast_harmonic_cutoff = 6
 
     def __init__(self, config: SignaturePathConfig):
         self.config = config
@@ -230,6 +284,8 @@ class SignatureTestBoard:
         self.last_overdrive_ratio: float = 0.0
         #: per-device overdrive ratios of the last (batched) capture
         self.last_overdrive_ratios: np.ndarray = np.zeros(0)
+        #: per-stage wall-clock breakdown of the last compiled capture
+        self.last_stage_seconds: Dict[str, float] = {}
         self._plan_cache: "OrderedDict[tuple, CapturePlan]" = OrderedDict()
 
     def __getstate__(self):
@@ -286,9 +342,31 @@ class SignatureTestBoard:
             self._plan_cache[key] = plan
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
+            self._enforce_plan_cache_bytes()
         else:
             self._plan_cache.move_to_end(key)
         return plan
+
+    def _enforce_plan_cache_bytes(self) -> None:
+        """Shrink the plan cache under :attr:`_plan_cache_max_bytes`.
+
+        Cheapest reclaim first: compiled-program workspaces of the
+        least-recently-used plans (they rebuild lazily), then whole LRU
+        plans.  The most recent plan always survives, workspaces intact,
+        so the active lot never loses its steady-state buffers.
+        """
+        def total() -> int:
+            return sum(p.nbytes() for p in self._plan_cache.values())
+
+        if total() <= self._plan_cache_max_bytes:
+            return
+        plans = list(self._plan_cache.values())
+        for plan in plans[:-1]:  # LRU first, never the active plan
+            plan.release_workspaces()
+            if total() <= self._plan_cache_max_bytes:
+                return
+        while len(self._plan_cache) > 1 and total() > self._plan_cache_max_bytes:
+            self._plan_cache.popitem(last=False)
 
     def clear_plan_cache(self) -> None:
         """Drop all cached capture plans (each rebuilds on next use)."""
@@ -439,25 +517,7 @@ class SignatureTestBoard:
         plan = self.capture_plan(stimulus)
         n = plan.n
         dut_out = self._dut_response_batch(plan, devices)
-
-        # DUT envelope dynamics: a finite modulation bandwidth low-passes
-        # the carrier-band envelope (tuned coupling only -- a wideband DUT
-        # with memory is outside this model's scope)
-        bws = [getattr(d, "envelope_bandwidth", None) for d in devices]
-        if cfg.dut_coupling == "tuned" and any(bw is not None for bw in bws):
-            env1 = dut_out.harmonic(1)
-            filtered_env = np.array(env1, copy=True)
-            groups: Dict[float, List[int]] = {}
-            for i, bw in enumerate(bws):
-                if bw is not None:
-                    groups.setdefault(bw, []).append(i)
-            for bw, idx in groups.items():
-                filtered_env[idx] = one_pole_lowpass(
-                    env1[idx], dut_out.sample_rate, bw
-                )
-            envs = dict(dut_out.envelopes)
-            envs[1] = filtered_env
-            dut_out = EnvelopeSignal(envs, dut_out.sample_rate, dut_out.carrier_freq)
+        dut_out = self._envelope_bandwidth_batch(dut_out, devices)
 
         if cfg.output_loss_db > 0.0:
             dut_out = dut_out.scale(undb20(-cfg.output_loss_db))
@@ -492,6 +552,150 @@ class SignatureTestBoard:
         return self._digitizer.capture_matrix(
             filtered, cfg.engine_rate, cfg.capture_seconds, gens
         )
+
+    def _envelope_bandwidth_batch(
+        self, dut_out: EnvelopeSignal, devices: Sequence[RFDevice]
+    ) -> EnvelopeSignal:
+        """DUT envelope dynamics: a finite modulation bandwidth low-passes
+        the carrier-band envelope (tuned coupling only -- a wideband DUT
+        with memory is outside this model's scope)."""
+        cfg = self.config
+        bws = [getattr(d, "envelope_bandwidth", None) for d in devices]
+        if cfg.dut_coupling != "tuned" or not any(bw is not None for bw in bws):
+            return dut_out
+        env1 = dut_out.harmonic(1)
+        filtered_env = np.array(env1, copy=True)
+        groups: Dict[float, List[int]] = {}
+        for i, bw in enumerate(bws):
+            if bw is not None:
+                groups.setdefault(bw, []).append(i)
+        for bw, idx in groups.items():
+            filtered_env[idx] = one_pole_lowpass(env1[idx], dut_out.sample_rate, bw)
+        envs = dict(dut_out.envelopes)
+        envs[1] = filtered_env
+        return EnvelopeSignal(envs, dut_out.sample_rate, dut_out.carrier_freq)
+
+    # ------------------------------------------------------------------
+    # the compiled whole-lot engine
+    # ------------------------------------------------------------------
+    def _compiled_program(
+        self, plan: CapturePlan, rf_keys: tuple, precision: str
+    ) -> CompiledCaptureProgram:
+        """The (plan-cached) compiled mixer-2 program for this rf shape.
+
+        Exact mode traces at the configured ``max_harmonic``; the
+        float32 fast path traces at :attr:`fast_harmonic_cutoff` and
+        *refuses* (:class:`FastPathError`) when that ceiling would drop
+        populated content -- detected structurally, so truncated
+        intermediate powers that feed baseband count as drops too.
+        """
+        cfg = self.config
+        max_h = cfg.max_harmonic
+        if precision == "float32":
+            ceiling = min(cfg.max_harmonic, self.fast_harmonic_cutoff)
+            refusal_key = (rf_keys, ceiling)
+            drops = plan.fast_refusals.get(refusal_key)
+            if drops is None:
+                drops = reduction_drops_content(
+                    cfg.mixer2, rf_keys, (1,), cfg.max_harmonic, ceiling
+                )
+                plan.fast_refusals[refusal_key] = drops
+            if drops:
+                raise FastPathError(
+                    f"fast path refused: stimulus populates harmonics whose "
+                    f"mixer products feed the signature above the reduction "
+                    f"ceiling {ceiling} (rf harmonics {list(rf_keys)}); use "
+                    f"the exact engine or raise fast_harmonic_cutoff"
+                )
+            max_h = ceiling
+        key = (precision, max_h, rf_keys, cfg.random_path_phase)
+        program = plan.programs.get(key)
+        if program is None:
+            tape, out = trace_mixer_baseband(cfg.mixer2, rf_keys, (1,), max_h)
+            const_inputs = None
+            if not cfg.random_path_phase:
+                const_inputs = {("lo", 1): np.asarray(plan.lo2.envelopes[1])}
+            program = CompiledCaptureProgram(
+                tape, out, const_inputs=const_inputs, precision=precision
+            )
+            plan.programs[key] = program
+            self._enforce_plan_cache_bytes()
+        return program
+
+    def _capture_compiled_matrix(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator],
+        rngs: Optional[RngList],
+        precision: str = "float64",
+    ) -> np.ndarray:
+        """Digitized records via the compiled whole-lot program.
+
+        Identical pipeline to :meth:`_capture_batch_matrix` except the
+        mixer-2 downconversion runs as the compiled op tape: exact mode
+        (``precision="float64"``) is bit-identical, the float32 fast
+        path stays inside :func:`fast_path_error_bound` and upcasts to
+        float64 before the filter/digitizer (quantization unchanged).
+        Per-stage wall times land in :attr:`last_stage_seconds`.
+        """
+        cfg = self.config
+        gens = self._resolve_rngs(rng, rngs, len(devices))
+        t_start = time.perf_counter()
+        plan = self.capture_plan(stimulus)
+        t_plan = time.perf_counter() - t_start
+        n = plan.n
+
+        t_start = time.perf_counter()
+        dut_out = self._dut_response_batch(plan, devices)
+        dut_out = self._envelope_bandwidth_batch(dut_out, devices)
+        if cfg.output_loss_db > 0.0:
+            dut_out = dut_out.scale(undb20(-cfg.output_loss_db))
+        t_nonlin = time.perf_counter() - t_start
+
+        t_start = time.perf_counter()
+        if cfg.include_device_noise and any(g is not None for g in gens):
+            dut_out = self._add_device_noise_batch(dut_out, devices, gens)
+        t_noise = time.perf_counter() - t_start
+
+        rf_keys = tuple(dut_out.envelopes.keys())
+        program = self._compiled_program(plan, rf_keys, precision)
+        program.begin_capture()
+        program.last_stage_seconds["plan"] = t_plan
+        program.last_stage_seconds["nonlinearity"] = t_nonlin
+        program.last_stage_seconds["noise"] = t_noise
+
+        with program.stage("mix"):
+            rf_arrays = {
+                h: np.asarray(env) for h, env in dut_out.envelopes.items()
+            }
+            if cfg.random_path_phase:
+                if any(g is None for g in gens):
+                    raise ValueError("random_path_phase requires an rng")
+                phases = np.array(
+                    [cfg.path_phase_rad + g.uniform(0.0, 2.0 * np.pi) for g in gens]
+                )
+                lo2 = EnvelopeSignal.sine_carrier(
+                    n,
+                    cfg.engine_rate,
+                    cfg.carrier_freq,
+                    amplitude=cfg.carrier_amplitude,
+                    phase=phases[:, None],
+                    offset_hz=cfg.lo_offset_hz,
+                )
+                baseband = program.execute(
+                    rf_arrays, {1: np.asarray(lo2.envelopes[1])}
+                )
+            else:
+                baseband = program.execute(rf_arrays)
+        with program.stage("filter"):
+            filtered = self._lpf.apply_fft_matrix(baseband)
+        with program.stage("digitize"):
+            mat = self._digitizer.capture_matrix(
+                filtered, cfg.engine_rate, cfg.capture_seconds, gens
+            )
+        self.last_stage_seconds = dict(program.last_stage_seconds)
+        return mat
 
     def _add_device_noise_batch(
         self,
@@ -614,6 +818,7 @@ class SignatureTestBoard:
         log_scale: bool = False,
         *,
         rngs: Optional[RngList] = None,
+        engine: Optional[str] = None,
     ) -> np.ndarray:
         """FFT-magnitude signatures for a device batch, shape ``(batch, m)``.
 
@@ -623,12 +828,39 @@ class SignatureTestBoard:
         :meth:`capture_batch`).  An empty lot yields shape ``(0, m)``
         with the same bin count ``m`` as any non-empty batch, so
         downstream matrix code never sees a degenerate ``(0, 0)``.
+
+        ``engine`` picks the capture implementation (default
+        :attr:`default_engine`): ``"compiled"`` runs the preplanned
+        whole-lot program (bit-identical to ``"reference"``),
+        ``"reference"`` the uncompiled envelope algebra, and ``"fast"``
+        the opt-in float32/reduced-harmonic path, which raises
+        :class:`FastPathError` rather than silently degrade when the
+        stimulus populates harmonics above :attr:`fast_harmonic_cutoff`.
         """
+        engine = engine or self.default_engine
         devices = list(devices)
-        mat = self._capture_batch_matrix(devices, stimulus, rng, rngs)
-        return fft_magnitude_signature_matrix(
+        if engine == "reference":
+            mat = self._capture_batch_matrix(devices, stimulus, rng, rngs)
+            return fft_magnitude_signature_matrix(
+                mat, n_bins=n_bins, log_scale=log_scale
+            )
+        if engine == "compiled":
+            mat = self._capture_compiled_matrix(devices, stimulus, rng, rngs)
+        elif engine == "fast":
+            mat = self._capture_compiled_matrix(
+                devices, stimulus, rng, rngs, precision="float32"
+            )
+        else:
+            raise ValueError(
+                f"unknown capture engine {engine!r}; "
+                "expected 'compiled', 'reference', or 'fast'"
+            )
+        t_start = time.perf_counter()
+        sig = fft_magnitude_signature_matrix(
             mat, n_bins=n_bins, log_scale=log_scale
         )
+        self.last_stage_seconds["fft"] = time.perf_counter() - t_start
+        return sig
 
     def time_signature(
         self,

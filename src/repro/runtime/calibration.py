@@ -53,11 +53,13 @@ def _capture_task(board, stimulus, n_bins, task) -> np.ndarray:
     )
 
 
-def _capture_batch_task(board, stimulus, n_bins, task) -> np.ndarray:
+def _capture_batch_task(board, stimulus, n_bins, engine, task) -> np.ndarray:
     """One pickled batched capture over a device chunk."""
     devices, seeds = task
     rngs = [np.random.default_rng(seed) for seed in seeds]
-    return board.signature_batch(devices, stimulus, rngs=rngs, n_bins=n_bins)
+    return board.signature_batch(
+        devices, stimulus, rngs=rngs, n_bins=n_bins, engine=engine
+    )
 
 
 def _chunk_bounds(n: int, executor, chunksize: Optional[int]):
@@ -83,6 +85,7 @@ def measure_signatures(
     n_bins: Optional[int] = None,
     executor: Optional[Union[Executor, str]] = None,
     chunksize: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> np.ndarray:
     """Capture one signature per device as an (N, m) matrix.
 
@@ -113,6 +116,10 @@ def measure_signatures(
         backend name like ``"process"``, or ``None`` for serial.
     chunksize:
         Devices shipped per worker task (pooled backends only).
+    engine:
+        Capture engine forwarded to ``signature_batch`` (``"compiled"``,
+        ``"reference"``, or ``"fast"``); ``None`` uses the board default
+        (the compiled whole-lot program).
     """
     devices = list(devices)
     seeds = spawn_seeds(rng, len(devices))
@@ -120,7 +127,9 @@ def measure_signatures(
     if hasattr(board, "signature_batch"):
         if not devices:
             # an empty capture still knows its bin count: (0, m), not (0, 0)
-            return board.signature_batch([], stimulus, rngs=[], n_bins=n_bins)
+            return board.signature_batch(
+                [], stimulus, rngs=[], n_bins=n_bins, engine=engine
+            )
         # vectorized path: ship device *chunks*, one batched capture per
         # task; per-device seeds keep the result independent of chunking
         tasks = [
@@ -128,7 +137,7 @@ def measure_signatures(
             for a, b in _chunk_bounds(len(devices), ex, chunksize)
         ]
         blocks = ex.map_tasks(
-            partial(_capture_batch_task, board, stimulus, n_bins),
+            partial(_capture_batch_task, board, stimulus, n_bins, engine),
             tasks,
             chunksize=1,
         )

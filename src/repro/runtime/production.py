@@ -41,7 +41,11 @@ def _insertion_batch_task(
     ids, devices, seeds = task
     rngs = [np.random.default_rng(seed) for seed in seeds]
     signatures = flow.board.signature_batch(
-        devices, flow.stimulus, rngs=rngs, n_bins=flow.signature_bins
+        devices,
+        flow.stimulus,
+        rngs=rngs,
+        n_bins=flow.signature_bins,
+        engine=flow.capture_engine,
     )
     test_time = flow.board.config.total_test_time()
     records = []
@@ -123,12 +127,16 @@ class ProductionTestFlow:
         calibration: CalibrationModel,
         limits: Optional[SpecificationLimits] = None,
         signature_bins: Optional[int] = None,
+        capture_engine: Optional[str] = None,
     ):
         self.board = board
         self.stimulus = stimulus
         self.calibration = calibration
         self.limits = limits
         self.signature_bins = signature_bins
+        #: capture engine for batched insertions (None = board default,
+        #: i.e. the compiled whole-lot program); streamed lots inherit it
+        self.capture_engine = capture_engine
 
     def test_device(
         self,

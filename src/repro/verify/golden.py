@@ -27,17 +27,24 @@ import numpy as np
 from repro.circuits.behavioral import BehavioralAmplifier
 from repro.circuits.device import SpecSet
 from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.capture_compiler import (
+    FastPathError,
+    fast_path_error_bound,
+    fast_path_quantization_bound,
+)
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
 from repro.regression.scaling import StandardScaler
 from repro.runtime.calibration import CalibrationSession, measure_signatures
+from repro.runtime.executor import spawn_seeds
 
 __all__ = [
     "GoldenUpdateRefused",
     "build_corpus",
     "check_all_corpora",
     "check_corpus",
+    "check_fast_path",
     "corpus_names",
     "golden_dir",
     "update_golden",
@@ -65,11 +72,19 @@ class GoldenUpdateRefused(RuntimeError):
 
 @dataclass(frozen=True)
 class _CorpusSpec:
-    """Recipe for one corpus: a seed plus a board configuration."""
+    """Recipe for one corpus: a seed plus a board configuration.
+
+    ``fast_path`` declares the expected float32/reduced-harmonic
+    behavior on this configuration: ``"bounded"`` (fast signatures stay
+    inside the certified error bound against the stored exact ones) or
+    ``"refused"`` (the reduced harmonic ceiling would drop populated
+    content, so the engine must raise :class:`FastPathError`).
+    """
 
     seed: int
     description: str
     config: Callable[[], SignaturePathConfig]
+    fast_path: str = "bounded"
 
 
 def _sim_config() -> SignaturePathConfig:
@@ -120,6 +135,7 @@ _CORPORA: Dict[str, _CorpusSpec] = {
         seed=20020103,
         description="wideband coupling with 1 dB output fixture loss",
         config=_wideband_config,
+        fast_path="refused",
     ),
 }
 
@@ -157,16 +173,8 @@ def _ridge_candidates() -> Dict[str, Callable[[], Pipeline]]:
     return {"ridge_1": lambda: Pipeline([StandardScaler(), RidgeRegression(alpha=1.0)])}
 
 
-def build_corpus(name: str) -> Dict:
-    """Rebuild a corpus from its seed: the numbers that should be golden.
-
-    Fully deterministic: every random draw descends from the corpus seed
-    through ``SeedSequence`` children for the device lot, the stimulus,
-    the two measurement passes, and the cross-validation splits.
-    """
-    spec = _CORPORA.get(name)
-    if spec is None:
-        raise KeyError(f"unknown corpus {name!r}; defined: {corpus_names()}")
+def _corpus_setup(spec: _CorpusSpec):
+    """Deterministic lot / stimulus / board shared by build and checks."""
     lot_seq, stim_seq, train_seq, val_seq, cv_seq = np.random.SeedSequence(
         spec.seed
     ).spawn(5)
@@ -189,6 +197,21 @@ def build_corpus(name: str) -> Dict:
         stim_rng.uniform(-0.8, 0.8, size=6), duration=cfg.capture_seconds
     )
     board = SignatureTestBoard(cfg)
+    return train, val, stimulus, board, (train_seq, val_seq, cv_seq)
+
+
+def build_corpus(name: str) -> Dict:
+    """Rebuild a corpus from its seed: the numbers that should be golden.
+
+    Fully deterministic: every random draw descends from the corpus seed
+    through ``SeedSequence`` children for the device lot, the stimulus,
+    the two measurement passes, and the cross-validation splits.
+    """
+    spec = _CORPORA.get(name)
+    if spec is None:
+        raise KeyError(f"unknown corpus {name!r}; defined: {corpus_names()}")
+    train, val, stimulus, board, seqs = _corpus_setup(spec)
+    train_seq, val_seq, cv_seq = seqs
 
     train_sigs = measure_signatures(
         board, stimulus, train, np.random.default_rng(train_seq), n_bins=N_BINS
@@ -270,6 +293,80 @@ def check_corpus(name: str, directory: Optional[str] = None) -> List[str]:
         rtol=float(spec_tol.get("rtol", SPEC_RTOL)),
         atol=float(spec_tol.get("atol", SPEC_ATOL)),
     )
+    messages += check_fast_path(name, directory)
+    return messages
+
+
+def check_fast_path(name: str, directory: Optional[str] = None) -> List[str]:
+    """Validate the float32/reduced-harmonic engine against a corpus.
+
+    For a ``"bounded"`` corpus the fast validation signatures must stay
+    within the compiled program's certified relative-L2 budget
+    (:func:`fast_path_error_bound` on the executed op count, plus the
+    ADC requantization slack of :func:`fast_path_quantization_bound`)
+    of the rebuilt exact signatures -- engine vs engine, so a tampered
+    golden file surfaces as *drift* (see :func:`check_corpus`), not as
+    a fast-path violation.  For a ``"refused"`` corpus the engine must
+    raise :class:`FastPathError` -- silently degrading on a stimulus
+    that populates harmonics above the reduction ceiling is itself a
+    failure.
+    """
+    spec = _CORPORA.get(name)
+    if spec is None:
+        raise KeyError(f"unknown corpus {name!r}; defined: {corpus_names()}")
+
+    _, val, stimulus, board, (_, val_seq, _) = _corpus_setup(spec)
+    seeds = spawn_seeds(np.random.default_rng(val_seq), len(val))
+    exact = board.signature_batch(
+        val,
+        stimulus,
+        rngs=[np.random.default_rng(s) for s in seeds],
+        n_bins=N_BINS,
+        engine="compiled",
+    )
+    try:
+        fast = board.signature_batch(
+            val,
+            stimulus,
+            rngs=[np.random.default_rng(s) for s in seeds],
+            n_bins=N_BINS,
+            engine="fast",
+        )
+    except FastPathError:
+        if spec.fast_path == "refused":
+            return []
+        return [f"{name}: fast path unexpectedly refused a bounded corpus"]
+    if spec.fast_path == "refused":
+        return [
+            f"{name}: fast path must refuse this configuration (its "
+            f"stimulus populates harmonics above the reduction ceiling) "
+            f"but it returned signatures"
+        ]
+
+    plan = board.capture_plan(stimulus)
+    program = next(
+        p for key, p in plan.programs.items() if key[0] == "float32"
+    )
+    cfg = board.config
+    lsb = (
+        2.0 * board._digitizer.full_scale / 2.0**cfg.digitizer_bits
+        if cfg.digitizer_bits is not None
+        else 0.0
+    )
+    rel_budget = fast_path_error_bound(program.op_count)
+    abs_slack = fast_path_quantization_bound(lsb, N_BINS)
+    messages: List[str] = []
+    for i in range(exact.shape[0]):
+        scale = float(np.linalg.norm(exact[i]))
+        err = float(np.linalg.norm(fast[i] - exact[i]))
+        limit = rel_budget * scale + abs_slack
+        if err > limit:
+            messages.append(
+                f"{name}: fast-path signature row {i} error {err:.3e} "
+                f"exceeds certified budget {limit:.3e} "
+                f"(rel {rel_budget:.3e} x ||exact|| {scale:.3e} + "
+                f"quantization slack {abs_slack:.3e})"
+            )
     return messages
 
 

@@ -11,6 +11,9 @@ signature-lo2-phase-invariance  Eq. 5: offset-LO FFT-magnitude
                                 signatures are path-phase independent
 capture-batch-equivalence       batched capture == per-device capture,
                                 bit for bit
+compiled-capture-equivalence    compiled whole-lot program == reference
+                                engine bit for bit; fast path bounded
+                                or refused, never silently degraded
 executor-equivalence            ``measure_signatures`` is bit-identical
                                 across executor backends and chunkings
 envelope-gain-linearity         a linear DUT's signature scales with its
@@ -47,6 +50,11 @@ from repro.circuits.behavioral import BehavioralAmplifier
 from repro.circuits.device import RFDevice, SpecSet
 from repro.dsp.units import db, db20, dbm_to_watts, undb, undb20, watts_to_dbm
 from repro.dsp.waveform import PiecewiseLinearStimulus, Waveform
+from repro.loadboard.capture_compiler import (
+    FastPathError,
+    fast_path_error_bound,
+    fast_path_quantization_bound,
+)
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
@@ -298,6 +306,119 @@ def _rel_capture_batch_equivalence(case, rng):
         )
         solo_sig = board.signature(device, stimulus, np.random.default_rng(seed))
         check_array_equal(batch_sigs[i], solo_sig, label=f"signature_batch row {i}")
+
+
+# ----------------------------------------------------------------------
+# the compiled whole-lot capture program
+# ----------------------------------------------------------------------
+@relation(
+    "compiled-capture-equivalence",
+    params={
+        "n_devices": integers(1, 5, origin=1),
+        "dut_coupling": choice("tuned", "wideband"),
+        "digitizer_bits": choice(None, 12),
+        "random_path_phase": booleans(),
+        "lo_offset_hz": choice(0.0, 100e3),
+        "n_breakpoints": integers(3, 7, origin=3),
+        "backend": choice("serial", "thread:2"),
+        "chunksize": integers(1, 3, origin=1),
+    },
+    equation="reproduction contract (compiled capture program)",
+)
+def _rel_compiled_capture_equivalence(case, rng):
+    """The compiled engine equals the reference algebra bit for bit.
+
+    Exact mode must be ``np.array_equal`` to the uncompiled reference --
+    directly, through ``measure_signatures`` on every backend/chunking,
+    and on the empty lot.  The float32/reduced-harmonic fast path must
+    either stay inside its certified error budget (tuned coupling, where
+    the reduction ceiling drops nothing) or refuse with
+    :class:`FastPathError` (wideband coupling, whose cubic products
+    populate harmonics above the ceiling) -- never silently degrade.
+    """
+    board = SignatureTestBoard(
+        _fast_config(
+            dut_coupling=case["dut_coupling"],
+            digitizer_bits=case["digitizer_bits"],
+            random_path_phase=case["random_path_phase"],
+            lo_offset_hz=case["lo_offset_hz"],
+        )
+    )
+    devices = _sample_lot(rng, case["n_devices"])
+    stimulus = _stimulus(rng, case["n_breakpoints"])
+    seeds = spawn_seeds(rng, len(devices))
+
+    reference = board.signature_batch(
+        devices,
+        stimulus,
+        rngs=[np.random.default_rng(s) for s in seeds],
+        engine="reference",
+    )
+    compiled = board.signature_batch(
+        devices,
+        stimulus,
+        rngs=[np.random.default_rng(s) for s in seeds],
+        engine="compiled",
+    )
+    check_array_equal(compiled, reference, label="compiled exact mode")
+
+    empty = board.signature_batch([], stimulus, rngs=[], engine="compiled")
+    check(
+        empty.shape == (0, reference.shape[1]),
+        f"compiled empty lot shape {empty.shape} != (0, {reference.shape[1]})",
+    )
+
+    master = int(rng.integers(0, 2**63))
+    measured_ref = measure_signatures(
+        board, stimulus, devices, np.random.default_rng(master), engine="reference"
+    )
+    measured_compiled = measure_signatures(
+        board,
+        stimulus,
+        devices,
+        np.random.default_rng(master),
+        executor=case["backend"],
+        chunksize=case["chunksize"],
+        engine="compiled",
+    )
+    check_array_equal(
+        measured_compiled,
+        measured_ref,
+        label=f"compiled via {case['backend']} chunksize={case['chunksize']}",
+    )
+
+    try:
+        fast = board.signature_batch(
+            devices,
+            stimulus,
+            rngs=[np.random.default_rng(s) for s in seeds],
+            engine="fast",
+        )
+    except FastPathError:
+        check(
+            case["dut_coupling"] == "wideband",
+            "fast path refused a tuned capture whose reduction drops nothing",
+        )
+        return
+    check(
+        case["dut_coupling"] == "tuned",
+        "fast path silently accepted a wideband capture that populates "
+        "harmonics above the reduction ceiling",
+    )
+    plan = board.capture_plan(stimulus)
+    program = next(p for key, p in plan.programs.items() if key[0] == "float32")
+    bits = case["digitizer_bits"]
+    lsb = 2.0 * board._digitizer.full_scale / 2.0**bits if bits else 0.0
+    rel_budget = fast_path_error_bound(program.op_count)
+    abs_slack = fast_path_quantization_bound(lsb, fast.shape[1])
+    for i in range(fast.shape[0]):
+        scale = float(np.linalg.norm(reference[i]))
+        err = float(np.linalg.norm(fast[i] - reference[i]))
+        check(
+            err <= rel_budget * scale + abs_slack,
+            f"fast-path row {i} error {err:.3e} exceeds certified budget "
+            f"{rel_budget * scale + abs_slack:.3e}",
+        )
 
 
 # ----------------------------------------------------------------------
