@@ -17,7 +17,7 @@ SOAK_SECONDS ?= 60
 SOAK_EXECUTOR ?= thread:2
 SOAK_REPORT ?= benchmarks/results/streaming_soak.json
 
-.PHONY: install test lint lint-stats lint-numerics lint-sarif verify soak bench bench-json bench-check bench-profile examples all clean
+.PHONY: install test lint lint-stats lint-numerics lint-concurrency lint-sarif verify soak bench bench-json bench-check bench-profile examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +44,13 @@ lint-numerics:
 	@PYTHONPATH=src $(PYTHON) -m repro.analysis src \
 		--cache-dir $(LINT_CACHE)-numerics --numerics-report
 
+# the four lockset/lock-order rules alone; own cache dir -- --select
+# changes the rule-set part of the cache key
+lint-concurrency:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis $(LINT_PATHS) \
+		--select conc-unlocked-shared-write,conc-lock-escape,conc-lock-order-cycle,conc-blocking-under-lock \
+		--cache-dir $(LINT_CACHE)-concurrency
+
 # SARIF 2.1.0 log for GitHub's code-scanning tab (CI uploads it);
 # always exits 0 -- `lint` is the gate, this is the report artifact
 lint-sarif:
@@ -58,11 +65,12 @@ verify:
 		--configs $(VERIFY_CONFIGS) --report $(VERIFY_REPORT)
 
 # fixed-seed streaming soak (CI's `soak` job): exits non-zero on an
-# unhealthy stream or a streamed-vs-offline bit mismatch
+# unhealthy stream, a streamed-vs-offline bit mismatch, or -- under the
+# runtime lock-order sanitizer -- an inverted lock-acquisition order
 soak:
 	PYTHONPATH=src $(PYTHON) -m repro soak \
 		--seconds $(SOAK_SECONDS) --executor $(SOAK_EXECUTOR) \
-		--output $(SOAK_REPORT)
+		--sanitize-locks --output $(SOAK_REPORT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -93,5 +101,6 @@ examples:
 all: lint test bench
 
 clean:
-	rm -rf .pytest_cache .hypothesis .lint-cache build *.egg-info src/*.egg-info
+	rm -rf .pytest_cache .hypothesis .lint-cache .lint-cache-numerics \
+		.lint-cache-concurrency build *.egg-info src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -33,7 +33,13 @@ imports and call edges across the whole repository
 * :mod:`repro.analysis.absint` -- interval abstract interpretation of
   the numeric chain (``num-log-nonpositive``, ``num-div-zero``,
   ``num-cancellation``, ``num-float32-unsafe``) plus the
-  ``--numerics-report`` float32 certification artifact.
+  ``--numerics-report`` float32 certification artifact;
+* :mod:`repro.analysis.concurrency` -- lockset/lock-order analysis over
+  thread roots discovered in the call graph
+  (``conc-unlocked-shared-write``, ``conc-lock-escape``,
+  ``conc-lock-order-cycle``, ``conc-blocking-under-lock``) plus the
+  opt-in runtime lock-order sanitizer used by the test suite and
+  ``repro soak --sanitize-locks``.
 
 Run it with ``python -m repro.analysis [paths]`` (or ``python -m repro
 lint``); suppress a finding in place with a ``# repro-lint:
@@ -83,6 +89,7 @@ def default_rules() -> List[Rule]:
     """Fresh instances of every built-in rule, in reporting order."""
     from repro.analysis.absint.rules import ABSINT_RULES
     from repro.analysis.api import API_RULES
+    from repro.analysis.concurrency.rules import CONCURRENCY_RULES
     from repro.analysis.contracts import CONTRACT_RULES
     from repro.analysis.dataflow import DATAFLOW_RULES
     from repro.analysis.determinism import DETERMINISM_RULES
@@ -101,6 +108,7 @@ def default_rules() -> List[Rule]:
         *CONTRACT_RULES,
         *VERIFY_RULES,
         *ABSINT_RULES,
+        *CONCURRENCY_RULES,
     ]
     rules.append(UnknownSuppressionRule(rule.name for rule in rules))
     rules.append(UnjustifiedSuppressionRule())

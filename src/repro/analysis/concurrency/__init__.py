@@ -1,0 +1,36 @@
+"""Concurrency analysis: locksets, lock order, and a runtime sanitizer.
+
+The streaming service (PR 7) and compiled capture engine (PR 8) made the
+reproduction genuinely multi-threaded; this package proves the sharing
+discipline instead of trusting soak luck.  Static side:
+:mod:`repro.analysis.concurrency.extract` compresses each module's lock
+acquisitions, shared-state accesses and thread spawns into the cacheable
+:class:`~repro.analysis.project.ModuleSummary`, and
+:mod:`repro.analysis.concurrency.rules` runs Eraser-style lockset
+intersection and a held-while-acquiring order graph over the project
+call graph (``conc-unlocked-shared-write``, ``conc-lock-escape``,
+``conc-lock-order-cycle``, ``conc-blocking-under-lock``).  Dynamic side:
+:mod:`repro.analysis.concurrency.runtime_sanitizer` instruments
+``threading.Lock``/``RLock`` to record the acquisition-order graph at
+runtime and fail on cycles or hold-time outliers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.extract import (
+    ModuleConcurrency,
+    extract_concurrency,
+)
+from repro.analysis.concurrency.rules import (
+    CONCURRENCY_RULES,
+    ConcurrencyResult,
+    analyze_concurrency,
+)
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "ConcurrencyResult",
+    "ModuleConcurrency",
+    "analyze_concurrency",
+    "extract_concurrency",
+]

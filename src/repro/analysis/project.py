@@ -56,7 +56,7 @@ __all__ = [
     "summarize_module",
 ]
 
-SUMMARY_SCHEMA_VERSION = 2
+SUMMARY_SCHEMA_VERSION = 3
 
 # ---------------------------------------------------------------------------
 # unit-domain vocabulary
@@ -111,6 +111,11 @@ _CONVERTER_BY_NAME: Dict[str, Tuple[str, str]] = {
 
 #: docstring tag: ``lint-domains: x=db, y=hz, return=linear``
 _DOMAIN_TAG_RE = re.compile(r"^\s*lint-domains:\s*(.+)$", re.MULTILINE)
+
+#: class docstring tag: ``lint-concurrency: single-writer`` declares an
+#: intentionally lock-free structure (one writer thread, readers
+#: synchronized externally); the concurrency rules skip its attributes
+_CONCURRENCY_TAG_RE = re.compile(r"^\s*lint-concurrency:\s*(.+)$", re.MULTILINE)
 
 # ---------------------------------------------------------------------------
 # batch-shape vocabulary
@@ -354,6 +359,17 @@ class ClassSummary:
     init_params: List[str] = field(default_factory=list)
     param_domains: Dict[str, str] = field(default_factory=dict)
     methods: List[str] = field(default_factory=list)
+    #: base classes as written ("threading.Thread", "Base")
+    bases: List[str] = field(default_factory=list)
+    #: instance attribute -> constructor expression as written, from
+    #: ``self.attr = Ctor(...)`` assignments in the class's methods
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: class opted out of lockset checking via the
+    #: ``lint-concurrency: single-writer`` docstring tag
+    single_writer: bool = False
+    #: attributes the tag names (``single-writer a b``); empty means the
+    #: whole class is exempt when :attr:`single_writer` is set
+    single_writer_attrs: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -362,6 +378,10 @@ class ClassSummary:
             "init_params": list(self.init_params),
             "param_domains": dict(self.param_domains),
             "methods": list(self.methods),
+            "bases": list(self.bases),
+            "attr_types": dict(self.attr_types),
+            "single_writer": self.single_writer,
+            "single_writer_attrs": list(self.single_writer_attrs),
         }
 
     @classmethod
@@ -372,6 +392,10 @@ class ClassSummary:
             init_params=list(data.get("init_params", [])),  # type: ignore[arg-type]
             param_domains=dict(data.get("param_domains", {})),  # type: ignore[arg-type]
             methods=list(data.get("methods", [])),  # type: ignore[arg-type]
+            bases=list(data.get("bases", [])),  # type: ignore[arg-type]
+            attr_types=dict(data.get("attr_types", {})),  # type: ignore[arg-type]
+            single_writer=bool(data.get("single_writer", False)),
+            single_writer_attrs=list(data.get("single_writer_attrs", [])),  # type: ignore[arg-type]
         )
 
 
@@ -397,6 +421,9 @@ class ModuleSummary:
     #: numeric IR for the absint pass (a ``ModuleNumerics.to_dict()``
     #: payload, kept as a plain dict so it round-trips the cache as-is)
     numerics: Optional[Dict[str, object]] = None
+    #: concurrency IR for the lockset/lock-order pass (a
+    #: ``ModuleConcurrency.to_dict()`` payload, same bargain)
+    concurrency: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -413,6 +440,7 @@ class ModuleSummary:
                 str(line): sorted(names) for line, names in self.suppressions.items()
             },
             "numerics": self.numerics,
+            "concurrency": self.concurrency,
         }
 
     @classmethod
@@ -433,6 +461,7 @@ class ModuleSummary:
                 for line, names in data.get("suppressions", {}).items()  # type: ignore[union-attr]
             },
             numerics=data.get("numerics"),  # type: ignore[arg-type]
+            concurrency=data.get("concurrency"),  # type: ignore[arg-type]
         )
 
     def is_suppressed(self, line: int, rule: str) -> bool:
@@ -963,6 +992,51 @@ def _summarize_function(
     return summary
 
 
+def _class_attr_types(node: ast.ClassDef) -> Dict[str, str]:
+    """``self.attr = Ctor(...)`` constructor expressions, ``__init__`` first."""
+    attr_types: Dict[str, str] = {}
+    methods = [
+        item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    methods.sort(key=lambda m: m.name != "__init__")
+    for method in methods:
+        for sub in ast.walk(method):
+            if not isinstance(sub, ast.Assign) or not isinstance(
+                sub.value, ast.Call
+            ):
+                continue
+            ctor = _dotted_name(sub.value.func)
+            if ctor is None:
+                continue
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr_types.setdefault(target.attr, ctor)
+    return attr_types
+
+
+def _single_writer_attrs(doc: Optional[str]) -> Optional[List[str]]:
+    """Parse a class docstring's ``lint-concurrency: single-writer`` tag.
+
+    Returns ``None`` when untagged, ``[]`` for a bare tag (the whole
+    class is exempt from lockset checking) and the attribute names for
+    the scoped form ``lint-concurrency: single-writer attr1 attr2``.
+    """
+    if not doc:
+        return None
+    for match in _CONCURRENCY_TAG_RE.finditer(doc):
+        for part in match.group(1).split(","):
+            words = part.split()
+            if words and words[0] == "single-writer":
+                return words[1:]
+    return None
+
+
 def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
     for deco in node.decorator_list:
         target = deco.func if isinstance(deco, ast.Call) else deco
@@ -1061,6 +1135,9 @@ def summarize_module(module: ModuleSource) -> ModuleSummary:
                         ) or domain_of_name(item.target.id)
                         if domain is not None:
                             param_domains[item.target.id] = domain
+            sw_attrs = _single_writer_attrs(
+                ast.get_docstring(stmt, clean=False)
+            )
             classes.append(
                 ClassSummary(
                     name=stmt.name,
@@ -1068,11 +1145,20 @@ def summarize_module(module: ModuleSource) -> ModuleSummary:
                     init_params=init_params,
                     param_domains=param_domains,
                     methods=methods,
+                    bases=[
+                        base
+                        for base in map(_dotted_name, stmt.bases)
+                        if base is not None
+                    ],
+                    attr_types=_class_attr_types(stmt),
+                    single_writer=sw_attrs is not None,
+                    single_writer_attrs=sw_attrs or [],
                 )
             )
 
     # imported late: absint's interpreter itself builds on this module
     from repro.analysis.absint.extract import extract_numerics
+    from repro.analysis.concurrency.extract import extract_concurrency
 
     return ModuleSummary(
         path=module.path,
@@ -1085,6 +1171,7 @@ def summarize_module(module: ModuleSource) -> ModuleSummary:
         classes=classes,
         suppressions={k: set(v) for k, v in module.suppressions.items()},
         numerics=extract_numerics(tree).to_dict(),
+        concurrency=extract_concurrency(tree).to_dict(),
     )
 
 
@@ -1146,9 +1233,19 @@ class ProjectIndex:
     # -- name resolution ---------------------------------------------------
 
     def resolve_callee(
-        self, summary: ModuleSummary, call: CallSummary
+        self,
+        summary: ModuleSummary,
+        call: CallSummary,
+        *,
+        unique_attr: bool = True,
     ) -> Optional[str]:
-        """Fully qualified target of a call site, or None when ambiguous."""
+        """Fully qualified target of a call site, or None when ambiguous.
+
+        ``unique_attr=False`` disables the last-resort unique-method-name
+        fallback; pass it when a wrong guess is costlier than a missed
+        edge (e.g. ``x.get(...)`` resolving to the project's sole ``get``
+        method even though the receiver is a plain dict).
+        """
         parts = call.callee.split(".")
         head = parts[0]
         prefix = summary.module or summary.path
@@ -1161,6 +1258,8 @@ class ProjectIndex:
             # "from repro.runtime import executor; executor.map_tasks" style
             if target in CONVERTER_SIGNATURES:
                 return target
+            if not unique_attr:
+                return None
             return self._unique_by_attr(call.attr, summary)
 
         # bare local name: module-level function / class in this module
@@ -1170,15 +1269,47 @@ class ProjectIndex:
                 return local
             return None
 
+        # self.obj.method: resolve through the constructor that typed
+        # ``self.obj`` in this module's classes ("self._throughput.record")
+        if head == "self" and len(parts) == 3:
+            for cls_summary in summary.classes:
+                ctor = cls_summary.attr_types.get(parts[1])
+                if ctor is None:
+                    continue
+                target = self.resolve_constructor(summary, ctor)
+                if target is not None:
+                    _, target_cls = self.classes[target]
+                    if call.attr in target_cls.methods:
+                        return f"{target}.{call.attr}"
+
         # self.method: prefer a method of a class in this module
         if head == "self":
             for cls_summary in summary.classes:
                 if call.attr in cls_summary.methods:
                     return f"{prefix}.{cls_summary.name}.{call.attr}"
+            if not unique_attr:
+                return None
             return self._unique_by_attr(call.attr, summary)
 
         # obj.method on an unresolvable receiver: unique-name match only
+        if not unique_attr:
+            return None
         return self._unique_by_attr(call.attr, summary)
+
+    def resolve_constructor(
+        self, summary: ModuleSummary, ctor: str
+    ) -> Optional[str]:
+        """Qualified project class named by a constructor expression."""
+        parts = ctor.split(".")
+        head = parts[0]
+        prefix = summary.module or summary.path
+        if head in summary.imports:
+            target = ".".join([summary.imports[head], *parts[1:]])
+        elif len(parts) == 1:
+            target = f"{prefix}.{ctor}"
+        else:
+            target = ctor
+        return target if target in self.classes else None
 
     def _unique_by_attr(
         self, attr: str, summary: ModuleSummary

@@ -208,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="metrics JSON path (CI uploads it as the soak artifact)",
     )
+    p_soak.add_argument(
+        "--sanitize-locks",
+        action="store_true",
+        help="run under the runtime lock-order sanitizer: fail fast on "
+        "acquisition-order cycles and report per-lock worst hold times",
+    )
 
     p_lint = sub.add_parser(
         "lint",
@@ -493,6 +499,7 @@ def _soak_kwargs(args: argparse.Namespace) -> dict:
         max_pending_lots=args.max_pending,
         chunksize=args.chunksize,
         n_train=args.train,
+        sanitize_locks=getattr(args, "sanitize_locks", False),
     )
 
 
@@ -518,6 +525,13 @@ def _soak_summary(payload: dict) -> str:
     )
     for reason in payload["health_reasons"]:
         lines.append(f"    {reason}")
+    sanitizer = payload.get("lock_sanitizer")
+    if sanitizer is not None:
+        lines.append(
+            f"lock sanitizer: {sanitizer['locks_instrumented']} locks, "
+            f"{len(sanitizer['order_edges'])} order edges, "
+            f"{len(sanitizer['violations'])} violations"
+        )
     return "\n".join(lines)
 
 

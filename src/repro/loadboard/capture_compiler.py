@@ -129,6 +129,14 @@ class CaptureTape:
     Every rewrite applied here preserves the *bitwise* value of the
     node under NumPy's elementwise kernels; the identities are asserted
     on random data by ``TestLoweringIdentities``.
+
+    lint-concurrency: single-writer
+
+    A tape is mutated only while the compiling thread traces the mixer
+    chain; once ``CompiledCaptureProgram`` is built the tape is frozen,
+    and the program's publication into the board's plan cache (under
+    ``SignatureTestBoard._state_lock``) orders the writes before
+    any cross-thread read.
     """
 
     def __init__(self):
@@ -476,7 +484,15 @@ class CompiledCaptureProgram:
     small LRU pool (:attr:`workspace_pool_size`); :meth:`nbytes` and
     :meth:`release_workspaces` support the board's plan-cache memory
     accounting.  Stage wall times accumulate in :attr:`stage_seconds`
-    with the most recent capture in :attr:`last_stage_seconds`.
+    (guarded by the workspace lock) with the calling thread's most
+    recent capture in :attr:`last_stage_seconds`.
+
+    lint-concurrency: single-writer consts input_keys _input_dtype steps _slot_dtype _out_slot _out_const out_node fingerprint op_count
+
+    The tagged attributes are written once by ``_schedule`` while the
+    program is still private to the compiling thread; sharing starts
+    only when the board publishes the finished program into its plan
+    cache under ``SignatureTestBoard._state_lock``.
     """
 
     #: distinct batch sizes whose workspaces are kept alive
@@ -505,7 +521,7 @@ class CompiledCaptureProgram:
         self._workspaces: "Dict[tuple, List[np.ndarray]]" = {}
         self._workspace_lock = threading.Lock()
         self.stage_seconds: Dict[str, float] = {}
-        self.last_stage_seconds: Dict[str, float] = {}
+        self._capture_tls = threading.local()
 
     # -- compile passes ------------------------------------------------
     @staticmethod
@@ -653,20 +669,35 @@ class CompiledCaptureProgram:
 
     def __getstate__(self):
         # workspaces are cheap to rebuild and may hold megabytes; the
-        # lock is recreated on unpickle
+        # lock and thread-local timing are recreated on unpickle
         state = self.__dict__.copy()
         state["_workspaces"] = {}
         del state["_workspace_lock"]
+        del state["_capture_tls"]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._workspace_lock = threading.Lock()
+        self._capture_tls = threading.local()
 
     # -- profiling -----------------------------------------------------
+    @property
+    def last_stage_seconds(self) -> Dict[str, float]:
+        """The calling thread's stage breakdown for its current capture.
+
+        Thread-local: concurrent captures on a shared program (thread
+        executors) each see only their own timings.
+        """
+        breakdown = getattr(self._capture_tls, "stage_seconds", None)
+        if breakdown is None:
+            breakdown = {}
+            self._capture_tls.stage_seconds = breakdown
+        return breakdown
+
     def begin_capture(self) -> None:
         """Reset the per-capture stage breakdown."""
-        self.last_stage_seconds = {}
+        self._capture_tls.stage_seconds = {}
 
     @contextmanager
     def stage(self, name: str):
@@ -676,10 +707,12 @@ class CompiledCaptureProgram:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.last_stage_seconds[name] = (
-                self.last_stage_seconds.get(name, 0.0) + elapsed
-            )
-            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+            breakdown = self.last_stage_seconds
+            breakdown[name] = breakdown.get(name, 0.0) + elapsed
+            with self._workspace_lock:
+                self.stage_seconds[name] = (
+                    self.stage_seconds.get(name, 0.0) + elapsed
+                )
 
     # -- execution -----------------------------------------------------
     def execute(

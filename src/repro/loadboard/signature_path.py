@@ -31,10 +31,11 @@ is a batch of one.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -287,13 +288,21 @@ class SignatureTestBoard:
         #: per-stage wall-clock breakdown of the last compiled capture
         self.last_stage_seconds: Dict[str, float] = {}
         self._plan_cache: "OrderedDict[tuple, CapturePlan]" = OrderedDict()
+        #: guards the plan cache and the last-capture telemetry above:
+        #: thread executors share one board across concurrent captures
+        self._state_lock = threading.Lock()
 
     def __getstate__(self):
         # the plan cache can hold megabytes of envelopes; rebuilding it
         # in a worker is cheaper than pickling it across every task
         state = self.__dict__.copy()
         state["_plan_cache"] = OrderedDict()
+        del state["_state_lock"]
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # stimulus handling
@@ -336,15 +345,23 @@ class SignatureTestBoard:
         """
         record = self._stimulus_record(stimulus)
         key = (record.sample_rate, record.t0, record.samples.tobytes())
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = self._build_plan(record)
+        with self._state_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                return plan
+        # build outside the lock: concurrent first captures may build
+        # the same plan twice, but neither stalls behind the other
+        plan = self._build_plan(record)
+        with self._state_lock:
+            winner = self._plan_cache.get(key)
+            if winner is not None:
+                self._plan_cache.move_to_end(key)
+                return winner
             self._plan_cache[key] = plan
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
             self._enforce_plan_cache_bytes()
-        else:
-            self._plan_cache.move_to_end(key)
         return plan
 
     def _enforce_plan_cache_bytes(self) -> None:
@@ -353,7 +370,8 @@ class SignatureTestBoard:
         Cheapest reclaim first: compiled-program workspaces of the
         least-recently-used plans (they rebuild lazily), then whole LRU
         plans.  The most recent plan always survives, workspaces intact,
-        so the active lot never loses its steady-state buffers.
+        so the active lot never loses its steady-state buffers.  The
+        caller must hold :attr:`_state_lock`.
         """
         def total() -> int:
             return sum(p.nbytes() for p in self._plan_cache.values())
@@ -370,7 +388,8 @@ class SignatureTestBoard:
 
     def clear_plan_cache(self) -> None:
         """Drop all cached capture plans (each rebuilds on next use)."""
-        self._plan_cache.clear()
+        with self._state_lock:
+            self._plan_cache.clear()
 
     def _build_plan(self, record: Waveform) -> CapturePlan:
         cfg = self.config
@@ -443,8 +462,11 @@ class SignatureTestBoard:
             else 0.0
             for p in polys
         ]
-        self.last_overdrive_ratios = np.asarray(ratios)
-        self.last_overdrive_ratio = float(max(ratios)) if ratios else 0.0
+        with self._state_lock:
+            # one atomic pair: a reader never sees ratios from one
+            # capture next to the scalar peak of another
+            self.last_overdrive_ratios = np.asarray(ratios)
+            self.last_overdrive_ratio = float(max(ratios)) if ratios else 0.0
 
         if cfg.dut_coupling == "tuned":
             # Narrowband DUT: only the carrier band reaches the
@@ -609,8 +631,11 @@ class SignatureTestBoard:
                 )
             max_h = ceiling
         key = (precision, max_h, rf_keys, cfg.random_path_phase)
-        program = plan.programs.get(key)
+        with self._state_lock:
+            program = plan.programs.get(key)
         if program is None:
+            # compile outside the lock (tracing + constant folding is
+            # the expensive part); first publication wins
             tape, out = trace_mixer_baseband(cfg.mixer2, rf_keys, (1,), max_h)
             const_inputs = None
             if not cfg.random_path_phase:
@@ -618,8 +643,12 @@ class SignatureTestBoard:
             program = CompiledCaptureProgram(
                 tape, out, const_inputs=const_inputs, precision=precision
             )
-            plan.programs[key] = program
-            self._enforce_plan_cache_bytes()
+            with self._state_lock:
+                winner = plan.programs.get(key)
+                if winner is not None:
+                    return winner
+                plan.programs[key] = program
+                self._enforce_plan_cache_bytes()
         return program
 
     def _capture_compiled_matrix(
@@ -694,8 +723,18 @@ class SignatureTestBoard:
             mat = self._digitizer.capture_matrix(
                 filtered, cfg.engine_rate, cfg.capture_seconds, gens
             )
-        self.last_stage_seconds = dict(program.last_stage_seconds)
+        with self._state_lock:
+            self.last_stage_seconds = dict(program.last_stage_seconds)
         return mat
+
+    def overdrive_snapshot(self) -> Tuple[float, np.ndarray]:
+        """The last capture's (peak ratio, per-device ratios), atomically.
+
+        Readers that poll a board shared with a thread executor get a
+        consistent pair from one capture instead of a torn mix of two.
+        """
+        with self._state_lock:
+            return self.last_overdrive_ratio, self.last_overdrive_ratios
 
     def _add_device_noise_batch(
         self,
@@ -859,7 +898,8 @@ class SignatureTestBoard:
         sig = fft_magnitude_signature_matrix(
             mat, n_bins=n_bins, log_scale=log_scale
         )
-        self.last_stage_seconds["fft"] = time.perf_counter() - t_start
+        with self._state_lock:
+            self.last_stage_seconds["fft"] = time.perf_counter() - t_start
         return sig
 
     def time_signature(

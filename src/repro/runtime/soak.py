@@ -98,7 +98,14 @@ def build_soak_flow(
 
 
 class _Drain(threading.Thread):
-    """Concurrent record consumer: counts outcomes, keeps the first lot."""
+    """Concurrent record consumer: counts outcomes, keeps the first lot.
+
+    lint-concurrency: single-writer
+
+    Only ``run`` (the drain thread) writes the counters; the main
+    thread reads them strictly after ``join()`` returns, so the join's
+    happens-before edge replaces a lock.
+    """
 
     def __init__(self, service: StreamingTestService):
         super().__init__(name="repro-soak-drain", daemon=True)
@@ -158,6 +165,7 @@ def run_soak(
     min_duts_per_second: float = 1.0,
     on_snapshot: Optional[Callable] = None,
     flow: Optional[ProductionTestFlow] = None,
+    sanitize_locks: bool = False,
 ) -> Dict:
     """Run one soak campaign and return the metrics payload.
 
@@ -169,7 +177,66 @@ def run_soak(
     ``on_snapshot`` (if given) receives a
     :class:`~repro.runtime.metrics.MetricsSnapshot` after every
     submitted lot -- the ``serve`` CLI uses it for live output.
+
+    With ``sanitize_locks`` the whole campaign (flow construction,
+    service, drain) runs under the runtime lock-order sanitizer: an
+    inverted acquisition order raises
+    :class:`~repro.analysis.concurrency.runtime_sanitizer.LockOrderViolation`
+    instead of deadlocking, and the payload gains a ``lock_sanitizer``
+    entry with the observed order edges and worst hold times.  Pass
+    ``flow=None`` in that mode so the flow's locks are instrumented too.
     """
+    if sanitize_locks:
+        from repro.analysis.concurrency.runtime_sanitizer import lock_sanitizer
+
+        with lock_sanitizer(fail_fast=True) as report:
+            payload = _run_soak(
+                seed=seed,
+                seconds=seconds,
+                max_lots=max_lots,
+                lot_size=lot_size,
+                n_cells=n_cells,
+                executor=executor,
+                max_pending_lots=max_pending_lots,
+                chunksize=chunksize,
+                n_train=n_train,
+                min_duts_per_second=min_duts_per_second,
+                on_snapshot=on_snapshot,
+                flow=flow,
+            )
+            report.check()
+        payload["lock_sanitizer"] = report.to_dict()
+        return payload
+    return _run_soak(
+        seed=seed,
+        seconds=seconds,
+        max_lots=max_lots,
+        lot_size=lot_size,
+        n_cells=n_cells,
+        executor=executor,
+        max_pending_lots=max_pending_lots,
+        chunksize=chunksize,
+        n_train=n_train,
+        min_duts_per_second=min_duts_per_second,
+        on_snapshot=on_snapshot,
+        flow=flow,
+    )
+
+
+def _run_soak(
+    seed: int,
+    seconds: float,
+    max_lots: Optional[int],
+    lot_size: int,
+    n_cells: int,
+    executor: Optional[Union[Executor, str]],
+    max_pending_lots: int,
+    chunksize: Optional[int],
+    n_train: int,
+    min_duts_per_second: float,
+    on_snapshot: Optional[Callable],
+    flow: Optional[ProductionTestFlow],
+) -> Dict:
     if seconds <= 0:
         raise ValueError("seconds must be positive")
     flow = flow if flow is not None else build_soak_flow(seed, n_train=n_train)

@@ -237,7 +237,8 @@ class SignatureStimulusOptimizer:
     def overdrive_ratio(self, stimulus: PiecewiseLinearStimulus) -> float:
         """Peak drive / saturation amplitude for the weakest corner device."""
         self.board.capture(self._find_weakest_device(), stimulus, rng=None)
-        return self.board.last_overdrive_ratio
+        ratio, _ = self.board.overdrive_snapshot()
+        return ratio
 
     def objective(self, gene: np.ndarray) -> float:
         """GA fitness: Equation 10's mean error variance for this gene.

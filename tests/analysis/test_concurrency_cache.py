@@ -1,0 +1,95 @@
+"""Warm-cache replay of the concurrency findings.
+
+The lockset/lock-order pass rides the same project-findings cache as
+the interval analysis: a warm run must replay ``conc-*`` findings
+without rebuilding the call graph, a one-file edit must re-parse only
+that file, and any edit invalidates the cached project findings.
+"""
+
+import pytest
+
+from repro.analysis.concurrency import rules as conc_rules
+from repro.analysis.driver import analyze_project
+
+RACY_METER = (
+    '"""Module with a provable cross-thread race."""\n\n'
+    "import threading\n\n"
+    '__all__ = ["Meter"]\n\n\n'
+    "class Meter(threading.Thread):\n"
+    '    """Counts ticks on a worker thread."""\n\n'
+    "    def __init__(self):\n"
+    "        super().__init__()\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.total = 0\n\n"
+    "    def run(self):\n"
+    "        self.total = self.total + 1\n\n"
+    "    def snapshot(self):\n"
+    "        return self.total\n"
+)
+
+FIXED_METER = RACY_METER.replace(
+    "    def run(self):\n"
+    "        self.total = self.total + 1\n\n"
+    "    def snapshot(self):\n"
+    "        return self.total\n",
+    "    def run(self):\n"
+    "        with self._lock:\n"
+    "            self.total = self.total + 1\n\n"
+    "    def snapshot(self):\n"
+    "        with self._lock:\n"
+    "            return self.total\n",
+)
+
+CLEAN_MODULE = (
+    '"""A clean sibling module the edit test must not re-analyze."""\n\n'
+    '__all__ = ["double"]\n\n\n'
+    "def double(x):\n"
+    "    return 2.0 * x\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "meter.py").write_text(RACY_METER)
+    (pkg / "clean.py").write_text(CLEAN_MODULE)
+    return tmp_path / "src", tmp_path / "cache"
+
+
+class TestWarmCacheReplaysConcurrency:
+    def test_warm_run_skips_the_analyzer(self, tree, monkeypatch):
+        src, cache = tree
+        cold = analyze_project([str(src)], cache_dir=str(cache))
+        assert any(f.rule == "conc-unlocked-shared-write" for f in cold.findings)
+        assert not cold.project_from_cache
+
+        def boom(self):
+            raise AssertionError("concurrency pass re-ran on a warm cache")
+
+        monkeypatch.setattr(conc_rules._Analyzer, "run", boom)
+        warm = analyze_project([str(src)], cache_dir=str(cache))
+        assert warm.project_from_cache
+        assert warm.analyzed == 0
+        assert warm.findings == cold.findings
+
+    def test_one_file_edit_reanalyzes_only_that_file(self, tree):
+        src, cache = tree
+        cold = analyze_project([str(src)], cache_dir=str(cache))
+        assert cold.analyzed == 2
+        assert any(f.rule == "conc-unlocked-shared-write" for f in cold.findings)
+
+        (src / "repro" / "meter.py").write_text(FIXED_METER)
+        warm = analyze_project([str(src)], cache_dir=str(cache))
+        # the edited file is the only cache miss...
+        assert warm.analyzed == 1
+        assert warm.cached == 1
+        # ...but the project-level findings are recomputed, not replayed
+        assert not warm.project_from_cache
+        assert not any(f.rule.startswith("conc-") for f in warm.findings)
+
+    def test_no_cache_dir_always_runs_the_analyzer(self, tree):
+        src, _ = tree
+        report = analyze_project([str(src)])
+        assert not report.project_from_cache
+        assert any(f.rule == "conc-unlocked-shared-write" for f in report.findings)

@@ -1,0 +1,424 @@
+"""Fixture tests for the four lockset/lock-order project rules.
+
+Each seeded bug is paired with the parallel-safety rules from the
+executor PR to show the concurrency pass catches what dispatch-shape
+checks cannot: every fixture pickles fine and captures no RNG, so all
+of ``PARALLEL_RULES`` stay silent while the lockset analysis fires.
+"""
+
+import textwrap
+
+from repro.analysis import default_rules
+from repro.analysis.concurrency.rules import (
+    CONCURRENCY_RULES,
+    BlockingUnderLockRule,
+    LockEscapeRule,
+    LockOrderCycleRule,
+    UnlockedSharedWriteRule,
+    analyze_concurrency,
+)
+from repro.analysis.engine import UnknownSuppressionRule, analyze_source
+from repro.analysis.parallel import PARALLEL_RULES
+from repro.analysis.project import ProjectIndex
+
+
+def index_of(**modules):
+    """ProjectIndex from ``name=source`` fixtures under src/repro/."""
+    sources = {
+        f"src/repro/{name}.py": textwrap.dedent(source)
+        for name, source in modules.items()
+    }
+    return ProjectIndex.from_sources(sources)
+
+
+def findings_of(rule, **modules):
+    index = index_of(**modules)
+    # the seeded bugs have sound dispatch shapes: the parallel-safety
+    # rules (pickling, captured RNGs, global mutation) must miss them
+    for parallel_rule in PARALLEL_RULES:
+        assert list(parallel_rule.check_project(index)) == []
+    return sorted(rule.check_project(index))
+
+
+RACY_METER = """
+    import threading
+
+
+    class Meter(threading.Thread):
+        '''Counts ticks on a worker thread.'''
+
+        def __init__(self):
+            super().__init__()
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def run(self):
+            self.total = self.total + 1
+
+        def snapshot(self):
+            return self.total
+"""
+
+
+class TestUnlockedSharedWrite:
+    def test_thread_subclass_write_without_lock_fires(self):
+        findings = findings_of(UnlockedSharedWriteRule(), meter=RACY_METER)
+        assert len(findings) == 1
+        assert findings[0].rule == "conc-unlocked-shared-write"
+        assert "Meter.total" in findings[0].message
+        assert "no common lock" in findings[0].message
+        # anchored on the write inside run(), not the read
+        source_line = textwrap.dedent(RACY_METER).splitlines()[findings[0].line - 1]
+        assert "self.total = self.total + 1" in source_line
+
+    def test_consistent_lock_is_silent(self):
+        findings = findings_of(
+            UnlockedSharedWriteRule(),
+            meter="""
+                import threading
+
+
+                class Meter(threading.Thread):
+                    '''Counts ticks on a worker thread.'''
+
+                    def __init__(self):
+                        super().__init__()
+                        self._lock = threading.Lock()
+                        self.total = 0
+
+                    def run(self):
+                        with self._lock:
+                            self.total = self.total + 1
+
+                    def snapshot(self):
+                        with self._lock:
+                            return self.total
+            """,
+        )
+        assert findings == []
+
+    def test_spawned_module_function_shares_a_global(self):
+        findings = findings_of(
+            UnlockedSharedWriteRule(),
+            pump="""
+                import threading
+
+                total = 0
+
+
+                def worker():
+                    global total
+                    total = total + 1
+
+
+                def start():
+                    global total
+                    total = 0
+                    thread = threading.Thread(target=worker)
+                    thread.start()
+                    return thread
+            """,
+        )
+        assert len(findings) >= 1
+        assert all(f.rule == "conc-unlocked-shared-write" for f in findings)
+        assert "pump.total" in findings[0].message
+        assert "thread `pump.worker`" in findings[0].message
+
+    def test_single_writer_tag_exempts_the_class(self):
+        source = RACY_METER.replace(
+            "'''Counts ticks on a worker thread.'''",
+            "'''Counts ticks on a worker thread.\n\n"
+            "        lint-concurrency: single-writer\n        '''",
+        )
+        findings = list(
+            UnlockedSharedWriteRule().check_project(index_of(meter=source))
+        )
+        assert findings == []
+
+    def test_scoped_single_writer_tag_exempts_only_named_attrs(self):
+        findings = list(
+            UnlockedSharedWriteRule().check_project(
+                index_of(
+                    meter="""
+                        import threading
+
+
+                        class Meter(threading.Thread):
+                            '''Counts ticks on a worker thread.
+
+                            lint-concurrency: single-writer total
+                            '''
+
+                            def __init__(self):
+                                super().__init__()
+                                self.total = 0
+                                self.state = "idle"
+
+                            def run(self):
+                                self.total = self.total + 1
+                                self.state = "running"
+
+                            def snapshot(self):
+                                return (self.total, self.state)
+                    """
+                )
+            )
+        )
+        assert len(findings) == 1
+        assert "Meter.state" in findings[0].message
+        assert "Meter.total" not in findings[0].message
+
+    def test_threading_local_state_is_per_thread(self):
+        findings = findings_of(
+            UnlockedSharedWriteRule(),
+            tape="""
+                import threading
+
+
+                class Tape(threading.Thread):
+                    '''Per-thread scratch space.'''
+
+                    def __init__(self):
+                        super().__init__()
+                        self._tls = threading.local()
+
+                    def run(self):
+                        self._tls.count = 1
+
+                    def snapshot(self):
+                        return self._tls.count
+            """,
+        )
+        assert findings == []
+
+    def test_entries_include_thread_roots(self):
+        result = analyze_concurrency(index_of(meter=RACY_METER))
+        assert result.entries.get("repro.meter.Meter.run") == "thread"
+
+
+class TestLockEscape:
+    GUARDED_WRITES = """
+        import threading
+
+
+        class Gauge(threading.Thread):
+            '''Streams one reading per tick.'''
+
+            def __init__(self):
+                super().__init__()
+                self._lock = threading.Lock()
+                self.value = 0.0
+
+            def run(self):
+                with self._lock:
+                    self.value = self.value + 1.0
+
+            def peek(self):
+                return self.value
+    """
+
+    def test_unguarded_read_of_guarded_attr_fires(self):
+        findings = findings_of(LockEscapeRule(), gauge=self.GUARDED_WRITES)
+        assert len(findings) == 1
+        assert findings[0].rule == "conc-lock-escape"
+        assert "Gauge.value" in findings[0].message
+        assert "read here with no lock held" in findings[0].message
+        assert "Gauge._lock" in findings[0].message
+
+    def test_guarded_read_is_silent(self):
+        findings = findings_of(
+            LockEscapeRule(),
+            gauge="""
+                import threading
+
+
+                class Gauge(threading.Thread):
+                    '''Streams one reading per tick.'''
+
+                    def __init__(self):
+                        super().__init__()
+                        self._lock = threading.Lock()
+                        self.value = 0.0
+
+                    def run(self):
+                        with self._lock:
+                            self.value = self.value + 1.0
+
+                    def peek(self):
+                        with self._lock:
+                            return self.value
+            """,
+        )
+        assert findings == []
+
+
+class TestLockOrderCycle:
+    INVERTED = """
+        import threading
+
+
+        class Service:
+            '''Streaming service with a jobs lock and a metrics lock.'''
+
+            def __init__(self):
+                self._jobs_lock = threading.Lock()
+                self._metrics_lock = threading.Lock()
+                self.pending = 0
+                self.emitted = 0
+
+            def submit(self, item):
+                with self._jobs_lock:
+                    with self._metrics_lock:
+                        self.pending = self.pending + 1
+
+            def metrics(self):
+                with self._metrics_lock:
+                    with self._jobs_lock:
+                        return (self.pending, self.emitted)
+    """
+
+    def test_inverted_two_lock_service_fires(self):
+        findings = findings_of(LockOrderCycleRule(), service=self.INVERTED)
+        assert len(findings) == 1
+        assert findings[0].rule == "conc-lock-order-cycle"
+        assert "potential deadlock" in findings[0].message
+        assert "Service._jobs_lock" in findings[0].message
+        assert "Service._metrics_lock" in findings[0].message
+
+    def test_consistent_order_is_silent(self):
+        findings = findings_of(
+            LockOrderCycleRule(),
+            service="""
+                import threading
+
+
+                class Service:
+                    '''Streaming service with one global lock order.'''
+
+                    def __init__(self):
+                        self._jobs_lock = threading.Lock()
+                        self._metrics_lock = threading.Lock()
+                        self.pending = 0
+                        self.emitted = 0
+
+                    def submit(self, item):
+                        with self._jobs_lock:
+                            with self._metrics_lock:
+                                self.pending = self.pending + 1
+
+                    def metrics(self):
+                        with self._jobs_lock:
+                            with self._metrics_lock:
+                                return (self.pending, self.emitted)
+            """,
+        )
+        assert findings == []
+
+    def test_cycle_across_methods_via_call_edge(self):
+        # submit holds the jobs lock and *calls* a helper that takes the
+        # metrics lock; metrics() inverts the order directly.  Only the
+        # interprocedural held_any union sees the first leg.
+        findings = findings_of(
+            LockOrderCycleRule(),
+            service="""
+                import threading
+
+
+                class Service:
+                    '''Lock order hidden behind a call edge.'''
+
+                    def __init__(self):
+                        self._jobs_lock = threading.Lock()
+                        self._metrics_lock = threading.Lock()
+                        self.pending = 0
+
+                    def _bump(self):
+                        with self._metrics_lock:
+                            self.pending = self.pending + 1
+
+                    def submit(self, item):
+                        with self._jobs_lock:
+                            self._bump()
+
+                    def metrics(self):
+                        with self._metrics_lock:
+                            with self._jobs_lock:
+                                return self.pending
+            """,
+        )
+        assert len(findings) == 1
+        assert "potential deadlock" in findings[0].message
+
+
+class TestBlockingUnderLock:
+    PUT_UNDER_LOCK = """
+        import queue
+        import threading
+
+
+        class Pump:
+            '''Pushes records to a bounded outbox.'''
+
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._outbox = queue.Queue(maxsize=8)
+                self.pushed = 0
+
+            def push(self, item):
+                with self._lock:
+                    self._outbox.put(item)
+                    self.pushed = self.pushed + 1
+    """
+
+    def test_queue_put_under_lock_fires(self):
+        findings = findings_of(BlockingUnderLockRule(), pump=self.PUT_UNDER_LOCK)
+        assert len(findings) == 1
+        assert findings[0].rule == "conc-blocking-under-lock"
+        assert "blocking call" in findings[0].message
+        assert "Pump._lock" in findings[0].message
+
+    def test_put_outside_the_critical_section_is_silent(self):
+        findings = findings_of(
+            BlockingUnderLockRule(),
+            pump="""
+                import queue
+                import threading
+
+
+                class Pump:
+                    '''Pushes records to a bounded outbox.'''
+
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._outbox = queue.Queue(maxsize=8)
+                        self.pushed = 0
+
+                    def push(self, item):
+                        with self._lock:
+                            self.pushed = self.pushed + 1
+                        self._outbox.put(item)
+            """,
+        )
+        assert findings == []
+
+
+class TestRegistration:
+    def test_conc_rules_ride_default_rules(self):
+        names = [rule.name for rule in default_rules()]
+        for rule in CONCURRENCY_RULES:
+            assert rule.name in names
+
+    def test_suppression_comments_know_conc_rule_names(self):
+        guard = UnknownSuppressionRule(rule.name for rule in default_rules())
+        source = (
+            "x = 1  # repro-lint: disable=conc-lock-escape -- join ordered\n"
+        )
+        assert analyze_source(source, "lib/module.py", [guard]) == []
+
+    def test_typoed_conc_rule_name_is_flagged(self):
+        guard = UnknownSuppressionRule(rule.name for rule in default_rules())
+        source = (
+            "x = 1  # repro-lint: disable=conc-lock-escapes -- join ordered\n"
+        )
+        findings = analyze_source(source, "lib/module.py", [guard])
+        assert [f.rule for f in findings] == ["lint-unknown-suppression"]

@@ -1,8 +1,11 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.concurrency.runtime_sanitizer import lock_sanitizer
 from repro.analysis.sanitizer import SANITIZER_MARKER, fp_sanitizer
 from repro.circuits.behavioral import BehavioralAmplifier
 from repro.circuits.lna import LNA900
@@ -17,6 +20,11 @@ def pytest_configure(config):
         f"{SANITIZER_MARKER}: run this test without the floating-point "
         "sanitizer (NaN/Inf creation will not raise)",
     )
+    config.addinivalue_line(
+        "markers",
+        "no_lock_sanitizer: keep this test outside the REPRO_SANITIZE_LOCKS "
+        "lock-order sanitizer window (it patches threading.Lock itself)",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -30,6 +38,27 @@ def _fp_sanitizer(request):
         yield
         return
     with fp_sanitizer():
+        yield
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer(request):
+    """Opt-in lock-order sanitizing for the whole suite.
+
+    With ``REPRO_SANITIZE_LOCKS=1`` every test runs inside
+    :func:`~repro.analysis.concurrency.runtime_sanitizer.lock_sanitizer`:
+    locks constructed during the test are instrumented and an inverted
+    acquisition order fails the test immediately instead of deadlocking.
+    Tests that exercise the sanitizer itself opt out via the
+    ``no_lock_sanitizer`` marker so nested patching stays predictable.
+    """
+    if os.environ.get("REPRO_SANITIZE_LOCKS") != "1":
+        yield
+        return
+    if request.node.get_closest_marker("no_lock_sanitizer") is not None:
+        yield
+        return
+    with lock_sanitizer(fail_fast=True):
         yield
 
 
