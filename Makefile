@@ -12,9 +12,10 @@ BENCH_JSON ?= bench.json
 # sampled configurations per verification relation
 VERIFY_CONFIGS ?= 50
 VERIFY_REPORT ?= benchmarks/results/verify_campaign.json
-# streaming soak: wall-clock budget, backend, metrics artifact
+# streaming soak: wall-clock budget, backend, site count, metrics artifact
 SOAK_SECONDS ?= 60
 SOAK_EXECUTOR ?= thread:2
+SOAK_SITES ?= 1
 SOAK_REPORT ?= benchmarks/results/streaming_soak.json
 
 .PHONY: install test lint lint-stats lint-numerics lint-concurrency lint-sarif verify soak bench bench-json bench-check bench-profile examples all clean
@@ -70,6 +71,7 @@ verify:
 soak:
 	PYTHONPATH=src $(PYTHON) -m repro soak \
 		--seconds $(SOAK_SECONDS) --executor $(SOAK_EXECUTOR) \
+		--sites $(SOAK_SITES) \
 		--sanitize-locks --output $(SOAK_REPORT)
 
 bench:

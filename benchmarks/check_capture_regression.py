@@ -12,6 +12,9 @@ cancels machine speed -- against the committed results JSON:
 * ``test_bench_streaming_throughput``: ``streamed_seconds /
   offline_seconds`` guards the streaming service's overhead over the
   offline ``ProductionTestFlow`` (``streaming_throughput.json``).
+* ``test_bench_multisite_capture``: ``multisite_seconds /
+  serial_per_site_seconds`` guards the quad-site capture's overhead
+  over independent per-site runs (``multisite_capture.json``).
 
 Each benchmark file runs once and then every ratio keyed on its
 results JSON is checked.  A gate fails if the fresh ratio is more than
@@ -46,6 +49,11 @@ GATES = [
         "test_bench_streaming_throughput.py",
         os.path.join("benchmarks", "results", "streaming_throughput.json"),
         [("streamed/offline", "streamed_over_offline_ratio")],
+    ),
+    (
+        "test_bench_multisite_capture.py",
+        os.path.join("benchmarks", "results", "multisite_capture.json"),
+        [("multisite/serial", "multisite_over_serial_ratio")],
     ),
 ]
 

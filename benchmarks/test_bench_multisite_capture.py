@@ -1,0 +1,132 @@
+"""Multi-site capture: one quad-site insertion lot vs per-site serial runs.
+
+Captures the same 64-device lot two ways and records the wall-clock
+numbers as JSON under ``benchmarks/results/``:
+
+* one ``signature_batch`` call on a zero-crosstalk quad-site
+  :class:`~repro.loadboard.sites.MultiSiteBoard` (each site running the
+  compiled whole-lot engine on its 16 devices);
+* four independent ``signature_batch`` calls, one per site board, on
+  that site's round-robin share of the lot -- the serial baseline the
+  multi-site isolation contract is defined against.
+
+Both are checked bit-identical (the ``multisite-serial-equivalence``
+contract at benchmark scale), and the committed
+``multisite_capture.json`` is the regression baseline:
+``make bench-check`` re-runs this file and fails if the normalized
+``multisite_over_serial_ratio`` -- multi-site seconds over serial
+per-site seconds, which cancels machine speed -- regresses by more
+than 20%.  The ratio should hover near 1.0 (the multi-site path adds
+only the coupling pass and lot reassembly); a big jump means the
+site-sliced capture stopped using the batched engine.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.circuits.behavioral import BehavioralAmplifier
+from repro.dsp.waveform import PiecewiseLinearStimulus
+from repro.loadboard.signature_path import simulation_config
+from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
+from repro.parallel import spawn_generators
+
+N_DEVICES = 64
+N_SITES = 4
+LOT_SEED = 2002
+#: the multi-site overhead (coupling pass + reassembly) must stay small
+RATIO_CEILING = 1.35
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "multisite_capture.json"
+)
+
+
+def _lot():
+    rng = np.random.default_rng(42)
+    return [
+        BehavioralAmplifier(
+            900e6,
+            16.0 + rng.normal(0.0, 0.5),
+            2.0 + abs(rng.normal(0.0, 0.2)),
+            10.0 + rng.normal(0.0, 1.0),
+        )
+        for _ in range(N_DEVICES)
+    ]
+
+
+def _best_of(fn, repeats=7):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_multisite_capture(benchmark, report):
+    board = MultiSiteBoard(
+        simulation_config(), MultiSiteConfig(n_sites=N_SITES)
+    )
+    lot = _lot()
+    stim = PiecewiseLinearStimulus(
+        np.random.default_rng(9).uniform(-0.25, 0.25, 16), 5e-6, 0.4
+    )
+
+    def multisite():
+        gens = spawn_generators(np.random.default_rng(LOT_SEED), len(lot))
+        return board.signature_batch(lot, stim, rngs=gens)
+
+    def serial_per_site():
+        gens = spawn_generators(np.random.default_rng(LOT_SEED), len(lot))
+        out = np.empty((len(lot), 0))
+        for j, site_board in enumerate(board.site_boards):
+            idx = list(range(j, len(lot), N_SITES))
+            rows = site_board.signature_batch(
+                [lot[i] for i in idx], stim, rngs=[gens[i] for i in idx]
+            )
+            if out.shape[1] != rows.shape[1]:
+                out = np.empty((len(lot), rows.shape[1]))
+            out[idx] = rows
+        return out
+
+    multi_s, multi_sigs = _best_of(multisite)
+    serial_s, serial_sigs = _best_of(serial_per_site)
+
+    # the isolation contract at benchmark scale: zero crosstalk means
+    # the quad-site lot is bit-identical to the per-site serial runs
+    assert np.array_equal(multi_sigs, serial_sigs)
+
+    ratio = multi_s / serial_s
+    payload = {
+        "benchmark": "multisite_capture",
+        "n_devices": N_DEVICES,
+        "n_sites": N_SITES,
+        "multisite_seconds": multi_s,
+        "serial_per_site_seconds": serial_s,
+        "multisite_over_serial_ratio": ratio,
+        "ratio_ceiling": RATIO_CEILING,
+        "unix_time": time.time(),
+    }
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    with report(
+        f"Multi-site capture -- {N_DEVICES}-device lot on {N_SITES} sites"
+    ) as p:
+        p(f"quad-site signature_batch: {multi_s * 1e3:8.1f} ms")
+        p(f"per-site serial captures:  {serial_s * 1e3:8.1f} ms")
+        p(f"multisite/serial ratio:    {ratio:8.3f} (ceiling {RATIO_CEILING})")
+        p(f"recorded: {os.path.relpath(RESULTS_PATH)}")
+
+    assert ratio <= RATIO_CEILING, (
+        f"multi-site capture costs {ratio:.2f}x the per-site serial runs "
+        f"(ceiling {RATIO_CEILING}x): the site-sliced path stopped "
+        f"amortizing the batched engine"
+    )
+
+    benchmark(multisite)

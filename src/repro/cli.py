@@ -184,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--train", type=int, default=32, help="calibration training devices"
         )
+        p.add_argument(
+            "--sites",
+            type=int,
+            default=1,
+            help="load-board sites per insertion (>1 streams through a "
+            "MultiSiteBoard with crosstalk and instrument contention)",
+        )
 
     p_serve = sub.add_parser(
         "serve",
@@ -500,6 +507,7 @@ def _soak_kwargs(args: argparse.Namespace) -> dict:
         chunksize=args.chunksize,
         n_train=args.train,
         sanitize_locks=getattr(args, "sanitize_locks", False),
+        sites=args.sites,
     )
 
 
@@ -516,6 +524,15 @@ def _soak_summary(payload: dict) -> str:
     ]
     if payload["yield_fraction"] is not None:
         lines.append(f"yield:      {payload['yield_fraction']:.1%}")
+    if payload.get("sites", 1) > 1:
+        per_site = payload.get("site_devices_tested") or {}
+        counts = ", ".join(
+            f"site {site}: {count}" for site, count in sorted(per_site.items())
+        )
+        lines.append(
+            f"sites:      {payload['sites']} "
+            f"(contention wait {payload['contention_wait_ms']:.1f} ms; {counts})"
+        )
     lines.append(
         "first lot bit-identical to offline flow: "
         f"{payload['first_lot_bit_identical_to_offline']}"

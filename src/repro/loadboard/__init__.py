@@ -18,6 +18,12 @@ from repro.loadboard.capture_compiler import (
     fast_path_error_bound,
 )
 from repro.loadboard.envelope import EnvelopeSignal, one_pole_lowpass
+from repro.loadboard.scenario_paths import (
+    AbmAccessPath,
+    AbmPathConfig,
+    BistPathConfig,
+    BistSignaturePath,
+)
 from repro.loadboard.signature_path import (
     CapturePlan,
     SignaturePathConfig,
@@ -25,12 +31,19 @@ from repro.loadboard.signature_path import (
     simulation_config,
     hardware_config,
 )
+from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
 
 __all__ = [
+    "AbmAccessPath",
+    "AbmPathConfig",
+    "BistPathConfig",
+    "BistSignaturePath",
     "CapturePlan",
     "CompiledCaptureProgram",
     "EnvelopeSignal",
     "FastPathError",
+    "MultiSiteBoard",
+    "MultiSiteConfig",
     "SignaturePathConfig",
     "SignatureTestBoard",
     "fast_path_error_bound",

@@ -66,11 +66,41 @@ __all__ = [
     "SignaturePathConfig",
     "SignatureTestBoard",
     "mix_envelope",
+    "resolve_rng_streams",
     "simulation_config",
     "hardware_config",
 ]
 
 RngList = Sequence[Optional[np.random.Generator]]
+
+
+def resolve_rng_streams(
+    rng: Optional[np.random.Generator],
+    rngs: Optional[RngList],
+    n_devices: int,
+) -> List[Optional[np.random.Generator]]:
+    """Per-device generators: explicit list, spawned from ``rng``, or None.
+
+    The one spawning rule every board front end shares: explicit ``rngs``
+    pass through unchanged, a master ``rng`` spawns one independent
+    stream per device exactly like
+    :func:`repro.runtime.executor.spawn_generators`, and ``None``
+    disables measurement noise.
+    """
+    if rngs is not None:
+        if rng is not None:
+            raise ValueError("pass either rng or rngs, not both")
+        rngs = list(rngs)
+        if len(rngs) != n_devices:
+            raise ValueError("need one rng (or None) per device")
+        return rngs
+    if rng is None:
+        return [None] * n_devices
+    # local import: repro.runtime's package __init__ imports modules
+    # that import this one
+    from repro.runtime.executor import spawn_generators
+
+    return spawn_generators(rng, n_devices)
 
 
 def mix_envelope(
@@ -511,31 +541,23 @@ class SignatureTestBoard:
         n_devices: int,
     ) -> List[Optional[np.random.Generator]]:
         """Per-device generators: explicit list, spawned from ``rng``, or None."""
-        if rngs is not None:
-            if rng is not None:
-                raise ValueError("pass either rng or rngs, not both")
-            rngs = list(rngs)
-            if len(rngs) != n_devices:
-                raise ValueError("need one rng (or None) per device")
-            return rngs
-        if rng is None:
-            return [None] * n_devices
-        # local import: repro.runtime's package __init__ imports modules
-        # that import this one
-        from repro.runtime.executor import spawn_generators
+        return resolve_rng_streams(rng, rngs, n_devices)
 
-        return spawn_generators(rng, n_devices)
-
-    def _capture_batch_matrix(
+    def _reference_front_matrix(
         self,
         devices: Sequence[RFDevice],
         stimulus: Union[Waveform, PiecewiseLinearStimulus],
-        rng: Optional[np.random.Generator],
-        rngs: Optional[RngList],
+        gens: RngList,
     ) -> np.ndarray:
-        """Digitized records for a device batch as a ``(batch, n)`` matrix."""
+        """Filtered baseband for a batch, stopping short of the digitizer.
+
+        The uncompiled analog front half of :meth:`_capture_batch_matrix`:
+        plan, DUT response, fixture output loss, device noise, mixer-2
+        downconversion and the anti-alias LPF.  Multi-site boards couple
+        these rows (shared baseband routing into the shared digitizer)
+        before handing them to :meth:`digitize_matrix`.
+        """
         cfg = self.config
-        gens = self._resolve_rngs(rng, rngs, len(devices))
         plan = self.capture_plan(stimulus)
         n = plan.n
         dut_out = self._dut_response_batch(plan, devices)
@@ -570,10 +592,72 @@ class SignatureTestBoard:
         )
 
         baseband = downconverted.keep_harmonics([0]).baseband()
-        filtered = self._lpf.apply_fft_matrix(baseband)
+        return self._lpf.apply_fft_matrix(baseband)
+
+    def digitize_matrix(self, filtered: np.ndarray, gens: RngList) -> np.ndarray:
+        """Digitize filtered-baseband rows: jitter, resample, noise, quantize.
+
+        The back half shared by every engine; row ``i`` draws its
+        digitizer noise from ``gens[i]``.
+        """
+        cfg = self.config
         return self._digitizer.capture_matrix(
             filtered, cfg.engine_rate, cfg.capture_seconds, gens
         )
+
+    def filtered_baseband_matrix(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator] = None,
+        *,
+        rngs: Optional[RngList] = None,
+        engine: Optional[str] = None,
+    ) -> Tuple[np.ndarray, List[Optional[np.random.Generator]]]:
+        """The analog front half for a batch: ``(filtered, gens)``.
+
+        ``filtered`` is the ``(batch, n)`` LPF output at the engine rate;
+        ``gens`` are the per-device generators with the analog-stage
+        draws (path phase, device noise) already consumed, ready for
+        :meth:`digitize_matrix`.  Splitting the capture here lets
+        :class:`~repro.loadboard.sites.MultiSiteBoard` inject site-to-site
+        crosstalk between the per-site front ends and the shared
+        digitizer while every stage stays bit-identical to this board's
+        own :meth:`signature_batch`.
+        """
+        engine = engine or self.default_engine
+        devices = list(devices)
+        gens = self._resolve_rngs(rng, rngs, len(devices))
+        if engine == "reference":
+            return self._reference_front_matrix(devices, stimulus, gens), gens
+        if engine == "compiled":
+            filtered, program = self._compiled_front_matrix(
+                devices, stimulus, gens
+            )
+        elif engine == "fast":
+            filtered, program = self._compiled_front_matrix(
+                devices, stimulus, gens, precision="float32"
+            )
+        else:
+            raise ValueError(
+                f"unknown capture engine {engine!r}; "
+                "expected 'compiled', 'reference', or 'fast'"
+            )
+        with self._state_lock:
+            self.last_stage_seconds = dict(program.last_stage_seconds)
+        return filtered, gens
+
+    def _capture_batch_matrix(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator],
+        rngs: Optional[RngList],
+    ) -> np.ndarray:
+        """Digitized records for a device batch as a ``(batch, n)`` matrix."""
+        gens = self._resolve_rngs(rng, rngs, len(devices))
+        filtered = self._reference_front_matrix(devices, stimulus, gens)
+        return self.digitize_matrix(filtered, gens)
 
     def _envelope_bandwidth_batch(
         self, dut_out: EnvelopeSignal, devices: Sequence[RFDevice]
@@ -651,25 +735,24 @@ class SignatureTestBoard:
                 self._enforce_plan_cache_bytes()
         return program
 
-    def _capture_compiled_matrix(
+    def _compiled_front_matrix(
         self,
         devices: Sequence[RFDevice],
         stimulus: Union[Waveform, PiecewiseLinearStimulus],
-        rng: Optional[np.random.Generator],
-        rngs: Optional[RngList],
+        gens: RngList,
         precision: str = "float64",
-    ) -> np.ndarray:
-        """Digitized records via the compiled whole-lot program.
+    ) -> Tuple[np.ndarray, CompiledCaptureProgram]:
+        """Compiled analog front half: ``(filtered, program)``.
 
-        Identical pipeline to :meth:`_capture_batch_matrix` except the
+        Identical pipeline to :meth:`_reference_front_matrix` except the
         mixer-2 downconversion runs as the compiled op tape: exact mode
         (``precision="float64"``) is bit-identical, the float32 fast
         path stays inside :func:`fast_path_error_bound` and upcasts to
         float64 before the filter/digitizer (quantization unchanged).
-        Per-stage wall times land in :attr:`last_stage_seconds`.
+        Per-stage wall times accumulate on the returned program; the
+        caller publishes them to :attr:`last_stage_seconds`.
         """
         cfg = self.config
-        gens = self._resolve_rngs(rng, rngs, len(devices))
         t_start = time.perf_counter()
         plan = self.capture_plan(stimulus)
         t_plan = time.perf_counter() - t_start
@@ -719,10 +802,27 @@ class SignatureTestBoard:
                 baseband = program.execute(rf_arrays)
         with program.stage("filter"):
             filtered = self._lpf.apply_fft_matrix(baseband)
+        return filtered, program
+
+    def _capture_compiled_matrix(
+        self,
+        devices: Sequence[RFDevice],
+        stimulus: Union[Waveform, PiecewiseLinearStimulus],
+        rng: Optional[np.random.Generator],
+        rngs: Optional[RngList],
+        precision: str = "float64",
+    ) -> np.ndarray:
+        """Digitized records via the compiled whole-lot program.
+
+        The compiled front half plus the shared digitize stage; per-stage
+        wall times land in :attr:`last_stage_seconds`.
+        """
+        gens = self._resolve_rngs(rng, rngs, len(devices))
+        filtered, program = self._compiled_front_matrix(
+            devices, stimulus, gens, precision
+        )
         with program.stage("digitize"):
-            mat = self._digitizer.capture_matrix(
-                filtered, cfg.engine_rate, cfg.capture_seconds, gens
-            )
+            mat = self.digitize_matrix(filtered, gens)
         with self._state_lock:
             self.last_stage_seconds = dict(program.last_stage_seconds)
         return mat

@@ -62,17 +62,25 @@ def _capture_batch_task(board, stimulus, n_bins, engine, task) -> np.ndarray:
     )
 
 
-def _chunk_bounds(n: int, executor, chunksize: Optional[int]):
+def _chunk_bounds(n: int, executor, chunksize: Optional[int], align: int = 1):
     """``(start, stop)`` bounds for dispatching ``n`` devices in batches.
 
     Serial backends get the whole lot as one batch (maximum
     vectorization); pooled backends split it so every worker stays busy.
     Per-device RNG seeding makes the results independent of the split.
+
+    ``align`` rounds the chunk size up to a multiple (multi-site boards
+    publish ``chunk_alignment = n_sites``): crosstalk couples positional
+    insertion groups, so a boundary mid-insertion would change which
+    devices share an insertion and break chunking-invariance.
     """
     workers = getattr(executor, "workers", 1)
     if chunksize is None:
         chunksize = n if workers <= 1 else default_chunksize(n, workers)
     chunksize = max(1, chunksize)
+    align = max(1, int(align))
+    if align > 1:
+        chunksize = ((chunksize + align - 1) // align) * align
     return [(i, min(i + chunksize, n)) for i in range(0, n, chunksize)]
 
 
@@ -134,7 +142,10 @@ def measure_signatures(
         # task; per-device seeds keep the result independent of chunking
         tasks = [
             (devices[a:b], seeds[a:b])
-            for a, b in _chunk_bounds(len(devices), ex, chunksize)
+            for a, b in _chunk_bounds(
+                len(devices), ex, chunksize,
+                getattr(board, "chunk_alignment", 1),
+            )
         ]
         blocks = ex.map_tasks(
             partial(_capture_batch_task, board, stimulus, n_bins, engine),

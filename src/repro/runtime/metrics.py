@@ -144,6 +144,11 @@ class MetricsSnapshot:
     latency_worst_s: float
     #: seconds on the service clock since the service started
     elapsed_s: float
+    #: devices emitted per load-board site (None on single-site boards)
+    site_devices_emitted: Optional[Dict[int, int]] = None
+    #: modeled shared-instrument arbitration wait accumulated across
+    #: emitted devices (seconds; 0 without contention modeling)
+    contention_wait_s: float = 0.0
 
     def to_dict(self) -> Dict[str, float]:
         return asdict(self)

@@ -47,9 +47,15 @@ def _insertion_batch_task(
         n_bins=flow.signature_bins,
         engine=flow.capture_engine,
     )
-    test_time = flow.board.config.total_test_time()
+    # multi-site boards amortize the (contention-inflated) insertion
+    # time over the sites; single-site boards keep the config's time
+    if hasattr(flow.board, "device_test_time"):
+        test_time = flow.board.device_test_time()
+    else:
+        test_time = flow.board.config.total_test_time()
+    site_of = getattr(flow.board, "site_of", None)
     records = []
-    for device_id, signature in zip(ids, signatures):
+    for position, (device_id, signature) in enumerate(zip(ids, signatures)):
         signature = signature.copy()  # detach the row from the batch matrix
         predicted = flow.calibration.predict(signature)
         passed = flow.limits.check(predicted) if flow.limits is not None else None
@@ -60,6 +66,9 @@ def _insertion_batch_task(
                 passed=passed,
                 test_time=test_time,
                 signature=signature,
+                # chunk bounds are aligned to the site count, so the
+                # chunk-local position determines the site
+                site_index=site_of(position) if site_of is not None else 0,
             )
         )
     return records
@@ -74,6 +83,8 @@ class DeviceTestRecord:
     passed: Optional[bool]  # None when no limits were configured
     test_time: float
     signature: np.ndarray
+    #: load-board site that captured this device (0 on single-site boards)
+    site_index: int = 0
 
 
 @dataclass
@@ -197,7 +208,10 @@ class ProductionTestFlow:
             ids = list(range(len(devices)))
             tasks = [
                 (ids[a:b], devices[a:b], seeds[a:b])
-                for a, b in _chunk_bounds(len(devices), ex, chunksize)
+                for a, b in _chunk_bounds(
+                    len(devices), ex, chunksize,
+                    getattr(self.board, "chunk_alignment", 1),
+                )
             ]
             blocks = ex.map_tasks(
                 partial(_insertion_batch_task, self), tasks, chunksize=1

@@ -37,7 +37,7 @@ import queue
 import threading
 import time
 from functools import partial
-from typing import Iterator, Optional, Sequence, Union
+from typing import Dict, Iterator, Optional, Sequence, Union
 
 from repro.runtime.calibration import _chunk_bounds
 from repro.runtime.executor import (
@@ -135,6 +135,20 @@ class StreamingTestService:
         self._throughput = ThroughputMeter()
         self._latency = LatencyTracker()
         self._failure: Optional[BaseException] = None
+
+        # multi-site observability: boards modeling shared-instrument
+        # contention amortize the arbitration overhead per device, and
+        # emitted records carry their site for per-site accounting
+        board = flow.board
+        self._track_sites = hasattr(board, "site_of")
+        self._site_counts: Dict[int, int] = {}
+        if hasattr(board, "arbitration_seconds") and hasattr(board, "n_sites"):
+            self._arbitration_per_device = (
+                board.arbitration_seconds() / board.n_sites
+            )
+        else:
+            self._arbitration_per_device = 0.0
+        self._contention_wait = 0.0
 
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
@@ -282,15 +296,20 @@ class StreamingTestService:
                 latency_mean_s=self._latency.mean,
                 latency_worst_s=self._latency.worst,
                 elapsed_s=self._clock() - self._started_at,
+                site_devices_emitted=(
+                    dict(sorted(self._site_counts.items()))
+                    if self._track_sites
+                    else None
+                ),
+                contention_wait_s=self._contention_wait,
             )
 
     # ------------------------------------------------------------------
     # dispatcher internals
     # ------------------------------------------------------------------
     def _lot_chunksize(self, lot: Lot) -> int:
-        if self._chunksize is not None:
-            return self._chunksize
-        bounds = _chunk_bounds(len(lot), self._executor, None)
+        align = getattr(self.flow.board, "chunk_alignment", 1)
+        bounds = _chunk_bounds(len(lot), self._executor, self._chunksize, align)
         return bounds[0][1] - bounds[0][0] if bounds else 1
 
     def _dispatch_loop(self) -> None:
@@ -323,8 +342,16 @@ class StreamingTestService:
                             )
                     with self._lock:
                         self._throughput.record(now, len(emitted))
-                        for _ in emitted:
+                        for stream_record in emitted:
                             self._latency.record(latency)
+                            if self._track_sites:
+                                site = stream_record.record.site_index
+                                self._site_counts[site] = (
+                                    self._site_counts.get(site, 0) + 1
+                                )
+                        self._contention_wait += (
+                            len(emitted) * self._arbitration_per_device
+                        )
                     for stream_record in emitted:
                         self._outbox.put(stream_record)
                 with self._lock:

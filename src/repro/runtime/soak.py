@@ -27,6 +27,7 @@ import numpy as np
 from repro.circuits.device import SpecSet
 from repro.dsp.waveform import PiecewiseLinearStimulus
 from repro.loadboard.signature_path import SignatureTestBoard, simulation_config
+from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
 from repro.regression.scaling import StandardScaler
@@ -47,6 +48,7 @@ def build_soak_flow(
     n_train: int = 32,
     profile: Optional[WaferMapProfile] = None,
     limits=None,
+    sites: int = 1,
 ) -> ProductionTestFlow:
     """A small calibrated production flow, deterministic in ``seed``.
 
@@ -54,15 +56,34 @@ def build_soak_flow(
     soak measures the service, not the regressor) on ``n_train``
     wafer-map devices and returns a flow with datasheet limits wired
     in, ready for :class:`StreamingTestService`.
+
+    With ``sites > 1`` the flow captures through a
+    :class:`~repro.loadboard.sites.MultiSiteBoard` with mild crosstalk
+    and shared-instrument contention, so the soak exercises the
+    site-aligned chunking and the per-site stream metrics; calibration
+    trains through the same multi-site path.
     """
     if n_train < 8:
         raise ValueError("need at least 8 training devices")
+    if sites < 1:
+        raise ValueError("sites must be >= 1")
     profile = profile if profile is not None else WaferMapProfile()
     stim_seq, train_seq, noise_seq = spawn_seeds(int(seed), 3)
 
     # the paper's Section 4.1 signature path, unchanged: soak DUTs/sec
     # numbers stay comparable with the capture hot-path benchmark
-    board = SignatureTestBoard(simulation_config())
+    if sites > 1:
+        board = MultiSiteBoard(
+            simulation_config(),
+            MultiSiteConfig(
+                n_sites=sites,
+                crosstalk_coupling=0.01,
+                lo_retune_seconds=1e-3,
+                digitizer_readout_seconds=2e-3,
+            ),
+        )
+    else:
+        board = SignatureTestBoard(simulation_config())
     stim_rng = np.random.default_rng(stim_seq)
     stimulus = PiecewiseLinearStimulus(
         stim_rng.uniform(-0.3, 0.3, 8), board.config.capture_seconds
@@ -166,6 +187,7 @@ def run_soak(
     on_snapshot: Optional[Callable] = None,
     flow: Optional[ProductionTestFlow] = None,
     sanitize_locks: bool = False,
+    sites: int = 1,
 ) -> Dict:
     """Run one soak campaign and return the metrics payload.
 
@@ -203,6 +225,7 @@ def run_soak(
                 min_duts_per_second=min_duts_per_second,
                 on_snapshot=on_snapshot,
                 flow=flow,
+                sites=sites,
             )
             report.check()
         payload["lock_sanitizer"] = report.to_dict()
@@ -220,6 +243,7 @@ def run_soak(
         min_duts_per_second=min_duts_per_second,
         on_snapshot=on_snapshot,
         flow=flow,
+        sites=sites,
     )
 
 
@@ -236,10 +260,15 @@ def _run_soak(
     min_duts_per_second: float,
     on_snapshot: Optional[Callable],
     flow: Optional[ProductionTestFlow],
+    sites: int = 1,
 ) -> Dict:
     if seconds <= 0:
         raise ValueError("seconds must be positive")
-    flow = flow if flow is not None else build_soak_flow(seed, n_train=n_train)
+    flow = (
+        flow
+        if flow is not None
+        else build_soak_flow(seed, n_train=n_train, sites=sites)
+    )
     traffic = TrafficGenerator(
         WaferMapProfile(), master_seed=int(seed) + 1, lot_size=lot_size,
         n_cells=n_cells,
@@ -297,6 +326,9 @@ def _run_soak(
         "lot_size": int(lot_size),
         "n_cells": int(n_cells),
         "executor": service.executor.name,
+        "sites": int(sites),
+        "site_devices_tested": final.site_devices_emitted,
+        "contention_wait_ms": final.contention_wait_s * 1e3,
         "max_pending_lots": int(max_pending_lots),
         "lots_submitted": lots_submitted,
         "lots_completed": final.lots_completed,

@@ -92,6 +92,16 @@ class SignatureStimulusOptimizer:
         generation's objective values concurrently; ``None`` = serial.
         The objective is deterministic (noise-free finite differences),
         so the optimized stimulus is backend-independent.
+    board:
+        Prebuilt capture front end to optimize against instead of a
+        fresh ``SignatureTestBoard(board_config)`` -- any object with
+        the board surface (``signature`` / ``signature_batch`` /
+        ``overdrive_snapshot``), e.g. a
+        :class:`~repro.loadboard.sites.MultiSiteBoard` or a
+        :class:`~repro.loadboard.scenario_paths.BistSignaturePath`.
+        ``board_config`` then only supplies the capture geometry for
+        the ``sigma_m`` default and the coupling mode for the
+        overdrive margin (scenario configs alias those fields).
     """
 
     def __init__(
@@ -106,8 +116,9 @@ class SignatureStimulusOptimizer:
         spec_scales: Optional[Sequence[float]] = None,
         ga_config: GAConfig = GAConfig(),
         executor: Optional[Executor] = None,
+        board=None,
     ):
-        self.board = SignatureTestBoard(board_config)
+        self.board = board if board is not None else SignatureTestBoard(board_config)
         self.device_factory = device_factory
         self.space = space
         self.encoding = encoding

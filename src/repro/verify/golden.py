@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +32,9 @@ from repro.loadboard.capture_compiler import (
     fast_path_error_bound,
     fast_path_quantization_bound,
 )
+from repro.loadboard.scenario_paths import BistPathConfig, BistSignaturePath
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
 from repro.regression.scaling import StandardScaler
@@ -72,19 +74,28 @@ class GoldenUpdateRefused(RuntimeError):
 
 @dataclass(frozen=True)
 class _CorpusSpec:
-    """Recipe for one corpus: a seed plus a board configuration.
+    """Recipe for one corpus: a seed, a path configuration, a board.
+
+    ``config`` builds the path configuration (any object with a
+    ``capture_seconds`` attribute) and ``board`` wraps it into the
+    capture front end -- the plain single-site
+    :class:`SignatureTestBoard` by default, or a scenario board like
+    :class:`MultiSiteBoard` / :class:`BistSignaturePath`.
 
     ``fast_path`` declares the expected float32/reduced-harmonic
     behavior on this configuration: ``"bounded"`` (fast signatures stay
-    inside the certified error bound against the stored exact ones) or
+    inside the certified error bound against the stored exact ones),
     ``"refused"`` (the reduced harmonic ceiling would drop populated
-    content, so the engine must raise :class:`FastPathError`).
+    content, so the engine must raise :class:`FastPathError`), or
+    ``None`` (the board has no compiled fast engine to validate --
+    scenario paths with a single implementation).
     """
 
     seed: int
     description: str
-    config: Callable[[], SignaturePathConfig]
-    fast_path: str = "bounded"
+    config: Callable[[], Any]
+    board: Callable[[Any], Any] = SignatureTestBoard
+    fast_path: Optional[str] = "bounded"
 
 
 def _sim_config() -> SignaturePathConfig:
@@ -120,6 +131,16 @@ def _wideband_config() -> SignaturePathConfig:
     return cfg
 
 
+def _multisite_board(cfg: SignaturePathConfig) -> MultiSiteBoard:
+    """A dual-site board with crosstalk and site-1 loss skew."""
+    return MultiSiteBoard(
+        cfg,
+        MultiSiteConfig(
+            n_sites=2, crosstalk_coupling=0.02, site_loss_skew_db=[0.0, 0.4]
+        ),
+    )
+
+
 _CORPORA: Dict[str, _CorpusSpec] = {
     "sim-small": _CorpusSpec(
         seed=20020101,
@@ -136,6 +157,25 @@ _CORPORA: Dict[str, _CorpusSpec] = {
         description="wideband coupling with 1 dB output fixture loss",
         config=_wideband_config,
         fast_path="refused",
+    ),
+    "multisite-small": _CorpusSpec(
+        seed=20020104,
+        description=(
+            "dual-site load board: 2% site-to-site crosstalk, "
+            "0.4 dB site-1 fixture-loss skew"
+        ),
+        config=_sim_config,
+        board=_multisite_board,
+        fast_path=None,
+    ),
+    "bist-small": _CorpusSpec(
+        seed=20020105,
+        description=(
+            "on-die BIST path: AM drive, square-law detector, 6-bit ADC"
+        ),
+        config=BistPathConfig,
+        board=BistSignaturePath,
+        fast_path=None,
     ),
 }
 
@@ -196,7 +236,7 @@ def _corpus_setup(spec: _CorpusSpec):
     stimulus = PiecewiseLinearStimulus(
         stim_rng.uniform(-0.8, 0.8, size=6), duration=cfg.capture_seconds
     )
-    board = SignatureTestBoard(cfg)
+    board = spec.board(cfg)
     return train, val, stimulus, board, (train_seq, val_seq, cv_seq)
 
 
@@ -314,6 +354,8 @@ def check_fast_path(name: str, directory: Optional[str] = None) -> List[str]:
     spec = _CORPORA.get(name)
     if spec is None:
         raise KeyError(f"unknown corpus {name!r}; defined: {corpus_names()}")
+    if spec.fast_path is None:  # scenario boards have no fast engine
+        return []
 
     _, val, stimulus, board, (_, val_seq, _) = _corpus_setup(spec)
     seeds = spawn_seeds(np.random.default_rng(val_seq), len(val))

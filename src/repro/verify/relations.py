@@ -26,6 +26,12 @@ spec-permutation-stability      Eqs. 6-10: spec predictions are stable
                                 under signature column permutation
 streaming-offline-equivalence   streamed service records ==
                                 ``ProductionTestFlow.run``, bit for bit
+multisite-serial-equivalence    a zero-crosstalk N-site capture ==
+                                N independent single-site captures, bit
+                                for bit, on every executor and engine
+bist-calibration-predicts       ridge calibration predicts gain through
+                                the coarse on-die BIST path to the
+                                declared tolerance
 ==============================  ========================================
 
 Tolerances are calibrated, not guessed: each non-exact bound sits an
@@ -55,7 +61,9 @@ from repro.loadboard.capture_compiler import (
     fast_path_error_bound,
     fast_path_quantization_bound,
 )
+from repro.loadboard.scenario_paths import BistPathConfig, BistSignaturePath
 from repro.loadboard.signature_path import SignaturePathConfig, SignatureTestBoard
+from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
 from repro.regression.linear import RidgeRegression
 from repro.regression.pipeline import Pipeline
 from repro.regression.scaling import StandardScaler
@@ -86,6 +94,13 @@ PHASE_TOL = 0.15
 LINEARITY_TOL = 1e-2
 #: measured attenuation-scaling residual is ~5e-4
 ATTENUATION_SCALE_TOL = 2e-2
+#: worst gain RMSE of a 32-train/16-val BIST ridge calibration measured
+#: over 20 seeded trials is 2.10 dB; a broken path (signatures carrying
+#: no device information) degrades to the mean predictor at ~2.9 dB
+BIST_GAIN_RMSE_TOL_DB = 2.75
+#: the same populations as a skill ratio (RMSE over the mean-predictor
+#: RMSE): legit worst 0.63, broken best 1.03 -- 0.85 splits them wide
+BIST_GAIN_SKILL_TOL = 0.85
 
 _CARRIER = 900e6
 _CAPTURE_SECONDS = 64e-6
@@ -783,4 +798,178 @@ def _rel_streaming_offline_equivalence(case, rng):
     check(
         total == len(streamed),
         "service emitted records for lots that were never submitted",
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-site insertions == independent single-site captures
+# ----------------------------------------------------------------------
+@relation(
+    "multisite-serial-equivalence",
+    params={
+        "n_sites": integers(2, 4, origin=2),
+        "n_insertions": integers(1, 3, origin=1),
+        "partial_last": booleans(),
+        "loss_skew": booleans(),
+        "digitizer_bits": choice(None, 12),
+        "backend": choice("serial", "thread:2"),
+        "chunksize": integers(1, 5, origin=1),
+        "n_breakpoints": integers(3, 6, origin=3),
+    },
+    equation="reproduction contract (multi-site isolation)",
+)
+def _rel_multisite_serial_equivalence(case, rng):
+    """A zero-crosstalk N-site capture equals N single-site captures bit for bit.
+
+    With perfect site isolation the multi-site board is physically N
+    independent copies of the Figure 2/3 path, so every signature row
+    must be ``np.array_equal`` to capturing that device alone on its
+    site's standalone board with the same RNG stream -- including
+    partially-occupied final insertions and per-site fixture-loss skew.
+    The compiled engine must match the reference algebra through the
+    multi-site path, and ``measure_signatures`` must be bit-identical
+    across backends and chunk sizes (the site-aligned chunking
+    contract).  Finally, turning crosstalk *on* must actually change the
+    signatures -- coupling silently dropped is itself a failure.
+    """
+    n_sites = case["n_sites"]
+    n_devices = n_sites * case["n_insertions"] - int(case["partial_last"])
+    skew = [0.25 * j for j in range(n_sites)] if case["loss_skew"] else None
+    base_cfg = _fast_config(digitizer_bits=case["digitizer_bits"])
+    board = MultiSiteBoard(
+        base_cfg,
+        MultiSiteConfig(
+            n_sites=n_sites, crosstalk_coupling=0.0, site_loss_skew_db=skew
+        ),
+    )
+    devices = _sample_lot(rng, n_devices)
+    stimulus = _stimulus(rng, case["n_breakpoints"])
+    seeds = spawn_seeds(rng, n_devices)
+
+    multi = board.signature_batch(
+        devices, stimulus, rngs=[np.random.default_rng(s) for s in seeds]
+    )
+    for j, site_board in enumerate(board.site_boards):
+        idx = list(range(j, n_devices, n_sites))
+        serial = site_board.signature_batch(
+            [devices[i] for i in idx],
+            stimulus,
+            rngs=[np.random.default_rng(seeds[i]) for i in idx],
+        )
+        check_array_equal(
+            multi[idx], serial, label=f"site {j} rows vs serial single-site"
+        )
+
+    reference = board.signature_batch(
+        devices,
+        stimulus,
+        rngs=[np.random.default_rng(s) for s in seeds],
+        engine="reference",
+    )
+    check_array_equal(multi, reference, label="multi-site compiled vs reference")
+
+    master = int(rng.integers(0, 2**63))
+    measured_ref = measure_signatures(
+        board, stimulus, devices, np.random.default_rng(master)
+    )
+    measured = measure_signatures(
+        board,
+        stimulus,
+        devices,
+        np.random.default_rng(master),
+        executor=case["backend"],
+        chunksize=case["chunksize"],
+    )
+    check_array_equal(
+        measured,
+        measured_ref,
+        label=(
+            f"{case['backend']} chunksize={case['chunksize']} "
+            "(site-aligned chunking)"
+        ),
+    )
+
+    if n_devices >= 2:
+        coupled_board = MultiSiteBoard(
+            base_cfg,
+            MultiSiteConfig(
+                n_sites=n_sites, crosstalk_coupling=0.05, site_loss_skew_db=skew
+            ),
+        )
+        coupled = coupled_board.signature_batch(
+            devices, stimulus, rngs=[np.random.default_rng(s) for s in seeds]
+        )
+        check(
+            not np.array_equal(coupled, multi),
+            "5% site-to-site coupling left every signature bit-identical "
+            "to the isolated capture: crosstalk is silently dropped",
+        )
+
+
+# ----------------------------------------------------------------------
+# ridge calibration through the on-die BIST path
+# ----------------------------------------------------------------------
+@relation(
+    "bist-calibration-predicts",
+    params={
+        "adc_bits": choice(6, 8),
+        "n_breakpoints": integers(4, 8, origin=4),
+        "backend": choice("serial", "thread:2"),
+    },
+    equation="Eqs. 6-10 through the BIST access path",
+)
+def _rel_bist_calibration_predicts(case, rng):
+    """Ridge calibration predicts gain through the coarse BIST path.
+
+    The on-die chain (AM drive, square-law detector, 6-bit ADC) is the
+    paper's low-cost-tester argument taken to its limit: the signature
+    is degraded but must still carry the specification information.  A
+    standardize+ridge calibration trained on 32 BIST signatures must
+    predict a held-out 16-device lot's gain within
+    :data:`BIST_GAIN_RMSE_TOL_DB` RMSE *and* beat the train-mean
+    predictor by the :data:`BIST_GAIN_SKILL_TOL` skill ratio -- a
+    signature path carrying no device information degrades to the mean
+    predictor (skill ~1) and fails both.
+    """
+    cfg = BistPathConfig(adc_bits=case["adc_bits"])
+    path = BistSignaturePath(cfg)
+    stimulus = PiecewiseLinearStimulus(
+        rng.uniform(-0.8, 0.8, case["n_breakpoints"]),
+        duration=cfg.capture_seconds,
+    )
+    train = _sample_lot(rng, 32)
+    val = _sample_lot(rng, 16)
+    train_sigs = measure_signatures(
+        path,
+        stimulus,
+        train,
+        np.random.default_rng(int(rng.integers(0, 2**63))),
+        n_bins=32,
+        executor=case["backend"],
+    )
+    val_sigs = measure_signatures(
+        path,
+        stimulus,
+        val,
+        np.random.default_rng(int(rng.integers(0, 2**63))),
+        n_bins=32,
+    )
+    gain_train = np.array([d.specs().gain_db for d in train])
+    gain_val = np.array([d.specs().gain_db for d in val])
+
+    pipeline = Pipeline([StandardScaler(), RidgeRegression(alpha=1.0)])
+    pipeline.fit(train_sigs, gain_train)
+    rmse = float(np.sqrt(np.mean((pipeline.predict(val_sigs) - gain_val) ** 2)))
+    baseline = float(np.sqrt(np.mean((gain_train.mean() - gain_val) ** 2)))
+    check(
+        rmse <= BIST_GAIN_RMSE_TOL_DB,
+        f"BIST ridge calibration missed held-out gain by {rmse:.2f} dB RMSE "
+        f"(declared tolerance {BIST_GAIN_RMSE_TOL_DB} dB)",
+    )
+    check(
+        rmse <= BIST_GAIN_SKILL_TOL * baseline,
+        f"BIST calibration skill {rmse / baseline:.2f} (RMSE {rmse:.2f} dB "
+        f"over mean-predictor {baseline:.2f} dB) exceeds "
+        f"{BIST_GAIN_SKILL_TOL}: the BIST signature carries no usable "
+        "device information",
     )

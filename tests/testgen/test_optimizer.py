@@ -132,3 +132,45 @@ class TestOptimization:
         # the same drive is legal for the tuned path
         cool = make_optimizer().objective(np.full(8, 0.4))
         assert hot > cool + 1.0
+
+
+class TestScenarioBoards:
+    """The optimizer accepts a prebuilt scenario board via ``board=``."""
+
+    def test_bist_path_optimizes(self):
+        from repro.loadboard.scenario_paths import (
+            BistPathConfig,
+            BistSignaturePath,
+        )
+
+        cfg = BistPathConfig(adc_noise_vrms=1e-3, include_device_noise=False)
+        path = BistSignaturePath(cfg)
+        opt = make_optimizer(
+            board_config=cfg,
+            board=path,
+            encoding=StimulusEncoding(
+                n_breakpoints=8, duration=cfg.capture_seconds, v_limit=0.4
+            ),
+        )
+        assert opt.board is path
+        # sigma_m sizes from the BIST aliases (adc rate / noise)
+        n = int(round(cfg.capture_seconds * cfg.adc_rate))
+        assert opt.sigma_m == pytest.approx(1e-3 * np.sqrt(2.0 / n))
+        result = opt.optimize(np.random.default_rng(0))
+        assert np.isfinite(result.objective_value)
+        assert result.per_spec_error_std.shape == (3,)
+
+    def test_multisite_board_optimizes(self):
+        from repro.loadboard.sites import MultiSiteBoard, MultiSiteConfig
+
+        cfg = small_config()
+        board = MultiSiteBoard(cfg, MultiSiteConfig(n_sites=2))
+        opt = make_optimizer(board_config=cfg, board=board)
+        assert opt.board is board
+        result = opt.optimize(np.random.default_rng(0))
+        assert np.isfinite(result.objective_value)
+
+    def test_default_board_unchanged(self):
+        from repro.loadboard.signature_path import SignatureTestBoard
+
+        assert isinstance(make_optimizer().board, SignatureTestBoard)
